@@ -1,0 +1,155 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index).
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- fig12     -- one artefact
+     dune exec bench/main.exe -- quick     -- reduced sizes (CI)
+     dune exec bench/main.exe -- bechamel  -- wall-clock cost of the
+                                              simulator itself, one
+                                              Bechamel test per artefact
+
+   The simulator is deterministic, so every table below reproduces
+   bit-for-bit; EXPERIMENTS.md records these outputs against the
+   paper's claims. *)
+
+module Table = Fscope_util.Table
+module Config = Fscope_machine.Config
+module E = Fscope_experiments
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let run_table3 () = Table.print (E.Tables.table3 Config.default)
+let run_table4 () = Table.print (E.Tables.table4 ())
+let run_cost () = Table.print (E.Tables.hardware_cost Config.default)
+
+let run_fig12 ~quick () =
+  let series = E.Fig12.run ~quick () in
+  Table.print (E.Fig12.table series);
+  let peaks = List.map E.Fig12.peak series in
+  say "peak speedups: %.2fx .. %.2fx (paper: 1.13x .. 1.34x)"
+    (fst (Fscope_util.Stats.min_max peaks))
+    (snd (Fscope_util.Stats.min_max peaks))
+
+let run_fig13 ~quick () =
+  let bars = E.Fig13.run ~quick () in
+  Table.print (E.Fig13.table bars)
+
+let run_fig14 ~quick () =
+  let rows = E.Fig14.run ~quick () in
+  Table.print (E.Fig14.table rows)
+
+let run_fig15 ~quick () =
+  let cells = E.Fig15.run ~quick () in
+  Table.print (E.Fig15.table cells)
+
+let run_fig16 ~quick () =
+  let cells = E.Fig16.run ~quick () in
+  Table.print (E.Fig16.table cells)
+
+let run_ablate ~quick () =
+  Table.print (E.Ablation.fsb_table (E.Ablation.fsb_sweep ~quick ()));
+  Table.print (E.Ablation.fss_table (E.Ablation.fss_sweep ()));
+  Table.print (E.Ablation.flavor_table (E.Ablation.flavor_sweep ~quick ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: wall-clock cost of regenerating each artefact, measured
+   on reduced-size runs so sampling stays tractable.                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let staged f = Staged.stage f in
+  [
+    Test.make ~name:"table3" (staged (fun () -> ignore (E.Tables.table3 Config.default)));
+    Test.make ~name:"table4" (staged (fun () -> ignore (E.Tables.table4 ())));
+    Test.make ~name:"hw-cost"
+      (staged (fun () -> ignore (E.Tables.hardware_cost_bits Config.default)));
+    Test.make ~name:"fig12-cell"
+      (staged (fun () ->
+           let w =
+             Fscope_workloads.Dekker.make
+               ~level:Fscope_workloads.Privwork.fig12_levels.(0)
+               ~attempts:5
+           in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
+    Test.make ~name:"fig13-cell"
+      (staged (fun () ->
+           let w = Fscope_workloads.Radiosity.make ~patches:32 () in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
+    Test.make ~name:"fig14-cell"
+      (staged (fun () ->
+           let w =
+             Fscope_workloads.Harris.make ~scope:`Set
+               ~level:Fscope_workloads.Privwork.fig12_levels.(0)
+               ()
+           in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
+    Test.make ~name:"fig15-cell"
+      (staged (fun () ->
+           let w = Fscope_workloads.Barnes.make ~bodies:64 () in
+           let c = Config.with_mem_latency 200 Config.default in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config c) w)));
+    Test.make ~name:"fig16-cell"
+      (staged (fun () ->
+           let w = Fscope_workloads.Barnes.make ~bodies:64 () in
+           let c = Config.with_rob_size 64 Config.default in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config c) w)));
+    Test.make ~name:"ablate-cell"
+      (staged (fun () ->
+           let w = E.Ablation.nested_scope_workload ~rounds:8 () in
+           ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let tests = Test.make_grouped ~name:"bench" (bechamel_tests ()) in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> say "%-40s %12.3f ms/run" name (est /. 1e6)
+      | Some _ | None -> say "%-40s (no estimate)" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let artefacts ~quick =
+  [
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("cost", run_cost);
+    ("fig12", run_fig12 ~quick);
+    ("fig13", run_fig13 ~quick);
+    ("fig14", run_fig14 ~quick);
+    ("fig15", run_fig15 ~quick);
+    ("fig16", run_fig16 ~quick);
+    ("ablate", run_ablate ~quick);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let wanted = List.filter (fun a -> a <> "quick") args in
+  match wanted with
+  | [ "bechamel" ] -> run_bechamel ()
+  | [] ->
+    List.iter
+      (fun (name, f) ->
+        say "";
+        say "### %s" name;
+        f ())
+      (artefacts ~quick)
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name (artefacts ~quick) with
+        | Some f -> f ()
+        | None ->
+          say "unknown artefact %s (have: %s, bechamel)" name
+            (String.concat ", " (List.map fst (artefacts ~quick))))
+      names

@@ -1,0 +1,167 @@
+(* fscope — command-line front end for the fence-scoping simulator.
+
+     fscope list                      the available workloads
+     fscope run wsq --traditional     run one workload on one machine
+     fscope compare pst               T vs S vs T+ vs S+ side by side
+     fscope disasm dekker             dump the compiled program
+     fscope bench fig12               regenerate an evaluation artefact *)
+
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module W = Fscope_workloads
+module E = Fscope_experiments
+
+let level_of_int n =
+  let levels = W.Privwork.fig12_levels in
+  if n < 1 || n > Array.length levels then
+    failwith (Printf.sprintf "workload level must be 1..%d" (Array.length levels))
+  else levels.(n - 1)
+
+let workloads ~level ~scope =
+  [
+    ("dekker", fun () -> W.Dekker.make ~level ~attempts:30);
+    ("wsq", fun () -> W.Wsq.make ~scope ~level ());
+    ("wsq-flavored", fun () -> W.Wsq.make ~flavored:true ~scope ~level ());
+    ("msn", fun () -> W.Msn.make ~scope ~level ());
+    ("harris", fun () -> W.Harris.make ~scope ~level ());
+    ("pst", fun () -> W.Pst.make ~scope ());
+    ("ptc", fun () -> W.Ptc.make ~scope ());
+    ("barnes", fun () -> W.Barnes.make ());
+    ("radiosity", fun () -> W.Radiosity.make ());
+    ("nested-scopes", fun () -> E.Ablation.nested_scope_workload ());
+  ]
+
+let find_workload name ~level ~scope =
+  match List.assoc_opt name (workloads ~level ~scope) with
+  | Some make -> make ()
+  | None ->
+    failwith
+      (Printf.sprintf "unknown workload %s (try: %s)" name
+         (String.concat ", " (List.map fst (workloads ~level ~scope))))
+
+let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb =
+  let c = Config.default in
+  let c = if traditional then Config.traditional c else Config.scoped c in
+  let c = Config.with_speculation speculate c in
+  let c = match mem_latency with Some l -> Config.with_mem_latency l c | None -> c in
+  let c = match rob with Some r -> Config.with_rob_size r c | None -> c in
+  match fsb with Some f -> Config.with_fsb_entries f c | None -> c
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_list () =
+  List.iter
+    (fun (name, make) ->
+      let w = make () in
+      Printf.printf "%-14s %s\n" name w.W.Workload.description)
+    (workloads ~level:(level_of_int 3) ~scope:`Class);
+  0
+
+let cmd_run name level set_scope traditional speculate mem_latency rob fsb =
+  let scope = if set_scope then `Set else `Class in
+  let w = find_workload name ~level:(level_of_int level) ~scope in
+  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let result = Machine.run config w.W.Workload.program in
+  if result.Machine.timed_out then begin
+    Printf.eprintf "run timed out\n";
+    2
+  end
+  else begin
+    Printf.printf "workload:      %s (%s)\n" w.W.Workload.name w.W.Workload.description;
+    Printf.printf "cycles:        %d\n" result.Machine.cycles;
+    Printf.printf "fence stalls:  %d (%.1f%% of active cycles)\n"
+      (Machine.fence_stall_cycles result)
+      (100. *. Machine.fence_stall_fraction result);
+    Printf.printf "instructions:  %d committed\n" (Machine.committed_instrs result);
+    Printf.printf "avg ROB use:   %.1f\n" (Machine.avg_rob_occupancy result);
+    (if speculate then Printf.printf "validation:    skipped (in-window speculation is timing-only)\n"
+     else
+       match w.W.Workload.validate result with
+       | Ok () -> Printf.printf "validation:    ok\n"
+       | Error msg -> Printf.printf "validation:    FAILED — %s\n" msg);
+    0
+  end
+
+let cmd_compare name level set_scope =
+  let scope = if set_scope then `Set else `Class in
+  let w = find_workload name ~level:(level_of_int level) ~scope in
+  let baseline = ref None in
+  Printf.printf "%-4s %10s %14s %9s\n" "cfg" "cycles" "fence stalls" "speedup";
+  List.iter
+    (fun (label, mk) ->
+      let m = E.Exp_run.measure (mk Config.default) w in
+      let base = match !baseline with None -> baseline := Some m; m | Some b -> b in
+      Printf.printf "%-4s %10d %13.1f%% %8.2fx\n" label m.E.Exp_run.cycles
+        (100. *. m.E.Exp_run.fence_stall_fraction)
+        (E.Exp_run.speedup ~baseline:base m))
+    [
+      ("T", E.Exp_run.t_config);
+      ("S", E.Exp_run.s_config);
+      ("T+", E.Exp_run.t_plus);
+      ("S+", E.Exp_run.s_plus);
+    ];
+  0
+
+let cmd_disasm name level set_scope =
+  let scope = if set_scope then `Set else `Class in
+  let w = find_workload name ~level:(level_of_int level) ~scope in
+  Format.printf "%a@." Fscope_isa.Program.pp_disassembly w.W.Workload.program;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,fscope list)).")
+
+let level_arg =
+  Arg.(value & opt int 3 & info [ "level"; "l" ] ~docv:"N" ~doc:"Fig. 12 private-workload level (1-6).")
+
+let set_scope_arg =
+  Arg.(value & flag & info [ "set-scope" ] ~doc:"Use S-FENCE[set] instead of S-FENCE[class] where the workload supports both.")
+
+let traditional_arg =
+  Arg.(value & flag & info [ "traditional"; "t" ] ~doc:"Disable the S-Fence hardware (baseline T).")
+
+let speculate_arg =
+  Arg.(value & flag & info [ "speculate" ] ~doc:"Enable in-window speculation (timing-only; validation is skipped).")
+
+let mem_latency_arg =
+  Arg.(value & opt (some int) None & info [ "mem-latency" ] ~docv:"CYCLES" ~doc:"Memory latency (Table III default: 300).")
+
+let rob_arg =
+  Arg.(value & opt (some int) None & info [ "rob" ] ~docv:"ENTRIES" ~doc:"Reorder buffer size (default 128).")
+
+let fsb_arg =
+  Arg.(value & opt (some int) None & info [ "fsb" ] ~docv:"ENTRIES" ~doc:"Fence scope bit columns (default 4).")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads") Term.(const cmd_list $ const ())
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload on one machine configuration")
+    Term.(
+      const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
+      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg)
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run a workload under T, S, T+ and S+ and compare")
+    Term.(const cmd_compare $ workload_arg $ level_arg $ set_scope_arg)
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print the compiled program of a workload")
+    Term.(const cmd_disasm $ workload_arg $ level_arg $ set_scope_arg)
+
+let main_cmd =
+  let doc = "cycle-level simulator for scoped fences (SC '14 'Fence Scoping')" in
+  Cmd.group (Cmd.info "fscope" ~doc) [ list_cmd; run_cmd; compare_cmd; disasm_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_algorithm.ml: Array Fscope_isa Fscope_machine Fscope_slang Fscope_workloads Fun List Printf Stdlib String

@@ -1,0 +1,1 @@
+examples/fence_anatomy.ml: Array Fscope_cpu Fscope_machine Fscope_workloads List Printf

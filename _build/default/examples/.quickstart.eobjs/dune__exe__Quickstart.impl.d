@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fscope_isa Fscope_machine Printf

@@ -1,0 +1,1 @@
+examples/spanning_tree.ml: Array Fscope_experiments Fscope_machine Fscope_workloads List Printf Sys

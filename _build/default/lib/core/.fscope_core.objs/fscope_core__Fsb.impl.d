@@ -1,0 +1,1 @@
+lib/core/fsb.ml: Format List String

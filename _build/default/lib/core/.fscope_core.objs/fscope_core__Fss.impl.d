@@ -1,0 +1,1 @@
+lib/core/fss.ml: Array Fsb

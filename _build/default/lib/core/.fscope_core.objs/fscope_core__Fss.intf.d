@@ -1,0 +1,1 @@
+lib/core/fss.mli: Fsb

@@ -1,0 +1,1 @@
+lib/core/scope_semantics.ml: Fscope_isa Hashtbl Int List Option Set

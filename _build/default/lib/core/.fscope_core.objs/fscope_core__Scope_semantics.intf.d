@@ -1,0 +1,1 @@
+lib/core/scope_semantics.mli: Fscope_isa

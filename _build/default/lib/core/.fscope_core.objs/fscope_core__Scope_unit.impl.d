@@ -1,0 +1,1 @@
+lib/core/scope_unit.ml: Array Fsb Fscope_isa Fss List Mapping_table

@@ -1,0 +1,1 @@
+lib/core/scope_unit.mli: Fsb Fscope_isa

@@ -1,0 +1,45 @@
+type t = {
+  slots : int array;
+  mutable depth : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Fss.create: capacity must be positive";
+  { slots = Array.make capacity 0; depth = 0 }
+
+let capacity t = Array.length t.slots
+let is_full t = t.depth = Array.length t.slots
+let is_empty t = t.depth = 0
+let depth t = t.depth
+
+let push t col =
+  if is_full t then invalid_arg "Fss.push: stack full";
+  t.slots.(t.depth) <- col;
+  t.depth <- t.depth + 1
+
+let pop t =
+  if t.depth = 0 then None
+  else begin
+    t.depth <- t.depth - 1;
+    Some t.slots.(t.depth)
+  end
+
+let top t = if t.depth = 0 then None else Some t.slots.(t.depth - 1)
+
+let mask t =
+  let m = ref Fsb.empty in
+  for i = 0 to t.depth - 1 do
+    m := Fsb.union !m (Fsb.column t.slots.(i))
+  done;
+  !m
+
+let contains t col =
+  let rec go i = i < t.depth && (t.slots.(i) = col || go (i + 1)) in
+  go 0
+
+let copy_from dst src =
+  if capacity dst <> capacity src then invalid_arg "Fss.copy_from: capacity mismatch";
+  Array.blit src.slots 0 dst.slots 0 src.depth;
+  dst.depth <- src.depth
+
+let to_list t = Array.to_list (Array.sub t.slots 0 t.depth)

@@ -1,0 +1,62 @@
+module Instr = Fscope_isa.Instr
+module Fence_kind = Fscope_isa.Fence_kind
+
+module Int_set = Set.Make (Int)
+
+let fence_wait_sets stream =
+  let fseq = ref [] in (* innermost first *)
+  let scope : (int, Int_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let all_mem = ref Int_set.empty in
+  let flagged_mem = ref Int_set.empty in
+  let loads = ref Int_set.empty in
+  let stores = ref Int_set.empty in
+  let results = ref [] in
+  let add_to_scope cid idx =
+    let cur = Option.value ~default:Int_set.empty (Hashtbl.find_opt scope cid) in
+    Hashtbl.replace scope cid (Int_set.add idx cur)
+  in
+  List.iteri
+    (fun idx instr ->
+      match instr with
+      | Instr.Fs_start cid -> fseq := cid :: !fseq
+      | Instr.Fs_end cid ->
+        (match !fseq with
+        | top :: rest when top = cid -> fseq := rest
+        | _ -> invalid_arg "Scope_semantics: unbalanced fs_end")
+      | Instr.Load { flagged; _ } | Instr.Store { flagged; _ } | Instr.Cas { flagged; _ }
+        ->
+        all_mem := Int_set.add idx !all_mem;
+        if flagged then flagged_mem := Int_set.add idx !flagged_mem;
+        (match instr with
+        | Instr.Load _ -> loads := Int_set.add idx !loads
+        | Instr.Store _ -> stores := Int_set.add idx !stores
+        | _ ->
+          loads := Int_set.add idx !loads;
+          stores := Int_set.add idx !stores (* CAS is both *));
+        (* MEMOP: the op joins the scope of every class on FSeq. *)
+        List.iter (fun cid -> add_to_scope cid idx) (List.sort_uniq Int.compare !fseq)
+      | Instr.Fence kind ->
+        let in_scope =
+          match Fence_kind.scope_of kind with
+          | Fence_kind.Global -> !all_mem
+          | Fence_kind.Set_scope -> !flagged_mem
+          | Fence_kind.Class_scope -> (
+            match !fseq with
+            | [] -> !all_mem
+            | cid :: _ ->
+              Option.value ~default:Int_set.empty (Hashtbl.find_opt scope cid))
+        in
+        (* The flavour restricts which access classes the fence waits
+           for (a CAS is in both sets). *)
+        let flavour_set =
+          Int_set.union
+            (if kind.Fence_kind.wait_loads then !loads else Int_set.empty)
+            (if kind.Fence_kind.wait_stores then !stores else Int_set.empty)
+        in
+        let waits = Int_set.inter in_scope flavour_set in
+        results := (idx, Int_set.elements waits) :: !results
+      | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _
+      | Instr.Jump _ | Instr.Halt ->
+        ())
+    stream;
+  List.rev !results

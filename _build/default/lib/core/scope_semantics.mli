@@ -1,0 +1,28 @@
+(** Executable reference model of the class-scope semantics (Fig. 5).
+
+    Runs the paper's inference rules — SCOPEENT, SCOPEEX, MEMOP,
+    FENCE — over a single thread's dynamic instruction stream and
+    reports, for every fence, the set of earlier memory operations
+    that are *in the fence's scope*: the operations rule FENCE forces
+    the fence to wait for (modulo completion, which is the memory
+    subsystem's concern and deliberately outside Fig. 5).
+
+    Property tests drive the same stream through {!Scope_unit} and
+    check that the hardware's wait set is a superset of this
+    reference's wait set for every fence: the hardware may be
+    stricter (column sharing, overflow fallback) but never weaker. *)
+
+val fence_wait_sets : Fscope_isa.Instr.t list -> (int * int list) list
+(** [fence_wait_sets stream] maps each fence's position in [stream] to
+    the (sorted) positions of the earlier memory operations in its
+    scope:
+
+    - a [Full] fence: every earlier memory operation;
+    - a [Class_scoped] fence: every earlier memory operation executed
+      while some activation of the fence's class was on FSeq, where
+      the fence's class is the top of FSeq at the fence (an unscoped
+      class fence — empty FSeq — degrades to a full fence);
+    - a [Set_scoped] fence: every earlier flagged memory operation.
+
+    Raises [Invalid_argument] on unbalanced [fs_end] (an [fs_end]
+    whose cid does not match the innermost open scope). *)

@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Array Branch_pred Exec_config Fscope_core Fscope_isa Fscope_mem List Printf Rob Store_buffer

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Exec_config Fscope_core Fscope_isa Fscope_mem

@@ -1,0 +1,1 @@
+lib/cpu/exec_config.mli:

@@ -1,0 +1,1 @@
+lib/cpu/rob.ml: Array Fscope_core Fscope_isa

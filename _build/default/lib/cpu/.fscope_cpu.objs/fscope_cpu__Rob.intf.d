@@ -1,0 +1,1 @@
+lib/cpu/rob.mli: Fscope_core Fscope_isa

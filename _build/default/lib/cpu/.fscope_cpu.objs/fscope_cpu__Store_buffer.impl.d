@@ -1,0 +1,1 @@
+lib/cpu/store_buffer.ml: Fscope_core List

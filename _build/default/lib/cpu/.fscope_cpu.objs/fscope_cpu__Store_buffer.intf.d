@@ -1,0 +1,1 @@
+lib/cpu/store_buffer.mli: Fscope_core

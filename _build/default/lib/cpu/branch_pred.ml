@@ -1,0 +1,16 @@
+type t = {
+  mask : int;
+  counters : int array; (* 0..3; >= 2 predicts taken *)
+}
+
+let create ~entries =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Branch_pred.create: entries must be a positive power of two";
+  { mask = entries - 1; counters = Array.make entries 1 (* weakly not-taken *) }
+
+let predict t ~pc = t.counters.(pc land t.mask) >= 2
+
+let update t ~pc ~taken =
+  let i = pc land t.mask in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1))

@@ -1,0 +1,13 @@
+(** A bimodal branch predictor: a table of 2-bit saturating counters
+    indexed by the low bits of the branch pc. *)
+
+type t
+
+val create : entries:int -> t
+(** [entries] must be a positive power of two. *)
+
+val predict : t -> pc:int -> bool
+(** Predicted direction (true = taken). *)
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Train with the actual outcome. *)

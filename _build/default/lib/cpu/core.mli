@@ -1,0 +1,81 @@
+(** One simulated out-of-order core.
+
+    The pipeline model: a front end that fetches and dispatches along
+    the predicted path into the ROB, register renaming with
+    per-branch checkpoints, out-of-order issue with conservative
+    memory disambiguation and store-to-load forwarding, in-order
+    commit, and a store buffer that drains to the memory system out
+    of order (W->W relaxation).  Loads read their value when the
+    access completes in the memory system, stores become globally
+    visible when their store-buffer entry completes — together this
+    yields an RMO-like machine in which fences are meaningful.
+
+    Fence handling follows the paper:
+    - without in-window speculation, a dispatched fence blocks the
+      issue of younger loads and CAS operations until every older
+      in-scope access has completed ([`Global] scope = all of them
+      plus a drained store buffer);
+    - with in-window speculation (T+/S+), fences never block issue;
+      the condition is checked when the fence reaches the commit
+      point, against the store buffer's fence scope bits.
+
+    The machine drives each core with three sub-steps per cycle, in
+    this order across all cores: [step_complete_writes] (stores and
+    CAS results become visible), [step_complete_reads] (loads sample
+    memory), [step_pipeline] (commit, issue, resolve, fetch).  That
+    phase split makes same-cycle visibility deterministic. *)
+
+type stats = {
+  mutable committed : int;
+  mutable stall_rob_load : int;
+      (** head-fence stall cycles attributable to an incomplete in-ROB
+          load or CAS inside the fence's wait set *)
+  mutable stall_rob_store : int;  (** ... to a store not yet in the store buffer *)
+  mutable stall_sb : int;  (** ... to store-buffer drain *)
+  mutable committed_mem : int;
+  mutable committed_fences : int;
+  mutable fence_stall_cycles : int;
+      (** cycles the commit head was blocked by a fence whose scope
+          condition was not yet satisfied *)
+  mutable sb_stall_cycles : int;  (** commit blocked by a full store buffer *)
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cas_ops : int;
+  mutable rob_occupancy_sum : int;  (** sampled once per active cycle *)
+  mutable active_cycles : int;
+}
+
+type t
+
+val create :
+  id:int ->
+  code:Fscope_isa.Instr.t array ->
+  mem:int array ->
+  hierarchy:Fscope_mem.Hierarchy.t ->
+  scope_config:Fscope_core.Scope_unit.config ->
+  exec_config:Exec_config.t ->
+  t
+
+val id : t -> int
+val halted : t -> bool
+(** True once the core committed a [Halt]. *)
+
+val drained : t -> bool
+(** True when, additionally, the store buffer is empty — the core's
+    effects are all globally visible. *)
+
+val stats : t -> stats
+val scope_unit : t -> Fscope_core.Scope_unit.t
+
+val step_complete_writes : t -> cycle:int -> unit
+(** Apply store-buffer drains and CAS read-modify-writes due this
+    cycle to shared memory. *)
+
+val step_complete_reads : t -> cycle:int -> unit
+(** Complete loads due this cycle: sample shared memory (or keep the
+    forwarded value) and mark them done. *)
+
+val step_pipeline : t -> cycle:int -> unit
+(** Resolve branches, commit, issue, fetch/dispatch. *)

@@ -1,0 +1,34 @@
+type t = {
+  rob_size : int;
+  sb_size : int;
+  fetch_width : int;
+  issue_width : int;
+  commit_width : int;
+  mispredict_penalty : int;
+  in_window_speculation : bool;
+  bpred_entries : int;
+}
+
+let default =
+  {
+    rob_size = 128;
+    sb_size = 8;
+    fetch_width = 4;
+    issue_width = 4;
+    commit_width = 4;
+    mispredict_penalty = 5;
+    in_window_speculation = false;
+    bpred_entries = 512;
+  }
+
+let validate t =
+  let check name v = if v <= 0 then invalid_arg ("Exec_config: " ^ name ^ " must be positive") in
+  check "rob_size" t.rob_size;
+  check "sb_size" t.sb_size;
+  check "fetch_width" t.fetch_width;
+  check "issue_width" t.issue_width;
+  check "commit_width" t.commit_width;
+  check "bpred_entries" t.bpred_entries;
+  if t.mispredict_penalty < 0 then invalid_arg "Exec_config: negative mispredict_penalty";
+  if t.bpred_entries land (t.bpred_entries - 1) <> 0 then
+    invalid_arg "Exec_config: bpred_entries must be a power of two"

@@ -1,0 +1,23 @@
+(** Pipeline parameters of one out-of-order core. *)
+
+type t = {
+  rob_size : int;  (** reorder buffer entries (paper default 128) *)
+  sb_size : int;  (** store buffer entries (paper §VI-E uses 8) *)
+  fetch_width : int;  (** instructions dispatched per cycle *)
+  issue_width : int;  (** instructions issued to execute per cycle *)
+  commit_width : int;  (** instructions retired per cycle *)
+  mispredict_penalty : int;
+      (** cycles the front end stays silent after a branch misprediction *)
+  in_window_speculation : bool;
+      (** Gharachorloo-style in-window speculation: fences do not block
+          the issue of younger accesses; the condition is instead
+          checked when the fence retires (the paper's T+ / S+ bars) *)
+  bpred_entries : int;  (** bimodal predictor table size (power of two) *)
+}
+
+val default : t
+(** ROB 128, SB 8, 4-wide fetch/issue/commit, 5-cycle mispredict
+    penalty, speculation off, 512-entry predictor. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical values. *)

@@ -1,0 +1,113 @@
+type producer =
+  | Arch
+  | Rob of int
+
+type src = {
+  producer : producer;
+  reg : Fscope_isa.Reg.t;
+}
+
+type exec_state =
+  | Waiting
+  | Executing of int
+  | Done
+
+type entry = {
+  seq : int;
+  pc : int;
+  instr : Fscope_isa.Instr.t;
+  srcs : src array;
+  mutable state : exec_state;
+  mutable result : int;
+  mutable addr : int;
+  mutable data : int;
+  mutable data2 : int;
+  mutable scope_mask : Fscope_core.Fsb.mask;
+  mutable fence_wait : [ `Global | `Mask of Fscope_core.Fsb.mask ] option;
+  mutable fence_issued : bool;
+  mutable predicted_taken : bool;
+  mutable checkpoint : producer array option;
+}
+
+let make_entry ~seq ~pc ~instr ~srcs =
+  {
+    seq;
+    pc;
+    instr;
+    srcs;
+    state = Waiting;
+    result = 0;
+    addr = -1;
+    data = 0;
+    data2 = 0;
+    scope_mask = Fscope_core.Fsb.empty;
+    fence_wait = None;
+    fence_issued = false;
+    predicted_taken = false;
+    checkpoint = None;
+  }
+
+type t = {
+  size : int;
+  slots : entry option array;
+  mutable head_seq : int;
+  mutable tail_seq : int;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Rob.create: size must be positive";
+  { size; slots = Array.make size None; head_seq = 0; tail_seq = 0 }
+
+let size t = t.size
+let count t = t.tail_seq - t.head_seq
+let is_full t = count t >= t.size
+let is_empty t = count t = 0
+let next_seq t = t.tail_seq
+
+let dispatch t entry =
+  if is_full t then invalid_arg "Rob.dispatch: full";
+  if entry.seq <> t.tail_seq then invalid_arg "Rob.dispatch: wrong seq";
+  t.slots.(entry.seq mod t.size) <- Some entry;
+  t.tail_seq <- t.tail_seq + 1
+
+let contains t seq = seq >= t.head_seq && seq < t.tail_seq
+
+let get t seq =
+  if not (contains t seq) then invalid_arg "Rob.get: seq not in flight";
+  match t.slots.(seq mod t.size) with
+  | Some e -> e
+  | None -> assert false
+
+let head t = if is_empty t then None else Some (get t t.head_seq)
+
+let pop_head t =
+  if is_empty t then invalid_arg "Rob.pop_head: empty";
+  let e = get t t.head_seq in
+  t.slots.(t.head_seq mod t.size) <- None;
+  t.head_seq <- t.head_seq + 1;
+  e
+
+let squash_after t seq =
+  let removed = ref [] in
+  for s = t.tail_seq - 1 downto max (seq + 1) t.head_seq do
+    removed := get t s :: !removed;
+    t.slots.(s mod t.size) <- None
+  done;
+  if seq + 1 < t.tail_seq then t.tail_seq <- max (seq + 1) t.head_seq;
+  !removed
+
+let iter t f =
+  for s = t.head_seq to t.tail_seq - 1 do
+    f (get t s)
+  done
+
+let exists_older t seq p =
+  let rec go s = s < min seq t.tail_seq && s >= t.head_seq && (p (get t s) || go (s + 1)) in
+  go t.head_seq
+
+let fold_older t seq f init =
+  let acc = ref init in
+  for s = t.head_seq to min seq t.tail_seq - 1 do
+    if s < seq then acc := f !acc (get t s)
+  done;
+  !acc

@@ -1,0 +1,85 @@
+(** The reorder buffer.
+
+    A circular buffer of in-flight instructions indexed by a global
+    sequence number ([seq]); slot = [seq mod size].  Instructions
+    dispatch at the tail, execute out of order, and commit in order
+    from the head.  A branch misprediction squashes every entry
+    younger than the branch.
+
+    Each entry carries the paper's per-entry fence scope bits
+    ([scope_mask]) and, for fences, the wait condition captured from
+    the {!Fscope_core.Scope_unit} at dispatch. *)
+
+type producer =
+  | Arch  (** value lives in the architectural register file *)
+  | Rob of int  (** produced by the in-flight entry with this seq *)
+
+type src = {
+  producer : producer;
+  reg : Fscope_isa.Reg.t;
+}
+
+type exec_state =
+  | Waiting  (** operands not ready or structural/ordering hazard *)
+  | Executing of int  (** issued; completes at the given cycle *)
+  | Done
+
+type entry = {
+  seq : int;
+  pc : int;
+  instr : Fscope_isa.Instr.t;
+  srcs : src array;  (** in the order of {!Fscope_isa.Instr.reads_regs} *)
+  mutable state : exec_state;
+  mutable result : int;  (** dst value: load data, ALU result, CAS success bit *)
+  mutable addr : int;  (** memory address once computed; -1 = unknown *)
+  mutable data : int;  (** store data / CAS desired value *)
+  mutable data2 : int;  (** CAS expected value *)
+  mutable scope_mask : Fscope_core.Fsb.mask;
+  mutable fence_wait : [ `Global | `Mask of Fscope_core.Fsb.mask ] option;
+  mutable fence_issued : bool;
+  mutable predicted_taken : bool;
+  mutable checkpoint : producer array option;  (** rename snapshot, branches only *)
+}
+
+val make_entry : seq:int -> pc:int -> instr:Fscope_isa.Instr.t -> srcs:src array -> entry
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+val count : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val next_seq : t -> int
+(** The seq the next dispatched entry must carry. *)
+
+val dispatch : t -> entry -> unit
+(** Append at the tail.  Raises [Invalid_argument] if full or if the
+    entry's seq is not [next_seq]. *)
+
+val contains : t -> int -> bool
+(** Is [seq] currently in flight? *)
+
+val get : t -> int -> entry
+(** Entry by seq.  Raises [Invalid_argument] if not in flight. *)
+
+val head : t -> entry option
+
+val pop_head : t -> entry
+(** Commit the head.  Raises [Invalid_argument] if empty. *)
+
+val squash_after : t -> int -> entry list
+(** [squash_after t seq] removes every entry with a seq strictly
+    greater than [seq] and returns them (oldest first) so the caller
+    can release their side state. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** All in-flight entries, oldest first. *)
+
+val exists_older : t -> int -> (entry -> bool) -> bool
+(** [exists_older t seq p]: does any in-flight entry older than [seq]
+    satisfy [p]? *)
+
+val fold_older : t -> int -> ('a -> entry -> 'a) -> 'a -> 'a
+(** Fold over entries older than [seq], oldest first. *)

@@ -1,0 +1,43 @@
+type entry = {
+  addr : int;
+  value : int;
+  mask : Fscope_core.Fsb.mask;
+  done_at : int;
+}
+
+(* A small array-backed FIFO; capacity is 8-ish so linear operations
+   are the right implementation. *)
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* oldest first *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Store_buffer.create: capacity must be positive";
+  { capacity; entries = [] }
+
+let capacity t = t.capacity
+let count t = List.length t.entries
+let is_full t = count t >= t.capacity
+let is_empty t = t.entries = []
+
+let push t entry =
+  if is_full t then invalid_arg "Store_buffer.push: full";
+  t.entries <- t.entries @ [ entry ]
+
+let take_completed t ~cycle =
+  let done_, waiting = List.partition (fun e -> e.done_at <= cycle) t.entries in
+  t.entries <- waiting;
+  done_
+
+let forward t ~addr =
+  List.fold_left
+    (fun acc e -> if e.addr = addr then Some e.value else acc)
+    None t.entries
+
+let has_addr t ~addr = List.exists (fun e -> e.addr = addr) t.entries
+
+let mask_overlaps t mask =
+  List.exists (fun e -> not (Fscope_core.Fsb.is_empty (Fscope_core.Fsb.inter e.mask mask))) t.entries
+
+let iter t f = List.iter f t.entries

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Char Exp_run Fscope_core Fscope_isa Fscope_machine Fscope_slang Fscope_util Fscope_workloads List Printf Stdlib

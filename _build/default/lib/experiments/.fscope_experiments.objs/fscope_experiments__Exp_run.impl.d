@@ -1,0 +1,1 @@
+lib/experiments/exp_run.ml: Fscope_cpu Fscope_machine Fscope_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_run.mli: Fscope_machine Fscope_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Exp_run Float Fscope_machine Fscope_util Fscope_workloads List Printf

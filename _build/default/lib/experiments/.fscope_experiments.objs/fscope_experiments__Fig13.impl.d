@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Exp_run Fscope_machine Fscope_util Fscope_workloads List

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Exp_run Fscope_machine Fscope_util Fscope_workloads List

@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Exp_run Fig13 Fscope_machine Fscope_util List

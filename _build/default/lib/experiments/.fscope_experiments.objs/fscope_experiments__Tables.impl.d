@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Fscope_core Fscope_cpu Fscope_machine Fscope_mem Fscope_util List Printf

@@ -1,0 +1,205 @@
+module W = Fscope_workloads
+module Ast = Fscope_slang.Ast
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type fsb_cell = {
+  bench : string;
+  fsb_entries : int;
+  s_cycles : int;
+  speedup_vs_t : float;
+}
+
+let fsb_sweep ?(quick = false) ?(entries = [ 1; 2; 4; 8 ]) () =
+  let level = W.Privwork.fig12_levels.(2) in
+  let rounds = if quick then 6 else 12 in
+  let benches =
+    [
+      ("wsq", W.Wsq.make ~rounds ~scope:`Class ~level ());
+      ("dekker", W.Dekker.make ~level ~attempts:(if quick then 10 else 30));
+    ]
+  in
+  List.concat_map
+    (fun (bench, workload) ->
+      let t = Exp_run.measure (Exp_run.t_config Config.default) workload in
+      List.map
+        (fun fsb ->
+          let config = Config.with_fsb_entries fsb Config.default in
+          let s = Exp_run.measure (Exp_run.s_config config) workload in
+          {
+            bench;
+            fsb_entries = fsb;
+            s_cycles = s.Exp_run.cycles;
+            speedup_vs_t = Exp_run.speedup ~baseline:t s;
+          })
+        entries)
+    benches
+
+let fsb_table cells =
+  let t =
+    Table.create ~title:"Ablation — FSB column count"
+      ~header:[ "bench"; "FSB entries"; "S cycles"; "speedup vs T" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [ c.bench; string_of_int c.fsb_entries; string_of_int c.s_cycles;
+          Table.cell_x c.speedup_vs_t ])
+    cells;
+  t
+
+(* ------------------------------------------------------------------ *)
+
+type flavor_row = {
+  variant : string;
+  cycles : int;
+  speedup_vs_t : float;
+}
+
+let flavor_sweep ?(quick = false) () =
+  (* §VII: scope and direction are orthogonal refinements — combine
+     them on the wsq harness.  Flavoured *traditional* fences (sfence/
+     lfence-style) already help; scoped fences help more; flavoured
+     scoped fences are the strongest. *)
+  let level = W.Privwork.fig12_levels.(2) in
+  let rounds = if quick then 6 else 12 in
+  let plain = W.Wsq.make ~rounds ~scope:`Class ~level () in
+  let flavored = W.Wsq.make ~rounds ~flavored:true ~scope:`Class ~level () in
+  let t = Exp_run.measure (Exp_run.t_config Config.default) plain in
+  let rows =
+    [
+      ("T (full fences)", Exp_run.measure (Exp_run.t_config Config.default) plain);
+      ("T + direction", Exp_run.measure (Exp_run.t_config Config.default) flavored);
+      ("S (class scope)", Exp_run.measure (Exp_run.s_config Config.default) plain);
+      ("S + direction", Exp_run.measure (Exp_run.s_config Config.default) flavored);
+    ]
+  in
+  List.map
+    (fun (variant, m) ->
+      { variant; cycles = m.Exp_run.cycles; speedup_vs_t = Exp_run.speedup ~baseline:t m })
+    rows
+
+let flavor_table rows =
+  let t =
+    Table.create ~title:"Ablation — scope x direction on wsq (paper SVII combination)"
+      ~header:[ "variant"; "cycles"; "speedup vs T" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t [ r.variant; string_of_int r.cycles; Table.cell_x r.speedup_vs_t ])
+    rows;
+  t
+
+let nested_scope_workload ?(depth = 6) ?(rounds = 24) () =
+  let open W.Dsl in
+  (* Each thread owns its own chain of instances (t0: a0..a5, t1:
+     b0..b5) so the in-scope stores are fast private hits; the cold
+     private store between calls is the out-of-scope work every one of
+     the [depth] nested fences can skip — when the FSS is deep enough
+     to track them. *)
+  let inst t k = Printf.sprintf "%c%d" (Char.chr (Stdlib.( + ) 97 t)) k in
+  (* Each class Ct_k calls the thread-specific instance of Ct_(k+1):
+     [depth] truly nested scopes per outer call — the FSS pressure
+     this ablation is about. *)
+  let cls_chain t k =
+    let inner_call =
+      if Stdlib.( < ) k (Stdlib.( - ) depth 1) then
+        [ call (inst t (Stdlib.( + ) k 1)) "m" [] ]
+      else []
+    in
+    {
+      Ast.cname = Printf.sprintf "C%d_%d" t k;
+      scalars = [ scalar "x" 0 ];
+      arrays = [];
+      methods =
+        [
+          meth "m" []
+            ([ sfld "self" "x" (fld "self" "x" + i 1) ]
+            @ inner_call
+            @ [ fence_class; sfld "self" "x" (fld "self" "x" + i 1) ]);
+        ];
+    }
+  in
+  let thread me =
+    W.Privwork.warmup ~thread:me ~level:(W.Privwork.cold ~arith:8 ~stores:1)
+    @ [
+        let_ "r" (i 0);
+        while_
+          (l "r" < i rounds)
+          ([ call (inst me 0) "m" [] ]
+          @ W.Privwork.block ~thread:me
+              ~level:(W.Privwork.cold ~arith:8 ~stores:1)
+              ~unique:"w" ()
+          @ [ set "r" (l "r" + i 1) ]);
+      ]
+  in
+  let program_ast =
+    {
+      Ast.classes = List.concat_map (fun t -> List.init depth (cls_chain t)) [ 0; 1 ];
+      instances =
+        List.concat_map
+          (fun t ->
+            List.init depth (fun k ->
+                { Ast.iname = inst t k; cls = Printf.sprintf "C%d_%d" t k }))
+          [ 0; 1 ];
+      globals = W.Privwork.globals ~threads:2 ();
+      threads = [ thread 0; thread 1 ];
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Fscope_machine.Machine.result) =
+    let x0 =
+      result.Fscope_machine.Machine.mem.(Fscope_isa.Program.address_of program "a0.x")
+    in
+    let expected = Stdlib.( * ) 2 rounds in
+    if Stdlib.( <> ) x0 expected then
+      Error (Printf.sprintf "a0.x = %d, expected %d" x0 expected)
+    else Ok ()
+  in
+  {
+    W.Workload.name = "nested-scopes";
+    description = Printf.sprintf "%d-deep class-scope nesting chain" depth;
+    program;
+    validate;
+  }
+
+type fss_cell = {
+  fss_entries : int;
+  s_cycles : int;
+  speedup_vs_t : float;
+}
+
+let fss_sweep ?(entries = [ 1; 2; 4; 5; 6; 8 ]) () =
+  let workload = nested_scope_workload () in
+  let t = Exp_run.measure (Exp_run.t_config Config.default) workload in
+  List.map
+    (fun fss ->
+      (* Hold the MT and FSB generous so only the FSS depth binds:
+         the two threads' chains use 12 distinct cids. *)
+      let config =
+        { Config.default with
+          Config.scope =
+            { Config.default.Config.scope with
+              Fscope_core.Scope_unit.fss_entries = fss;
+              mt_entries = 16;
+              fsb_entries = 8 } }
+      in
+      let s = Exp_run.measure (Exp_run.s_config config) workload in
+      {
+        fss_entries = fss;
+        s_cycles = s.Exp_run.cycles;
+        speedup_vs_t = Exp_run.speedup ~baseline:t s;
+      })
+    entries
+
+let fss_table cells =
+  let t =
+    Table.create ~title:"Ablation — FSS depth vs 6-deep scope nesting"
+      ~header:[ "FSS entries"; "S cycles"; "speedup vs T" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [ string_of_int c.fss_entries; string_of_int c.s_cycles; Table.cell_x c.speedup_vs_t ])
+    cells;
+  t

@@ -1,0 +1,55 @@
+(** Ablations of the S-Fence hardware design choices called out in
+    DESIGN.md §5 (beyond the paper's own sweeps).
+
+    - [fsb_sweep]: how many FSB columns are actually needed?  With one
+      column all class scopes alias and set scope has nowhere to go
+      (the unit degrades to nearly-traditional fences); the paper's 4
+      should already be at the knee.
+    - [fss_sweep]: cost of the overflow counter fallback.  A deeply
+      nested scope chain (6 classes) overflows small scope stacks, and
+      every fence decoded during overflow behaves as a full fence; a
+      stack at least as deep as the nesting restores the full
+      benefit. *)
+
+type fsb_cell = {
+  bench : string;
+  fsb_entries : int;
+  s_cycles : int;
+  speedup_vs_t : float;
+}
+
+val fsb_sweep : ?quick:bool -> ?entries:int list -> unit -> fsb_cell list
+val fsb_table : fsb_cell list -> Fscope_util.Table.t
+
+type flavor_row = {
+  variant : string;
+  cycles : int;
+  speedup_vs_t : float;
+}
+
+val flavor_sweep : ?quick:bool -> unit -> flavor_row list
+(** The §VII combination: wsq with traditional/scoped fences, with and
+    without directional flavours (store-store in put, store-load in
+    take, load-load in steal). *)
+
+val flavor_table : flavor_row list -> Fscope_util.Table.t
+
+type fss_cell = {
+  fss_entries : int;
+  s_cycles : int;
+  speedup_vs_t : float;
+}
+
+val fss_sweep : ?entries:int list -> unit -> fss_cell list
+(** Default entries [1; 2; 4; 5; 6; 8] straddle the cliff at the
+    nesting depth (6): one overflowing scope makes the innermost fence
+    a full fence, whose stall drains everything the outer scoped
+    fences would have skipped. *)
+
+val fss_table : fss_cell list -> Fscope_util.Table.t
+
+val nested_scope_workload : ?depth:int -> ?rounds:int -> unit -> Fscope_workloads.Workload.t
+(** The synthetic deep-nesting workload used by [fss_sweep]: a chain
+    of [depth] classes, each wrapping a class-scoped fence around a
+    call into the next, driven by two threads with cold private
+    stores between calls. *)

@@ -1,0 +1,32 @@
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module Workload = Fscope_workloads.Workload
+
+type measurement = {
+  cycles : int;
+  fence_stall_fraction : float;
+  fence_stalls : int;
+  active_cycles : int;
+  avg_rob_occupancy : float;
+}
+
+let t_config c = Config.traditional c
+let s_config c = Config.scoped c
+let t_plus c = Config.with_speculation true (Config.traditional c)
+let s_plus c = Config.with_speculation true (Config.scoped c)
+
+let measure (config : Config.t) workload =
+  let result =
+    if config.Config.exec.Fscope_cpu.Exec_config.in_window_speculation then
+      Workload.run config workload
+    else Workload.run_validated config workload
+  in
+  {
+    cycles = result.Machine.cycles;
+    fence_stall_fraction = Machine.fence_stall_fraction result;
+    fence_stalls = Machine.fence_stall_cycles result;
+    active_cycles = Machine.total_active_cycles result;
+    avg_rob_occupancy = Machine.avg_rob_occupancy result;
+  }
+
+let speedup ~baseline m = float_of_int baseline.cycles /. float_of_int m.cycles

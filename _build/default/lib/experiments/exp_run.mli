@@ -1,0 +1,31 @@
+(** Shared plumbing for the experiment modules: the four machine
+    variants of the evaluation and a measured-run record. *)
+
+type measurement = {
+  cycles : int;
+  fence_stall_fraction : float;
+      (** share of per-core active cycles spent commit-blocked on a fence *)
+  fence_stalls : int;
+  active_cycles : int;
+  avg_rob_occupancy : float;
+}
+
+val t_config : Fscope_machine.Config.t -> Fscope_machine.Config.t
+(** Traditional fences (S-Fence hardware disabled). *)
+
+val s_config : Fscope_machine.Config.t -> Fscope_machine.Config.t
+(** S-Fence hardware enabled. *)
+
+val t_plus : Fscope_machine.Config.t -> Fscope_machine.Config.t
+(** Traditional + in-window speculation. *)
+
+val s_plus : Fscope_machine.Config.t -> Fscope_machine.Config.t
+(** S-Fence + in-window speculation. *)
+
+val measure : Fscope_machine.Config.t -> Fscope_workloads.Workload.t -> measurement
+(** Run and summarise.  Functional validation is enforced whenever
+    in-window speculation is off (speculation is modelled without the
+    replay mechanism real hardware uses, so its runs are timing-only;
+    see DESIGN.md). *)
+
+val speedup : baseline:measurement -> measurement -> float

@@ -1,0 +1,66 @@
+module W = Fscope_workloads
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type point = {
+  level : int;
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+}
+
+type series = {
+  bench : string;
+  points : point list;
+}
+
+let benches ~quick =
+  let attempts = if quick then 10 else 30 in
+  let rounds = if quick then 6 else 12 in
+  let per_producer = if quick then 8 else 16 in
+  [
+    ("dekker", fun level -> W.Dekker.make ~level ~attempts);
+    ("wsq", fun level -> W.Wsq.make ~rounds ~scope:`Class ~level ());
+    ("msn", fun level -> W.Msn.make ~per_producer ~scope:`Class ~level ());
+    ("harris", fun level -> W.Harris.make ~scope:`Class ~level ());
+  ]
+
+let run ?(quick = false) () =
+  let levels = W.Privwork.fig12_levels in
+  let levels = if quick then Array.sub levels 0 3 else levels in
+  List.map
+    (fun (bench, make) ->
+      let points =
+        List.mapi
+          (fun idx level ->
+            let w = make level in
+            let t = Exp_run.measure (Exp_run.t_config Config.default) w in
+            let s = Exp_run.measure (Exp_run.s_config Config.default) w in
+            {
+              level = idx + 1;
+              t_cycles = t.Exp_run.cycles;
+              s_cycles = s.Exp_run.cycles;
+              speedup = Exp_run.speedup ~baseline:t s;
+            })
+          (Array.to_list levels)
+      in
+      { bench; points })
+    (benches ~quick)
+
+let peak series =
+  List.fold_left (fun acc p -> Float.max acc p.speedup) 0. series.points
+
+let table series_list =
+  let levels = match series_list with [] -> [] | s :: _ -> List.map (fun p -> p.level) s.points in
+  let t =
+    Table.create ~title:"Fig. 12 — speedup of S-Fence vs workload level"
+      ~header:("bench" :: List.map (fun l -> Printf.sprintf "w%d" l) levels @ [ "peak" ])
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        (s.bench
+        :: List.map (fun p -> Table.cell_x p.speedup) s.points
+        @ [ Table.cell_x (peak s) ]))
+    series_list;
+  t

@@ -1,0 +1,26 @@
+(** Fig. 12 — impact of workload: speedup of S-Fence over traditional
+    fences for the four lock-free algorithms as the harness's private
+    workload grows through six levels.
+
+    Paper result: every curve rises to a peak and falls off; peaks
+    range from 1.13x to 1.34x across the benchmarks. *)
+
+type point = {
+  level : int;  (** 1-based workload level *)
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+}
+
+type series = {
+  bench : string;
+  points : point list;
+}
+
+val run : ?quick:bool -> unit -> series list
+(** [quick] (default false) trims to 3 levels and smaller harnesses —
+    used by tests and the Bechamel wrapper. *)
+
+val peak : series -> float
+
+val table : series list -> Fscope_util.Table.t

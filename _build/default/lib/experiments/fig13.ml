@@ -1,0 +1,64 @@
+module W = Fscope_workloads
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type bar = {
+  app : string;
+  variant : string;
+  normalized : float;
+  fence_share : float;
+}
+
+let apps ?(quick = false) () =
+  let nodes = if quick then 256 else 768 in
+  let ptc_nodes = if quick then 128 else 256 in
+  let bodies = if quick then 64 else 192 in
+  let patches = if quick then 64 else 160 in
+  [
+    ("pst", W.Pst.make ~nodes ~scope:`Class ());
+    ("ptc", W.Ptc.make ~nodes:ptc_nodes ~scope:`Class ());
+    ("barnes", W.Barnes.make ~bodies ());
+    ("radiosity", W.Radiosity.make ~patches ());
+  ]
+
+let variants =
+  [
+    ("T", Exp_run.t_config);
+    ("S", Exp_run.s_config);
+    ("T+", Exp_run.t_plus);
+    ("S+", Exp_run.s_plus);
+  ]
+
+let run ?quick () =
+  List.concat_map
+    (fun (app, workload) ->
+      let baseline = Exp_run.measure (Exp_run.t_config Config.default) workload in
+      List.map
+        (fun (variant, mk) ->
+          let m = Exp_run.measure (mk Config.default) workload in
+          {
+            app;
+            variant;
+            normalized = float_of_int m.Exp_run.cycles /. float_of_int baseline.Exp_run.cycles;
+            fence_share = m.Exp_run.fence_stall_fraction;
+          })
+        variants)
+    (apps ?quick ())
+
+let table bars =
+  let t =
+    Table.create ~title:"Fig. 13 — normalized execution time (T/S/T+/S+)"
+      ~header:[ "app"; "variant"; "normalized"; "fence stalls"; "others" ]
+  in
+  List.iter
+    (fun b ->
+      Table.add_row t
+        [
+          b.app;
+          b.variant;
+          Table.cell_f b.normalized;
+          Table.cell_f (b.normalized *. b.fence_share);
+          Table.cell_f (b.normalized *. (1. -. b.fence_share));
+        ])
+    bars;
+  t

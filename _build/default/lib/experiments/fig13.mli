@@ -1,0 +1,22 @@
+(** Fig. 13 — normalized execution time of the four full applications
+    under T (traditional), S (S-Fence), T+ and S+ (with in-window
+    speculation), split into fence-stall time and everything else.
+
+    Paper result: pst spends >50% of T time in fence stalls but
+    S-Fence recovers only ~11% (a full fence outside the deque caps
+    it); ptc gains ~4%; barnes and radiosity lose 38.8% / 34.5% of T
+    time to fence stalls and S-Fence removes 40-50% of those stalls,
+    for 19.5% / 15.8% total-time reductions. *)
+
+type bar = {
+  app : string;
+  variant : string;  (** "T", "S", "T+", "S+" *)
+  normalized : float;  (** total time / T's total time *)
+  fence_share : float;  (** fence-stall fraction of this bar's own time *)
+}
+
+val run : ?quick:bool -> unit -> bar list
+val table : bar list -> Fscope_util.Table.t
+
+val apps : ?quick:bool -> unit -> (string * Fscope_workloads.Workload.t) list
+(** The four applications at evaluation size (shared with Figs. 14-16). *)

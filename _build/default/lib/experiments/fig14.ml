@@ -1,0 +1,59 @@
+module W = Fscope_workloads
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type row = {
+  bench : string;
+  class_cycles : int;
+  set_cycles : int;
+  class_fence_share : float;
+  set_fence_share : float;
+}
+
+let benches ~quick =
+  let level = W.Privwork.fig12_levels.(2) in
+  let nodes = if quick then 256 else 768 in
+  let ptc_nodes = if quick then 128 else 256 in
+  let rounds = if quick then 6 else 12 in
+  let per_producer = if quick then 8 else 16 in
+  [
+    ("wsq", fun scope -> W.Wsq.make ~rounds ~scope ~level ());
+    ("msn", fun scope -> W.Msn.make ~per_producer ~scope ~level ());
+    ("harris", fun scope -> W.Harris.make ~scope ~level ());
+    ("pst", fun scope -> W.Pst.make ~nodes ~scope ());
+    ("ptc", fun scope -> W.Ptc.make ~nodes:ptc_nodes ~scope ());
+  ]
+
+let run ?(quick = false) () =
+  List.map
+    (fun (bench, make) ->
+      let mc = Exp_run.measure (Exp_run.s_config Config.default) (make `Class) in
+      let ms = Exp_run.measure (Exp_run.s_config Config.default) (make `Set) in
+      {
+        bench;
+        class_cycles = mc.Exp_run.cycles;
+        set_cycles = ms.Exp_run.cycles;
+        class_fence_share = mc.Exp_run.fence_stall_fraction;
+        set_fence_share = ms.Exp_run.fence_stall_fraction;
+      })
+    (benches ~quick)
+
+let table rows =
+  let t =
+    Table.create ~title:"Fig. 14 — class scope vs set scope"
+      ~header:
+        [ "bench"; "class cycles"; "set cycles"; "set/class"; "class stalls"; "set stalls" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.bench;
+          string_of_int r.class_cycles;
+          string_of_int r.set_cycles;
+          Table.cell_f (float_of_int r.set_cycles /. float_of_int r.class_cycles);
+          Table.cell_pct r.class_fence_share;
+          Table.cell_pct r.set_fence_share;
+        ])
+    rows;
+  t

@@ -1,0 +1,16 @@
+(** Fig. 14 — class scope vs set scope on msn, harris, pst and ptc.
+
+    Paper result: set scope is slightly better everywhere (it orders
+    fewer accesses) but the difference is small, so class scope's
+    convenience costs little. *)
+
+type row = {
+  bench : string;
+  class_cycles : int;
+  set_cycles : int;
+  class_fence_share : float;
+  set_fence_share : float;
+}
+
+val run : ?quick:bool -> unit -> row list
+val table : row list -> Fscope_util.Table.t

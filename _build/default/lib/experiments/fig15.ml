@@ -1,0 +1,52 @@
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type cell = {
+  app : string;
+  latency : int;
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+  t_fence_share : float;
+  s_fence_share : float;
+}
+
+let run ?quick ?(latencies = [ 200; 300; 500 ]) () =
+  List.concat_map
+    (fun (app, workload) ->
+      List.map
+        (fun latency ->
+          let config = Config.with_mem_latency latency Config.default in
+          let t = Exp_run.measure (Exp_run.t_config config) workload in
+          let s = Exp_run.measure (Exp_run.s_config config) workload in
+          {
+            app;
+            latency;
+            t_cycles = t.Exp_run.cycles;
+            s_cycles = s.Exp_run.cycles;
+            speedup = Exp_run.speedup ~baseline:t s;
+            t_fence_share = t.Exp_run.fence_stall_fraction;
+            s_fence_share = s.Exp_run.fence_stall_fraction;
+          })
+        latencies)
+    (Fig13.apps ?quick ())
+
+let table cells =
+  let t =
+    Table.create ~title:"Fig. 15 — varying memory access latency"
+      ~header:[ "app"; "latency"; "T cycles"; "S cycles"; "speedup"; "T stalls"; "S stalls" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.app;
+          string_of_int c.latency;
+          string_of_int c.t_cycles;
+          string_of_int c.s_cycles;
+          Table.cell_x c.speedup;
+          Table.cell_pct c.t_fence_share;
+          Table.cell_pct c.s_fence_share;
+        ])
+    cells;
+  t

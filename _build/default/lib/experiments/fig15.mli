@@ -1,0 +1,20 @@
+(** Fig. 15 — sensitivity to memory access latency (200/300/500
+    cycles) for the four full applications.
+
+    Paper result: barnes and radiosity benefit more from S-Fence as
+    latency grows (more of T's time is fence stalls, and S-Fence still
+    removes 40-50% of them); pst does not improve with latency because
+    its un-optimised full fence outside the deque eats the gain. *)
+
+type cell = {
+  app : string;
+  latency : int;
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+  t_fence_share : float;
+  s_fence_share : float;
+}
+
+val run : ?quick:bool -> ?latencies:int list -> unit -> cell list
+val table : cell list -> Fscope_util.Table.t

@@ -1,0 +1,49 @@
+module Config = Fscope_machine.Config
+module Table = Fscope_util.Table
+
+type cell = {
+  app : string;
+  rob : int;
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+  s_avg_occupancy : float;
+}
+
+let run ?quick ?(sizes = [ 64; 128; 256 ]) () =
+  List.concat_map
+    (fun (app, workload) ->
+      List.map
+        (fun rob ->
+          let config = Config.with_rob_size rob Config.default in
+          let t = Exp_run.measure (Exp_run.t_config config) workload in
+          let s = Exp_run.measure (Exp_run.s_config config) workload in
+          {
+            app;
+            rob;
+            t_cycles = t.Exp_run.cycles;
+            s_cycles = s.Exp_run.cycles;
+            speedup = Exp_run.speedup ~baseline:t s;
+            s_avg_occupancy = s.Exp_run.avg_rob_occupancy;
+          })
+        sizes)
+    (Fig13.apps ?quick ())
+
+let table cells =
+  let t =
+    Table.create ~title:"Fig. 16 — varying reorder buffer size"
+      ~header:[ "app"; "ROB"; "T cycles"; "S cycles"; "speedup"; "S avg ROB use" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.app;
+          string_of_int c.rob;
+          string_of_int c.t_cycles;
+          string_of_int c.s_cycles;
+          Table.cell_x c.speedup;
+          Table.cell_f c.s_avg_occupancy;
+        ])
+    cells;
+  t

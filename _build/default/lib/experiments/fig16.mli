@@ -1,0 +1,20 @@
+(** Fig. 16 — sensitivity to reorder-buffer size (64/128/256) for the
+    four full applications.
+
+    Paper result: barnes improves with a larger ROB (a non-stalling
+    S-Fence lets more instructions into the window); radiosity, pst
+    and ptc are flat because a smaller ROB already exposes their
+    critical path — their average ROB occupancy stays under 80 even
+    with 256 entries. *)
+
+type cell = {
+  app : string;
+  rob : int;
+  t_cycles : int;
+  s_cycles : int;
+  speedup : float;
+  s_avg_occupancy : float;
+}
+
+val run : ?quick:bool -> ?sizes:int list -> unit -> cell list
+val table : cell list -> Fscope_util.Table.t

@@ -1,0 +1,1 @@
+lib/isa/fence_kind.mli: Format

@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Fence_kind Format List Reg

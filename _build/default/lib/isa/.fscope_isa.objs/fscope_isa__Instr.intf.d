@@ -1,0 +1,1 @@
+lib/isa/instr.mli: Fence_kind Format Reg

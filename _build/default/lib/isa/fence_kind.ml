@@ -1,0 +1,39 @@
+type scope =
+  | Global
+  | Class_scope
+  | Set_scope
+
+type t = {
+  scope : scope;
+  wait_loads : bool;
+  wait_stores : bool;
+  block_loads : bool;
+}
+
+let full = { scope = Global; wait_loads = true; wait_stores = true; block_loads = true }
+let class_scoped = { full with scope = Class_scope }
+let set_scoped = { full with scope = Set_scope }
+let store_store t = { t with wait_loads = false; wait_stores = true; block_loads = false }
+let load_load t = { t with wait_loads = true; wait_stores = false; block_loads = true }
+let store_load t = { t with wait_loads = false; wait_stores = true; block_loads = true }
+let scope_of t = t.scope
+
+let equal (a : t) (b : t) = a = b
+
+let scope_string = function
+  | Global -> "S-FENCE"
+  | Class_scope -> "S-FENCE[class]"
+  | Set_scope -> "S-FENCE[set]"
+
+let to_string t =
+  let flavor =
+    match (t.wait_loads, t.wait_stores, t.block_loads) with
+    | true, true, true -> ""
+    | false, true, false -> ".ss"
+    | true, false, true -> ".ll"
+    | false, true, true -> ".sl"
+    | _ -> ".custom"
+  in
+  scope_string t.scope ^ flavor
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

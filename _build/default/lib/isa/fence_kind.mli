@@ -1,0 +1,55 @@
+(** Fence kinds: the paper's three scopes (Fig. 4) crossed with the
+    directional flavours of commercial finer fences.
+
+    The paper's §VII points out that scope and direction are
+    orthogonal refinements of the full fence and can be combined —
+    "the idea of S-Fence can be combined with the above various finer
+    fences".  We implement exactly that: a fence has a {!scope}
+    (which earlier accesses it orders: all, the class scope's, or the
+    flagged set's) and a flavour (which *classes* of accesses it
+    orders — like sfence / lfence / the store→load part of mfence):
+
+    - [wait_loads]/[wait_stores]: the fence completes only when the
+      prior in-scope accesses of these classes have completed (a CAS
+      counts as both);
+    - [block_loads]: younger loads may not issue until the fence has
+      (store-store fences don't need this: younger *stores* are
+      already held back by in-order commit behind the fence). *)
+
+type scope =
+  | Global  (** traditional: every program-order-earlier access *)
+  | Class_scope  (** S-FENCE[class] *)
+  | Set_scope  (** S-FENCE[set, {...}] *)
+
+type t = {
+  scope : scope;
+  wait_loads : bool;
+  wait_stores : bool;
+  block_loads : bool;
+}
+
+val full : t
+(** The traditional full fence: global scope, waits for everything,
+    blocks younger loads. *)
+
+val class_scoped : t
+(** S-FENCE[class] with full flavour. *)
+
+val set_scoped : t
+(** S-FENCE[set] with full flavour. *)
+
+val store_store : t -> t
+(** Restrict to prior stores -> younger stores (sfence-like): no
+    waiting on prior loads, no blocking of younger loads. *)
+
+val load_load : t -> t
+(** Prior loads -> younger loads (lfence-like). *)
+
+val store_load : t -> t
+(** Prior stores -> younger loads (the expensive direction TSO
+    machines buy with mfence). *)
+
+val scope_of : t -> scope
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

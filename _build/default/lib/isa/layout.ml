@@ -1,0 +1,40 @@
+type t = {
+  line_words : int;
+  mutable next : int;
+  mutable symbols : (string * int) list; (* reversed *)
+  mutable initials : (int * int) list; (* reversed *)
+}
+
+let create ?(line_words = 8) () =
+  if line_words <= 0 then invalid_arg "Layout.create: line_words must be positive";
+  { line_words; next = 0; symbols = []; initials = [] }
+
+let alloc t name words =
+  if words <= 0 then invalid_arg (Printf.sprintf "Layout.alloc %s: size %d" name words);
+  if List.mem_assoc name t.symbols then
+    invalid_arg (Printf.sprintf "Layout.alloc: duplicate symbol %s" name);
+  let base = t.next in
+  t.next <- t.next + words;
+  t.symbols <- (name, base) :: t.symbols;
+  base
+
+let round_up v quantum = (v + quantum - 1) / quantum * quantum
+
+let alloc_aligned t name words =
+  t.next <- round_up t.next t.line_words;
+  let base = alloc t name words in
+  t.next <- round_up t.next t.line_words;
+  base
+
+let init t addr value =
+  if addr < 0 || addr >= t.next then
+    invalid_arg (Printf.sprintf "Layout.init: address %d outside allocations" addr);
+  t.initials <- (addr, value) :: t.initials
+
+let init_array t base values =
+  Array.iteri (fun i v -> init t (base + i) v) values
+
+let size t = t.next
+let symbols t = List.rev t.symbols
+let initials t = List.rev t.initials
+let address_of t name = List.assoc name (symbols t)

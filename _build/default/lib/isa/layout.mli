@@ -1,0 +1,38 @@
+(** Data-segment layout: allocates named words and arrays in the shared
+    memory image.
+
+    Allocation is bump-pointer with optional cache-line alignment so
+    harnesses can separate contended variables onto distinct lines
+    (false sharing is real in the simulated caches). *)
+
+type t
+
+val create : ?line_words:int -> unit -> t
+(** [line_words] is the cache line size used by [alloc_aligned]
+    (default 8, matching {!Fscope_machine.Config.default}). *)
+
+val alloc : t -> string -> int -> int
+(** [alloc t name words] reserves [words] contiguous words and returns
+    the base address.  Raises [Invalid_argument] on duplicate names or
+    non-positive sizes. *)
+
+val alloc_aligned : t -> string -> int -> int
+(** Like [alloc] but the base address is aligned to a cache-line
+    boundary, and the allocation is padded to a whole number of
+    lines so nothing else shares its last line. *)
+
+val init : t -> int -> int -> unit
+(** [init t addr value] records an initial memory value.  The address
+    must lie inside an existing allocation. *)
+
+val init_array : t -> int -> int array -> unit
+(** [init_array t base values] records [values] starting at [base]. *)
+
+val size : t -> int
+(** Words allocated so far. *)
+
+val symbols : t -> (string * int) list
+val initials : t -> (int * int) list
+
+val address_of : t -> string -> int
+(** Raises [Not_found]. *)

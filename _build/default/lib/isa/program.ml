@@ -1,0 +1,59 @@
+type t = {
+  threads : Instr.t array array;
+  mem_words : int;
+  init : (int * int) list;
+  symbols : (string * int) list;
+}
+
+let validate t =
+  if Array.length t.threads = 0 then invalid_arg "Program: no threads";
+  Array.iteri
+    (fun tid code ->
+      if Array.length code = 0 then
+        invalid_arg (Printf.sprintf "Program: thread %d has empty code" tid);
+      Array.iteri
+        (fun pc instr ->
+          List.iter
+            (fun target ->
+              if target < 0 || target >= Array.length code then
+                invalid_arg
+                  (Printf.sprintf
+                     "Program: thread %d pc %d branches to %d, out of range" tid pc
+                     target))
+            (Instr.branch_targets instr))
+        code)
+    t.threads;
+  List.iter
+    (fun (addr, _) ->
+      if addr < 0 || addr >= t.mem_words then
+        invalid_arg (Printf.sprintf "Program: init address %d out of bounds" addr))
+    t.init;
+  let names = List.map fst t.symbols in
+  let dedup = List.sort_uniq String.compare names in
+  if List.length dedup <> List.length names then
+    invalid_arg "Program: duplicate symbol";
+  t
+
+let make ~threads ~mem_words ?(init = []) ?(symbols = []) () =
+  validate { threads = Array.of_list threads; mem_words; init; symbols }
+
+let thread_count t = Array.length t.threads
+
+let address_of t name = List.assoc name t.symbols
+
+let initial_memory t =
+  let mem = Array.make t.mem_words 0 in
+  List.iter (fun (addr, v) -> mem.(addr) <- v) t.init;
+  mem
+
+let total_instrs t =
+  Array.fold_left (fun acc code -> acc + Array.length code) 0 t.threads
+
+let pp_disassembly fmt t =
+  Array.iteri
+    (fun tid code ->
+      Format.fprintf fmt "thread %d:@." tid;
+      Array.iteri
+        (fun pc instr -> Format.fprintf fmt "  %4d: %a@." pc Instr.pp instr)
+        code)
+    t.threads

@@ -1,0 +1,38 @@
+(** A multithreaded program image.
+
+    Each hardware thread (core) runs its own code array; all threads
+    share one flat, word-addressed data memory.  Symbols name data
+    addresses so harnesses and self-checks can inspect memory after a
+    run. *)
+
+type t = {
+  threads : Instr.t array array;  (** [threads.(i)] is core [i]'s code *)
+  mem_words : int;  (** size of the shared data memory, in words *)
+  init : (int * int) list;  (** initial non-zero memory contents: (address, value) *)
+  symbols : (string * int) list;  (** symbol name -> base address *)
+}
+
+val make :
+  threads:Instr.t array list ->
+  mem_words:int ->
+  ?init:(int * int) list ->
+  ?symbols:(string * int) list ->
+  unit ->
+  t
+(** Build and validate a program.  Raises [Invalid_argument] if a
+    branch target is out of range, an initial address is out of bounds,
+    a thread's code is empty, or a symbol is duplicated. *)
+
+val thread_count : t -> int
+
+val address_of : t -> string -> int
+(** Address of a symbol.  Raises [Not_found]. *)
+
+val initial_memory : t -> int array
+(** A fresh memory image with [init] applied. *)
+
+val total_instrs : t -> int
+(** Static instruction count over all threads. *)
+
+val pp_disassembly : Format.formatter -> t -> unit
+(** Human-readable dump of every thread's code. *)

@@ -1,0 +1,13 @@
+type t = int
+
+let count = 32
+
+let r i =
+  if i < 0 || i >= count then invalid_arg (Printf.sprintf "Reg.r: %d out of range" i);
+  i
+
+let zero = 0
+let index t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt t = Format.fprintf fmt "r%d" t

@@ -1,0 +1,26 @@
+(** Architectural registers of the simulated RISC ISA.
+
+    The machine has 32 integer registers.  [r 0] is hardwired to zero,
+    as on MIPS.  The compiler's conventions (expression stack, local
+    pool, scratch) live in {!Fscope_slang.Codegen}; this module only
+    provides the raw register type. *)
+
+type t = private int
+(** A register index in [\[0, 31\]]. *)
+
+val count : int
+(** Number of architectural registers (32). *)
+
+val r : int -> t
+(** [r i] is register [i].  Raises [Invalid_argument] if [i] is out of
+    range. *)
+
+val zero : t
+(** Register 0, always reads as 0; writes to it are discarded. *)
+
+val index : t -> int
+(** The register's index. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

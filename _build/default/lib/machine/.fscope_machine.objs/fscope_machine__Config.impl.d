@@ -1,0 +1,1 @@
+lib/machine/config.ml: Fscope_core Fscope_cpu Fscope_mem

@@ -1,0 +1,1 @@
+lib/machine/config.mli: Fscope_core Fscope_cpu Fscope_mem

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Config Fscope_cpu Fscope_isa Fscope_mem Fscope_util

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Config Fscope_cpu Fscope_isa Fscope_mem

@@ -1,0 +1,34 @@
+(** Whole-machine configuration: pipeline, memory system, S-Fence
+    hardware, and the run's safety limit. *)
+
+type t = {
+  exec : Fscope_cpu.Exec_config.t;
+  mem : Fscope_mem.Hierarchy.config;
+  scope : Fscope_core.Scope_unit.config;
+  max_cycles : int;  (** runaway guard; a run reaching it is reported as timed out *)
+}
+
+val default : t
+(** The paper's Table III machine: 8-core runs use this per-core
+    configuration — ROB 128, 32 KB L1 (2 cycles), 1 MB shared L2
+    (10 cycles), 300-cycle memory, 4 FSB entries, 4 FSS entries,
+    S-Fence hardware enabled, no in-window speculation. *)
+
+val traditional : t -> t
+(** The same machine with the S-Fence hardware disabled: every fence
+    behaves as a traditional full fence (baseline T). *)
+
+val scoped : t -> t
+(** With the S-Fence hardware enabled (S). *)
+
+val with_speculation : bool -> t -> t
+(** Toggle in-window speculation (the + variants). *)
+
+val with_mem_latency : int -> t -> t
+(** Set the memory (DRAM) latency — Fig. 15's sweep. *)
+
+val with_rob_size : int -> t -> t
+(** Set the ROB size — Fig. 16's sweep. *)
+
+val with_fsb_entries : int -> t -> t
+(** Set the number of FSB columns — ablation. *)

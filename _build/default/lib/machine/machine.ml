@@ -1,0 +1,55 @@
+module Core = Fscope_cpu.Core
+module Hierarchy = Fscope_mem.Hierarchy
+module Program = Fscope_isa.Program
+
+type result = {
+  cycles : int;
+  timed_out : bool;
+  core_stats : Core.stats array;
+  mem : int array;
+  cache : Hierarchy.stats;
+}
+
+let run (config : Config.t) program =
+  let cores_n = Program.thread_count program in
+  let mem = Program.initial_memory program in
+  let hierarchy = Hierarchy.create ~cores:cores_n config.mem in
+  let cores =
+    Array.init cores_n (fun id ->
+        Core.create ~id ~code:program.Program.threads.(id) ~mem ~hierarchy
+          ~scope_config:config.scope ~exec_config:config.exec)
+  in
+  let all_done () = Array.for_all Core.drained cores in
+  let cycle = ref 0 in
+  while (not (all_done ())) && !cycle < config.max_cycles do
+    let c = !cycle in
+    Array.iter (fun core -> Core.step_complete_writes core ~cycle:c) cores;
+    Array.iter (fun core -> Core.step_complete_reads core ~cycle:c) cores;
+    Array.iter (fun core -> Core.step_pipeline core ~cycle:c) cores;
+    incr cycle
+  done;
+  {
+    cycles = !cycle;
+    timed_out = not (all_done ());
+    core_stats = Array.map Core.stats cores;
+    mem;
+    cache = Hierarchy.stats hierarchy;
+  }
+
+let fence_stall_cycles r =
+  Array.fold_left (fun acc (s : Core.stats) -> acc + s.fence_stall_cycles) 0 r.core_stats
+
+let total_active_cycles r =
+  Array.fold_left (fun acc (s : Core.stats) -> acc + s.active_cycles) 0 r.core_stats
+
+let fence_stall_fraction r =
+  Fscope_util.Stats.ratio ~num:(fence_stall_cycles r) ~den:(total_active_cycles r)
+
+let committed_instrs r =
+  Array.fold_left (fun acc (s : Core.stats) -> acc + s.committed) 0 r.core_stats
+
+let avg_rob_occupancy r =
+  let sum =
+    Array.fold_left (fun acc (s : Core.stats) -> acc + s.rob_occupancy_sum) 0 r.core_stats
+  in
+  Fscope_util.Stats.ratio ~num:sum ~den:(total_active_cycles r)

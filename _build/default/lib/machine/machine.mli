@@ -1,0 +1,32 @@
+(** The multicore machine: one core per program thread, private L1s,
+    a shared L2, flat shared memory, and a global cycle loop.
+
+    Per cycle the machine advances every core through three phases in
+    a fixed order — store/CAS completions become visible, then load
+    completions sample memory, then the pipelines step — which makes
+    same-cycle cross-core interactions deterministic.  The whole run
+    is therefore a pure function of (program, config). *)
+
+type result = {
+  cycles : int;  (** cycle at which every core had halted and drained *)
+  timed_out : bool;  (** the run hit [max_cycles] before finishing *)
+  core_stats : Fscope_cpu.Core.stats array;
+  mem : int array;  (** final shared memory, for functional self-checks *)
+  cache : Fscope_mem.Hierarchy.stats;
+}
+
+val run : Config.t -> Fscope_isa.Program.t -> result
+
+val fence_stall_cycles : result -> int
+(** Sum of per-core commit-head fence stalls. *)
+
+val total_active_cycles : result -> int
+(** Sum of per-core active cycles — the denominator used when quoting
+    the fence-stall share of execution, as in the paper's stacked
+    bars. *)
+
+val fence_stall_fraction : result -> float
+(** [fence_stall_cycles / total_active_cycles]. *)
+
+val committed_instrs : result -> int
+val avg_rob_occupancy : result -> float

@@ -1,0 +1,113 @@
+(* Each set is a small mutable array of ways ordered implicitly by a
+   per-way [last_used] stamp; sets are tiny (4-8 ways) so linear scans
+   are the fastest and simplest implementation. *)
+
+type 'a way = {
+  mutable tag : int; (* line address; -1 = invalid *)
+  mutable payload : 'a option;
+  mutable last_used : int;
+}
+
+type 'a t = {
+  sets : int;
+  ways : int;
+  line_words : int;
+  line_shift : int;
+  data : 'a way array array; (* data.(set).(way) *)
+  mutable clock : int;
+}
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let create ~sets ~ways ~line_words =
+  if sets <= 0 || ways <= 0 then invalid_arg "Cache.create: sets/ways must be positive";
+  if not (is_power_of_two line_words) then
+    invalid_arg "Cache.create: line_words must be a power of two";
+  let make_way () = { tag = -1; payload = None; last_used = 0 } in
+  {
+    sets;
+    ways;
+    line_words;
+    line_shift = log2 line_words;
+    data = Array.init sets (fun _ -> Array.init ways (fun _ -> make_way ()));
+    clock = 0;
+  }
+
+let line_words t = t.line_words
+let line_addr t addr = (addr lsr t.line_shift) lsl t.line_shift
+let set_of t line = (line lsr t.line_shift) mod t.sets
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find_way t line =
+  let set = t.data.(set_of t line) in
+  let rec go i =
+    if i >= t.ways then None
+    else if set.(i).tag = line then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let payload_exn way =
+  match way.payload with
+  | Some p -> p
+  | None -> assert false
+
+let find t addr =
+  let line = line_addr t addr in
+  match find_way t line with
+  | None -> None
+  | Some way ->
+    way.last_used <- tick t;
+    Some (payload_exn way)
+
+let peek t addr =
+  match find_way t (line_addr t addr) with
+  | None -> None
+  | Some way -> Some (payload_exn way)
+
+let update t addr payload =
+  match find_way t (line_addr t addr) with
+  | None -> invalid_arg "Cache.update: line not resident"
+  | Some way -> way.payload <- Some payload
+
+let insert t addr payload =
+  let line = line_addr t addr in
+  if find_way t line <> None then invalid_arg "Cache.insert: line already resident";
+  let set = t.data.(set_of t line) in
+  (* Prefer an invalid way; otherwise evict the least recently used. *)
+  let victim = ref set.(0) in
+  Array.iter
+    (fun way ->
+      if !victim.tag <> -1 && (way.tag = -1 || way.last_used < !victim.last_used) then
+        victim := way)
+    set;
+  let way = !victim in
+  let evicted = if way.tag = -1 then None else Some (way.tag, payload_exn way) in
+  way.tag <- line;
+  way.payload <- Some payload;
+  way.last_used <- tick t;
+  evicted
+
+let invalidate t addr =
+  match find_way t (line_addr t addr) with
+  | None -> None
+  | Some way ->
+    let p = payload_exn way in
+    way.tag <- -1;
+    way.payload <- None;
+    Some p
+
+let iter t f =
+  Array.iter
+    (fun set ->
+      Array.iter (fun way -> if way.tag <> -1 then f way.tag (payload_exn way)) set)
+    t.data
+
+let resident t addr = find_way t (line_addr t addr) <> None

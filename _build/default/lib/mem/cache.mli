@@ -1,0 +1,43 @@
+(** A set-associative cache tag store with true-LRU replacement.
+
+    The cache is generic in its per-line payload so the same structure
+    serves the private L1s (payload: MSI state) and the shared L2
+    (payload: directory entry).  It tracks tags only — data always
+    lives in the flat memory image; the timing model charges latencies
+    based on where the tag hits. *)
+
+type 'a t
+
+val create : sets:int -> ways:int -> line_words:int -> 'a t
+(** [sets] and [ways] must be positive; [line_words] must be a positive
+    power of two. *)
+
+val line_words : 'a t -> int
+
+val line_addr : 'a t -> int -> int
+(** [line_addr t addr] is the address of the first word of [addr]'s
+    line — the canonical key for a line. *)
+
+val find : 'a t -> int -> 'a option
+(** [find t addr] returns the payload if [addr]'s line is present and
+    promotes it to most-recently-used. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like [find] without the LRU update. *)
+
+val update : 'a t -> int -> 'a -> unit
+(** Replace the payload of a resident line.  Raises [Invalid_argument]
+    if the line is not resident. *)
+
+val insert : 'a t -> int -> 'a -> (int * 'a) option
+(** [insert t addr payload] makes [addr]'s line resident (MRU),
+    returning the evicted [(line_addr, payload)] if the set was full.
+    Raises [Invalid_argument] if the line is already resident. *)
+
+val invalidate : 'a t -> int -> 'a option
+(** Remove a line, returning its payload if it was resident. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Iterate over all resident lines as [(line_addr, payload)]. *)
+
+val resident : 'a t -> int -> bool

@@ -1,0 +1,232 @@
+type config = {
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  line_words : int;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+  c2c_latency : int;
+}
+
+(* 32 KB L1 = 1024 32-byte lines = 256 sets x 4 ways;
+   1 MB L2 = 32768 lines = 4096 sets x 8 ways. *)
+let default_config =
+  {
+    l1_sets = 256;
+    l1_ways = 4;
+    l2_sets = 4096;
+    l2_ways = 8;
+    line_words = 8;
+    l1_latency = 2;
+    l2_latency = 10;
+    mem_latency = 300;
+    c2c_latency = 20;
+  }
+
+type kind =
+  | Read
+  | Write
+  | Rmw
+
+type l1_state =
+  | Shared
+  | Modified
+
+type dir_entry = {
+  mutable sharers : int; (* bitmask over cores *)
+  mutable owner : int; (* core holding the line Modified, or -1 *)
+}
+
+type stats = {
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable invalidations : int;
+  mutable c2c_transfers : int;
+}
+
+type t = {
+  config : config;
+  cores : int;
+  l1 : l1_state Cache.t array;
+  l2 : dir_entry Cache.t;
+  stats : stats;
+}
+
+let create ~cores config =
+  if cores <= 0 || cores > 62 then invalid_arg "Hierarchy.create: bad core count";
+  {
+    config;
+    cores;
+    l1 =
+      Array.init cores (fun _ ->
+          Cache.create ~sets:config.l1_sets ~ways:config.l1_ways
+            ~line_words:config.line_words);
+    l2 = Cache.create ~sets:config.l2_sets ~ways:config.l2_ways ~line_words:config.line_words;
+    stats =
+      { l1_hits = 0; l1_misses = 0; l2_hits = 0; l2_misses = 0; invalidations = 0;
+        c2c_transfers = 0 };
+  }
+
+let stats t = t.stats
+let line_words t = t.config.line_words
+
+let l1_resident t ~core ~addr = Cache.resident t.l1.(core) addr
+
+(* An L1 eviction silently drops a Shared line and writes back a
+   Modified one; either way the directory stops tracking that core. *)
+let on_l1_eviction t ~core line state =
+  match Cache.peek t.l2 line with
+  | None -> () (* the L2 line was recalled first; nothing to update *)
+  | Some dir ->
+    dir.sharers <- dir.sharers land lnot (1 lsl core);
+    if state = Modified && dir.owner = core then dir.owner <- -1
+
+let insert_l1 t ~core line state =
+  match Cache.insert t.l1.(core) line state with
+  | None -> ()
+  | Some (evicted_line, evicted_state) -> on_l1_eviction t ~core evicted_line evicted_state
+
+(* Inclusive L2: evicting an L2 line recalls every L1 copy. *)
+let on_l2_eviction t line dir =
+  for core = 0 to t.cores - 1 do
+    if dir.sharers land (1 lsl core) <> 0 then
+      ignore (Cache.invalidate t.l1.(core) line)
+  done
+
+let insert_l2 t line dir =
+  match Cache.insert t.l2 line dir with
+  | None -> ()
+  | Some (evicted_line, evicted_dir) -> on_l2_eviction t evicted_line evicted_dir
+
+(* Kill every remote copy of [line]; returns true if the dirty data had
+   to come from a remote L1 (cache-to-cache transfer). *)
+let invalidate_remotes t ~core dir line =
+  let dirty_remote = dir.owner >= 0 && dir.owner <> core in
+  for c = 0 to t.cores - 1 do
+    if c <> core && dir.sharers land (1 lsl c) <> 0 then begin
+      ignore (Cache.invalidate t.l1.(c) line);
+      t.stats.invalidations <- t.stats.invalidations + 1
+    end
+  done;
+  dir.sharers <- dir.sharers land (1 lsl core);
+  if dir.owner <> core then dir.owner <- -1;
+  if dirty_remote then t.stats.c2c_transfers <- t.stats.c2c_transfers + 1;
+  dirty_remote
+
+let read t ~core addr =
+  let cfg = t.config in
+  let line = Cache.line_addr t.l2 addr in
+  match Cache.find t.l1.(core) addr with
+  | Some (Shared | Modified) ->
+    t.stats.l1_hits <- t.stats.l1_hits + 1;
+    cfg.l1_latency
+  | None ->
+    t.stats.l1_misses <- t.stats.l1_misses + 1;
+    (match Cache.find t.l2 addr with
+    | Some dir ->
+      t.stats.l2_hits <- t.stats.l2_hits + 1;
+      let c2c =
+        if dir.owner >= 0 && dir.owner <> core then begin
+          (* Remote dirty copy: downgrade the owner to Shared. *)
+          Cache.update t.l1.(dir.owner) line Shared;
+          dir.owner <- -1;
+          t.stats.c2c_transfers <- t.stats.c2c_transfers + 1;
+          cfg.c2c_latency
+        end
+        else 0
+      in
+      dir.sharers <- dir.sharers lor (1 lsl core);
+      insert_l1 t ~core line Shared;
+      cfg.l1_latency + cfg.l2_latency + c2c
+    | None ->
+      t.stats.l2_misses <- t.stats.l2_misses + 1;
+      insert_l2 t line { sharers = 1 lsl core; owner = -1 };
+      insert_l1 t ~core line Shared;
+      cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
+
+let write t ~core addr =
+  let cfg = t.config in
+  let line = Cache.line_addr t.l2 addr in
+  match Cache.find t.l1.(core) addr with
+  | Some Modified ->
+    t.stats.l1_hits <- t.stats.l1_hits + 1;
+    cfg.l1_latency
+  | Some Shared ->
+    (* Upgrade: a directory round trip to invalidate other sharers. *)
+    t.stats.l1_hits <- t.stats.l1_hits + 1;
+    (match Cache.peek t.l2 addr with
+    | Some dir -> ignore (invalidate_remotes t ~core dir line)
+    | None -> () (* inclusivity violation is impossible; defensive *));
+    (match Cache.peek t.l2 addr with
+    | Some dir -> dir.owner <- core
+    | None -> ());
+    Cache.update t.l1.(core) line Modified;
+    cfg.l1_latency + cfg.l2_latency
+  | None ->
+    t.stats.l1_misses <- t.stats.l1_misses + 1;
+    (match Cache.find t.l2 addr with
+    | Some dir ->
+      t.stats.l2_hits <- t.stats.l2_hits + 1;
+      let dirty_remote = invalidate_remotes t ~core dir line in
+      dir.sharers <- 1 lsl core;
+      dir.owner <- core;
+      insert_l1 t ~core line Modified;
+      cfg.l1_latency + cfg.l2_latency + (if dirty_remote then cfg.c2c_latency else 0)
+    | None ->
+      t.stats.l2_misses <- t.stats.l2_misses + 1;
+      insert_l2 t line { sharers = 1 lsl core; owner = core };
+      insert_l1 t ~core line Modified;
+      cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
+
+let access t ~core kind ~addr =
+  if addr < 0 then invalid_arg "Hierarchy.access: negative address";
+  match kind with
+  | Read -> read t ~core addr
+  | Write | Rmw -> write t ~core addr
+
+let check_invariants t =
+  let result = ref (Ok ()) in
+  let fail msg = if !result = Ok () then result := Error msg in
+  (* 1. At most one Modified copy per line, and it matches the owner. *)
+  let modified : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun core l1 ->
+      Cache.iter l1 (fun line state ->
+          (* Inclusivity. *)
+          (match Cache.peek t.l2 line with
+          | None ->
+            fail (Printf.sprintf "line %d in L1 of core %d but not in L2" line core)
+          | Some dir ->
+            if dir.sharers land (1 lsl core) = 0 then
+              fail
+                (Printf.sprintf "line %d in L1 of core %d but not in directory sharers"
+                   line core));
+          if state = Modified then begin
+            (match Hashtbl.find_opt modified line with
+            | Some other ->
+              fail
+                (Printf.sprintf "line %d Modified in cores %d and %d" line other core)
+            | None -> Hashtbl.add modified line core);
+            match Cache.peek t.l2 line with
+            | Some dir when dir.owner <> core ->
+              fail
+                (Printf.sprintf "line %d Modified in core %d but owner is %d" line core
+                   dir.owner)
+            | Some _ | None -> ()
+          end))
+    t.l1;
+  (* 2. Directory sharers only name cores that actually hold the line. *)
+  Cache.iter t.l2 (fun line dir ->
+      for core = 0 to t.cores - 1 do
+        if dir.sharers land (1 lsl core) <> 0 && not (Cache.resident t.l1.(core) line)
+        then fail (Printf.sprintf "directory says core %d shares line %d; L1 disagrees" core line)
+      done;
+      if dir.owner >= 0 && dir.sharers land (1 lsl dir.owner) = 0 then
+        fail (Printf.sprintf "line %d owner %d not in sharers" line dir.owner));
+  match !result with
+  | Ok () -> Ok "ok"
+  | Error e -> Error e

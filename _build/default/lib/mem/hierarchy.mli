@@ -1,0 +1,66 @@
+(** The simulated memory system: per-core private L1 caches, a shared
+    inclusive L2 with an in-cache directory, and flat memory.
+
+    The paper's Table III configuration: private 32 KB 4-way L1 with
+    2-cycle latency, shared 1 MB 8-way L2 with 10-cycle latency,
+    300-cycle memory.  Coherence is a directory-based MSI invalidate
+    protocol; a dirty line supplied by a remote L1 costs an extra
+    cache-to-cache transfer latency.
+
+    The module is a *timing and state* model: [access] mutates the tag
+    and directory state immediately and returns the access latency.
+    Data values live in the machine's flat memory image, which applies
+    store values at the returned completion time — that is what gives
+    the simulator its relaxed (RMO-like) visibility order. *)
+
+type config = {
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  line_words : int;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;  (** charged on an L2 miss, on top of L1+L2 *)
+  c2c_latency : int;  (** extra cost when a remote L1 supplies a dirty line *)
+}
+
+val default_config : config
+(** Table III: 32 KB/4-way L1 (2 cycles), 1 MB/8-way L2 (10 cycles),
+    300-cycle memory, 32-byte lines (8 words), 20-cycle c2c. *)
+
+type kind =
+  | Read
+  | Write
+  | Rmw  (** compare-and-swap: needs exclusive ownership, like a write *)
+
+type stats = {
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable invalidations : int;  (** remote L1 copies killed by writes *)
+  mutable c2c_transfers : int;
+}
+
+type t
+
+val create : cores:int -> config -> t
+
+val access : t -> core:int -> kind -> addr:int -> int
+(** [access t ~core kind ~addr] simulates one access and returns its
+    latency in cycles.  [addr] is a word address; any non-negative
+    value is accepted (the cache indexes by line). *)
+
+val stats : t -> stats
+
+val line_words : t -> int
+
+val l1_resident : t -> core:int -> addr:int -> bool
+(** For tests: is the word's line in [core]'s L1? *)
+
+val check_invariants : t -> (string, string) result
+(** Coherence invariants, checked by tests after random traces:
+    at most one modified copy per line; every L1-resident line is
+    L2-resident (inclusivity); directory sharers exactly match L1
+    residency.  Returns [Error msg] naming the first violation. *)

@@ -1,0 +1,1 @@
+lib/slang/alias.ml: Ast Hashtbl List Option Seq Set String

@@ -1,0 +1,1 @@
+lib/slang/ast.mli:

@@ -1,0 +1,1 @@
+lib/slang/codegen.ml: Ast Fscope_isa List Printf

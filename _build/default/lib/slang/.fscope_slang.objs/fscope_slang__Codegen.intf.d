@@ -1,0 +1,1 @@
+lib/slang/codegen.mli: Ast Fscope_isa

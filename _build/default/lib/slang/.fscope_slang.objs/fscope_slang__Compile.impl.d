@@ -1,0 +1,1 @@
+lib/slang/compile.ml: Alias Ast Codegen Fscope_isa Inline List Typecheck

@@ -1,0 +1,1 @@
+lib/slang/compile.mli: Ast Fscope_isa

@@ -1,0 +1,1 @@
+lib/slang/inline.ml: Ast List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/slang/inline.mli: Ast

@@ -1,0 +1,1 @@
+lib/slang/interp.ml: Array Ast Fscope_isa List Map Option Printf String

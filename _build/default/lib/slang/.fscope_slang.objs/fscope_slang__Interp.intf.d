@@ -1,0 +1,1 @@
+lib/slang/interp.mli: Ast Fscope_isa

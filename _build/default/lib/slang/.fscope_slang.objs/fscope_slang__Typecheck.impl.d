@@ -1,0 +1,1 @@
+lib/slang/typecheck.ml: Array Ast Hashtbl List Map Option Printf Set String

@@ -1,0 +1,1 @@
+lib/slang/typecheck.mli: Ast

@@ -1,0 +1,79 @@
+module String_set = Set.Make (String)
+
+let set_variables (p : Ast.program) =
+  let acc = ref String_set.empty in
+  let scan_block block =
+    Ast.iter_stmt_deep
+      (fun stmt ->
+        match stmt with
+        | Ast.Fence (Ast.F_set vars, _) -> List.iter (fun v -> acc := String_set.add v !acc) vars
+        | Ast.Fence ((Ast.F_full | Ast.F_class), _)
+        | Ast.Let _ | Ast.Assign _ | Ast.Store _ | Ast.If _ | Ast.While _ | Ast.Cas _
+        | Ast.Call_stmt _ | Ast.Call_assign _ | Ast.Return _ | Ast.Inlined _ ->
+          ())
+      block
+  in
+  List.iter scan_block p.Ast.threads;
+  List.iter
+    (fun (c : Ast.class_decl) -> List.iter (fun (m : Ast.meth) -> scan_block m.body) c.methods)
+    p.Ast.classes;
+  String_set.elements !acc
+
+let symbol_of_lvalue = function
+  | Ast.Global name | Ast.Elem (name, _) -> name
+  | Ast.Field (instance, field) | Ast.Field_elem (instance, field, _) ->
+    Ast.field_symbol instance field
+
+let shared_symbols (p : Ast.program) =
+  let reads = Hashtbl.create 64 (* symbol -> thread id set *)
+  and writes = Hashtbl.create 64 in
+  let note table sym tid =
+    let cur = Option.value ~default:String_set.empty (Hashtbl.find_opt table sym) in
+    Hashtbl.replace table sym (String_set.add (string_of_int tid) cur)
+  in
+  let scan_expr tid e = Ast.iter_lvalues_expr (fun lv -> note reads (symbol_of_lvalue lv) tid) e in
+  List.iteri
+    (fun tid thread ->
+      Ast.iter_stmt_deep
+        (fun stmt ->
+          match stmt with
+          | Ast.Let (_, e) | Ast.Assign (_, e) -> scan_expr tid e
+          | Ast.Store (lv, e) ->
+            note writes (symbol_of_lvalue lv) tid;
+            (match lv with
+            | Ast.Elem (_, idx) | Ast.Field_elem (_, _, idx) -> scan_expr tid idx
+            | Ast.Global _ | Ast.Field _ -> ());
+            scan_expr tid e
+          | Ast.If (cond, _, _) | Ast.While (cond, _) -> scan_expr tid cond
+          | Ast.Cas { lv; expected; desired; _ } ->
+            note writes (symbol_of_lvalue lv) tid;
+            note reads (symbol_of_lvalue lv) tid;
+            (match lv with
+            | Ast.Elem (_, idx) | Ast.Field_elem (_, _, idx) -> scan_expr tid idx
+            | Ast.Global _ | Ast.Field _ -> ());
+            scan_expr tid expected;
+            scan_expr tid desired
+          | Ast.Return (Some e) -> scan_expr tid e
+          | Ast.Return None | Ast.Fence _ | Ast.Inlined _ -> ()
+          | Ast.Call_stmt call | Ast.Call_assign (_, call) ->
+            (* Calls should be gone after inlining; attribute argument
+               reads anyway for robustness. *)
+            List.iter (scan_expr tid) call.Ast.args)
+        thread)
+    p.Ast.threads;
+  let accessors sym =
+    let get table =
+      Option.value ~default:String_set.empty (Hashtbl.find_opt table sym)
+    in
+    String_set.union (get reads) (get writes)
+  in
+  let all_syms =
+    String_set.union
+      (String_set.of_seq (Seq.map fst (Hashtbl.to_seq reads)))
+      (String_set.of_seq (Seq.map fst (Hashtbl.to_seq writes)))
+  in
+  String_set.elements
+    (String_set.filter
+       (fun sym ->
+         Hashtbl.mem writes sym && String_set.cardinal (accessors sym) >= 2)
+       all_syms)

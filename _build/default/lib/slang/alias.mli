@@ -1,0 +1,24 @@
+(** Set-scope flagging support and a conservative sharing analysis.
+
+    Set scope needs the compiler to "analyze the program to identify
+    the memory accesses to the specified variables" (§V-B).  Our
+    object language has no pointers, so by-symbol resolution is an
+    exact alias analysis: an access belongs to the set iff its base
+    symbol (global name, or ["instance.field"]) is listed.
+
+    [shared_symbols] approximates the delay-set-analysis input the
+    paper uses for barnes/radiosity (§VI-B): symbols accessed by more
+    than one thread, at least one of them writing.  Accesses to
+    everything else are thread-private or read-only shared and need
+    not be ordered to preserve SC — exactly the paper's argument for
+    why set-scoped SC enforcement wins. *)
+
+val set_variables : Ast.program -> string list
+(** Union of every [S-FENCE\[set, ...\]] variable list in the program,
+    deduplicated and sorted. *)
+
+val shared_symbols : Ast.program -> string list
+(** Symbols (globals and instance fields) that are conflict-shared:
+    accessed by two or more threads with at least one writer.  Works
+    on the inlined program (method bodies reached through calls are
+    attributed to the calling thread), so run it after {!Inline}. *)

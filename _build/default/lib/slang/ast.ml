@@ -1,0 +1,130 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type lvalue =
+  | Global of string
+  | Elem of string * expr
+  | Field of string * string
+  | Field_elem of string * string * expr
+
+and expr =
+  | Int of int
+  | Tid
+  | Local of string
+  | Read of lvalue
+  | Binop of binop * expr * expr
+  | Not of expr
+
+type fence_spec =
+  | F_full
+  | F_class
+  | F_set of string list
+
+type fence_flavor =
+  | FF_full
+  | FF_store_store
+  | FF_load_load
+  | FF_store_load
+
+type call = {
+  instance : string option;
+  meth : string;
+  args : expr list;
+}
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | Store of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Fence of fence_spec * fence_flavor
+  | Cas of { dst : string; lv : lvalue; expected : expr; desired : expr }
+  | Call_stmt of call
+  | Call_assign of string * call
+  | Return of expr option
+  | Inlined of inlined
+
+and inlined = {
+  cid : int option;
+  result : string option;
+  body : block;
+}
+
+and block = stmt list
+
+type meth = {
+  mname : string;
+  params : string list;
+  returns : bool;
+  body : block;
+}
+
+type class_decl = {
+  cname : string;
+  scalars : (string * int) list;
+  arrays : (string * int * int array option) list;
+  methods : meth list;
+}
+
+type instance_decl = {
+  iname : string;
+  cls : string;
+}
+
+type global_decl =
+  | G_scalar of string * int
+  | G_array of string * int * int array option
+
+type program = {
+  classes : class_decl list;
+  instances : instance_decl list;
+  globals : global_decl list;
+  threads : block list;
+}
+
+let field_symbol instance field = instance ^ "." ^ field
+
+let rec iter_lvalues_expr f = function
+  | Int _ | Tid | Local _ -> ()
+  | Read lv ->
+    f lv;
+    iter_lvalues_lv f lv
+  | Binop (_, a, b) ->
+    iter_lvalues_expr f a;
+    iter_lvalues_expr f b
+  | Not e -> iter_lvalues_expr f e
+
+and iter_lvalues_lv f = function
+  | Global _ | Field _ -> ()
+  | Elem (_, e) | Field_elem (_, _, e) -> iter_lvalues_expr f e
+
+let rec iter_stmt_deep f block =
+  List.iter
+    (fun stmt ->
+      f stmt;
+      match stmt with
+      | If (_, a, b) ->
+        iter_stmt_deep f a;
+        iter_stmt_deep f b
+      | While (_, body) -> iter_stmt_deep f body
+      | Inlined { body; _ } -> iter_stmt_deep f body
+      | Let _ | Assign _ | Store _ | Fence _ | Cas _ | Call_stmt _ | Call_assign _
+      | Return _ ->
+        ())
+    block

@@ -1,0 +1,129 @@
+(** The mini object-oriented language ("slang") the workloads are
+    written in.
+
+    It exists to express the paper's programming model: classes whose
+    methods contain customizable fence statements (Fig. 4), method
+    calls that delimit class scopes, and globals shared between
+    threads.  The compiler ({!Compile}) inlines all calls, wraps
+    public method bodies of classes containing class-scoped fences in
+    [fs_start]/[fs_end], flags set-scope accesses, and emits the
+    simulator's ISA.
+
+    Restrictions (checked by {!Typecheck}): no recursion, calls only
+    in statement position, integers are the only type, arrays are
+    1-dimensional with static size. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band  (** bitwise and *)
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type lvalue =
+  | Global of string  (** scalar global *)
+  | Elem of string * expr  (** global array element *)
+  | Field of string * string  (** [Field (instance, field)]: scalar field *)
+  | Field_elem of string * string * expr  (** instance array field element *)
+
+and expr =
+  | Int of int
+  | Tid  (** the hardware thread id of the executing core *)
+  | Local of string
+  | Read of lvalue
+  | Binop of binop * expr * expr
+  | Not of expr  (** logical not: 1 if the operand is 0, else 0 *)
+
+type fence_spec =
+  | F_full  (** S-FENCE — traditional, global scope *)
+  | F_class  (** S-FENCE[class] *)
+  | F_set of string list  (** S-FENCE[set, {v1, v2, ...}]; names of globals/fields ("inst.f") *)
+
+(** Directional flavour, orthogonal to scope (cf. sfence/lfence;
+    the paper's §VII notes scope "can be combined with the various
+    finer fences"). *)
+type fence_flavor =
+  | FF_full
+  | FF_store_store
+  | FF_load_load
+  | FF_store_load
+
+type call = {
+  instance : string option;  (** None = call to a free method is not supported; always Some *)
+  meth : string;
+  args : expr list;
+}
+
+type stmt =
+  | Let of string * expr  (** declare a local *)
+  | Assign of string * expr  (** assign an existing local *)
+  | Store of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Fence of fence_spec * fence_flavor
+  | Cas of { dst : string; lv : lvalue; expected : expr; desired : expr }
+      (** dst (an existing local) := 1 if the CAS succeeded *)
+  | Call_stmt of call  (** call for effect *)
+  | Call_assign of string * call  (** existing local := call's return value *)
+  | Return of expr option  (** only inside methods *)
+  | Inlined of inlined  (** produced by {!Inline}; not written by hand *)
+
+and inlined = {
+  cid : int option;  (** class id when the class has class-scoped fences *)
+  result : string option;  (** local receiving the return value *)
+  body : block;
+}
+
+and block = stmt list
+
+type meth = {
+  mname : string;
+  params : string list;
+  returns : bool;
+  body : block;
+}
+
+type class_decl = {
+  cname : string;
+  scalars : (string * int) list;  (** field name, initial value *)
+  arrays : (string * int * int array option) list;  (** name, size, initial contents *)
+  methods : meth list;
+}
+
+type instance_decl = {
+  iname : string;
+  cls : string;
+}
+
+type global_decl =
+  | G_scalar of string * int  (** name, initial value *)
+  | G_array of string * int * int array option
+
+type program = {
+  classes : class_decl list;
+  instances : instance_decl list;
+  globals : global_decl list;
+  threads : block list;  (** one block per hardware thread *)
+}
+
+val field_symbol : string -> string -> string
+(** [field_symbol instance field] is the data-segment symbol naming an
+    instance field: ["instance.field"]. *)
+
+val iter_lvalues_expr : (lvalue -> unit) -> expr -> unit
+(** Visit every lvalue read in an expression (recursively, including
+    index expressions). *)
+
+val iter_stmt_deep : (stmt -> unit) -> block -> unit
+(** Visit every statement, descending into [If]/[While]/[Inlined]. *)

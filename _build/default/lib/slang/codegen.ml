@@ -1,0 +1,232 @@
+module Instr = Fscope_isa.Instr
+module Reg = Fscope_isa.Reg
+module Asm = Fscope_isa.Asm
+module Layout = Fscope_isa.Layout
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let expr_base = 1
+let expr_depth_max = 7 (* r1..r7 *)
+let locals_first = 8
+let locals_last = 30
+
+type region = {
+  exit_label : Asm.label;
+  result : string option;
+}
+
+type state = {
+  asm : Asm.t;
+  layout : Layout.t;
+  flagged : string -> bool;
+  mutable locals : (string * Reg.t) list;
+  mutable free_regs : Reg.t list;
+  mutable regions : region list; (* innermost first *)
+}
+
+let create_state ~layout ~flagged =
+  {
+    asm = Asm.create ();
+    layout;
+    flagged;
+    locals = [];
+    free_regs = List.init (locals_last - locals_first + 1) (fun i -> Reg.r (locals_first + i));
+    regions = [];
+  }
+
+let expr_reg depth =
+  if depth >= expr_depth_max then
+    err "expression too deep: needs more than %d temporaries" expr_depth_max;
+  Reg.r (expr_base + depth)
+
+let local_reg st name =
+  match List.assoc_opt name st.locals with
+  | Some reg -> reg
+  | None -> err "codegen: local %s has no register (declaration not seen)" name
+
+let alloc_local st name =
+  if List.mem_assoc name st.locals then
+    err "codegen: local %s allocated twice in one scope chain" name;
+  match st.free_regs with
+  | [] -> err "register pool exhausted at local %s (max %d live locals)" name
+            (locals_last - locals_first + 1)
+  | reg :: rest ->
+    st.free_regs <- rest;
+    st.locals <- (name, reg) :: st.locals;
+    reg
+
+let free_locals st down_to =
+  (* st.locals is a stack; release everything allocated above the mark. *)
+  let rec go locals =
+    if List.length locals > down_to then
+      match locals with
+      | (_, reg) :: rest ->
+        st.free_regs <- reg :: st.free_regs;
+        go rest
+      | [] -> assert false
+    else locals
+  in
+  st.locals <- go st.locals
+
+let symbol_addr st name =
+  match Layout.address_of st.layout name with
+  | addr -> addr
+  | exception Not_found -> err "codegen: unknown symbol %s" name
+
+let move st ~dst ~src =
+  if not (Reg.equal dst src) then
+    Asm.emit st.asm (Instr.Alu (Instr.Add, dst, src, Instr.Imm 0))
+
+let binop_alu = function
+  | Ast.Add -> (Instr.Add, false)
+  | Ast.Sub -> (Instr.Sub, false)
+  | Ast.Mul -> (Instr.Mul, false)
+  | Ast.Div -> (Instr.Div, false)
+  | Ast.Rem -> (Instr.Rem, false)
+  | Ast.Band -> (Instr.And, false)
+  | Ast.Bor -> (Instr.Or, false)
+  | Ast.Bxor -> (Instr.Xor, false)
+  | Ast.Shl -> (Instr.Shl, false)
+  | Ast.Shr -> (Instr.Shr, false)
+  | Ast.Lt -> (Instr.Slt, false)
+  | Ast.Le -> (Instr.Sle, false)
+  | Ast.Gt -> (Instr.Slt, true) (* a > b  <=>  b < a *)
+  | Ast.Ge -> (Instr.Sle, true)
+  | Ast.Eq -> (Instr.Seq, false)
+  | Ast.Ne -> (Instr.Sne, false)
+
+(* Compile an expression into the stack register at [depth]; returns
+   that register. *)
+let rec compile_expr st depth e =
+  let dst = expr_reg depth in
+  (match e with
+  | Ast.Int v -> Asm.emit st.asm (Instr.Li (dst, v))
+  | Ast.Tid -> Asm.emit st.asm (Instr.Tid dst)
+  | Ast.Local name -> move st ~dst ~src:(local_reg st name)
+  | Ast.Read lv ->
+    let base, off, flagged = compile_address st depth lv in
+    Asm.emit st.asm (Instr.Load { dst; base; off; flagged })
+  | Ast.Binop (op, a, b) ->
+    let ra = compile_expr st depth a in
+    let rb = compile_expr st (depth + 1) b in
+    let alu, swapped = binop_alu op in
+    if swapped then Asm.emit st.asm (Instr.Alu (alu, dst, rb, Instr.Reg ra))
+    else Asm.emit st.asm (Instr.Alu (alu, dst, ra, Instr.Reg rb))
+  | Ast.Not e ->
+    let r = compile_expr st depth e in
+    Asm.emit st.asm (Instr.Alu (Instr.Seq, dst, r, Instr.Imm 0)));
+  dst
+
+(* Resolve an lvalue to (base register, immediate offset, flagged).
+   Index expressions are evaluated at [depth]. *)
+and compile_address st depth lv =
+  let flagged sym = st.flagged sym in
+  match lv with
+  | Ast.Global name -> (Reg.zero, symbol_addr st name, flagged name)
+  | Ast.Field (instance, field) ->
+    let sym = Ast.field_symbol instance field in
+    (Reg.zero, symbol_addr st sym, flagged sym)
+  | Ast.Elem (name, idx) ->
+    let r = compile_expr st depth idx in
+    (r, symbol_addr st name, flagged name)
+  | Ast.Field_elem (instance, field, idx) ->
+    let sym = Ast.field_symbol instance field in
+    let r = compile_expr st depth idx in
+    (r, symbol_addr st sym, flagged sym)
+
+let fence_instr spec flavor =
+  let base =
+    match spec with
+    | Ast.F_full -> Fscope_isa.Fence_kind.full
+    | Ast.F_class -> Fscope_isa.Fence_kind.class_scoped
+    | Ast.F_set _ -> Fscope_isa.Fence_kind.set_scoped
+  in
+  let kind =
+    match flavor with
+    | Ast.FF_full -> base
+    | Ast.FF_store_store -> Fscope_isa.Fence_kind.store_store base
+    | Ast.FF_load_load -> Fscope_isa.Fence_kind.load_load base
+    | Ast.FF_store_load -> Fscope_isa.Fence_kind.store_load base
+  in
+  Instr.Fence kind
+
+let rec compile_block st block =
+  let mark = List.length st.locals in
+  List.iter (compile_stmt st) block;
+  free_locals st mark
+
+and compile_stmt st stmt =
+  match stmt with
+  | Ast.Let (name, e) ->
+    let src = compile_expr st 0 e in
+    let reg = alloc_local st name in
+    move st ~dst:reg ~src
+  | Ast.Assign (name, e) ->
+    let src = compile_expr st 0 e in
+    move st ~dst:(local_reg st name) ~src
+  | Ast.Store (lv, e) ->
+    let src = compile_expr st 0 e in
+    let base, off, flagged = compile_address st 1 lv in
+    Asm.emit st.asm (Instr.Store { src; base; off; flagged })
+  | Ast.If (cond, then_b, else_b) ->
+    let r = compile_expr st 0 cond in
+    let l_else = Asm.fresh_label st.asm in
+    let l_end = Asm.fresh_label st.asm in
+    Asm.branch st.asm Instr.Eqz r l_else;
+    compile_block st then_b;
+    if else_b <> [] then begin
+      Asm.jump st.asm l_end;
+      Asm.place st.asm l_else;
+      compile_block st else_b;
+      Asm.place st.asm l_end
+    end
+    else begin
+      Asm.place st.asm l_else;
+      Asm.place st.asm l_end
+    end
+  | Ast.While (cond, body) ->
+    let l_top = Asm.fresh_label st.asm in
+    let l_end = Asm.fresh_label st.asm in
+    Asm.place st.asm l_top;
+    let r = compile_expr st 0 cond in
+    Asm.branch st.asm Instr.Eqz r l_end;
+    compile_block st body;
+    Asm.jump st.asm l_top;
+    Asm.place st.asm l_end
+  | Ast.Fence (spec, flavor) -> Asm.emit st.asm (fence_instr spec flavor)
+  | Ast.Cas { dst; lv; expected; desired } ->
+    let re = compile_expr st 0 expected in
+    let rd = compile_expr st 1 desired in
+    let base, off, flagged = compile_address st 2 lv in
+    Asm.emit st.asm
+      (Instr.Cas { dst = local_reg st dst; base; off; expected = re; desired = rd; flagged })
+  | Ast.Return e ->
+    (match st.regions with
+    | [] -> err "Return outside an inlined region"
+    | region :: _ ->
+      (match (e, region.result) with
+      | Some e, Some result ->
+        let src = compile_expr st 0 e in
+        move st ~dst:(local_reg st result) ~src
+      | Some e, None ->
+        (* Value discarded by a Call_stmt on a returning method. *)
+        ignore (compile_expr st 0 e)
+      | None, _ -> ());
+      Asm.jump st.asm region.exit_label)
+  | Ast.Inlined { cid; result; body } ->
+    let exit_label = Asm.fresh_label st.asm in
+    (match cid with Some cid -> Asm.emit st.asm (Instr.Fs_start cid) | None -> ());
+    st.regions <- { exit_label; result } :: st.regions;
+    compile_block st body;
+    st.regions <- List.tl st.regions;
+    Asm.place st.asm exit_label;
+    (match cid with Some cid -> Asm.emit st.asm (Instr.Fs_end cid) | None -> ())
+  | Ast.Call_stmt _ | Ast.Call_assign _ -> err "codegen: calls must be inlined first"
+
+let compile_thread ~layout ~flagged block =
+  let st = create_state ~layout ~flagged in
+  compile_block st block;
+  Asm.emit st.asm Instr.Halt;
+  Asm.finish st.asm

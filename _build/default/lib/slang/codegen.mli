@@ -1,0 +1,27 @@
+(** Code generation: inlined slang threads to the simulator ISA.
+
+    Register conventions: r0 is the hardwired zero, r1-r7 an
+    expression evaluation stack, r8-r30 the local-variable pool
+    (scoped per block, freed on block exit), r31 scratch.  A thread
+    whose live locals exceed the pool fails to compile with a clear
+    error rather than spilling — locals spilling to memory would
+    pollute the very fence-scope experiments this compiler exists to
+    drive.
+
+    Class-scope support: {!Ast.Inlined} regions carrying a [cid] are
+    bracketed with [fs_start]/[fs_end]; [Return] compiles to a jump to
+    the region's exit label (placed *before* the [fs_end], so every
+    path closes the scope).  Set-scope support: accesses whose base
+    symbol is in [flagged] get the per-instruction set-scope flag. *)
+
+exception Error of string
+
+val compile_thread :
+  layout:Fscope_isa.Layout.t ->
+  flagged:(string -> bool) ->
+  Ast.block ->
+  Fscope_isa.Instr.t array
+(** Compile one fully inlined thread body.  The block must not contain
+    [Call_stmt]/[Call_assign] (run {!Inline} first); raises [Error]
+    otherwise, on register-pool exhaustion, or on expression depth
+    overflow. *)

@@ -1,0 +1,59 @@
+module Layout = Fscope_isa.Layout
+module Program = Fscope_isa.Program
+
+type info = {
+  cids : (string * int) list;
+  flagged_symbols : string list;
+  layout : Layout.t;
+}
+
+let build_layout (p : Ast.program) =
+  let layout = Layout.create ~line_words:8 () in
+  List.iter
+    (function
+      | Ast.G_scalar (name, init) ->
+        let addr = Layout.alloc_aligned layout name 1 in
+        if init <> 0 then Layout.init layout addr init
+      | Ast.G_array (name, size, init) ->
+        let addr = Layout.alloc_aligned layout name size in
+        (match init with
+        | Some values -> Layout.init_array layout addr values
+        | None -> ()))
+    p.Ast.globals;
+  List.iter
+    (fun (inst : Ast.instance_decl) ->
+      let cls = List.find (fun (c : Ast.class_decl) -> c.cname = inst.cls) p.Ast.classes in
+      List.iter
+        (fun (field, init) ->
+          let sym = Ast.field_symbol inst.iname field in
+          let addr = Layout.alloc_aligned layout sym 1 in
+          if init <> 0 then Layout.init layout addr init)
+        cls.scalars;
+      List.iter
+        (fun (field, size, init) ->
+          let sym = Ast.field_symbol inst.iname field in
+          let addr = Layout.alloc_aligned layout sym size in
+          match init with
+          | Some values -> Layout.init_array layout addr values
+          | None -> ())
+        cls.arrays)
+    p.Ast.instances;
+  layout
+
+let compile ?(extra_mem = 0) (p : Ast.program) =
+  Typecheck.check p;
+  let layout = build_layout p in
+  let flagged_symbols = Alias.set_variables p in
+  let flagged sym = List.mem sym flagged_symbols in
+  let inlined, cids = Inline.run p in
+  let threads =
+    List.map (fun thread -> Codegen.compile_thread ~layout ~flagged thread) inlined.Ast.threads
+  in
+  let program =
+    Program.make ~threads
+      ~mem_words:(Layout.size layout + extra_mem)
+      ~init:(Layout.initials layout) ~symbols:(Layout.symbols layout) ()
+  in
+  (program, { cids; flagged_symbols; layout })
+
+let compile_program ?extra_mem p = fst (compile ?extra_mem p)

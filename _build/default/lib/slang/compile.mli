@@ -1,0 +1,22 @@
+(** The compiler driver: typecheck, inline, flag, lay out data, emit.
+
+    Data layout: every global and instance field gets its own
+    cache-line-aligned allocation (scalars are padded to a full line).
+    This mirrors how production lock-free code pads its contended
+    fields, and makes the coherence behaviour of each variable
+    independent — which the experiments rely on. *)
+
+type info = {
+  cids : (string * int) list;
+      (** class name -> cid for classes holding class-scoped fences *)
+  flagged_symbols : string list;  (** symbols whose accesses carry the set-scope flag *)
+  layout : Fscope_isa.Layout.t;
+}
+
+val compile : ?extra_mem:int -> Ast.program -> Fscope_isa.Program.t * info
+(** [compile p] runs the full pipeline.  [extra_mem] reserves
+    additional unnamed words at the end of the data segment (default
+    0).  Raises {!Typecheck.Error} or {!Codegen.Error} on bad input. *)
+
+val compile_program : ?extra_mem:int -> Ast.program -> Fscope_isa.Program.t
+(** [compile] without the info. *)

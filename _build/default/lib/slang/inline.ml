@@ -1,0 +1,159 @@
+module String_map = Map.Make (String)
+
+(* Does a block contain a class-scoped fence (not descending into
+   calls: each class is judged on its own methods)? *)
+let block_has_class_fence block =
+  let found = ref false in
+  Ast.iter_stmt_deep
+    (fun stmt ->
+      match stmt with
+      | Ast.Fence (Ast.F_class, _) -> found := true
+      | Ast.Let _ | Ast.Assign _ | Ast.Store _ | Ast.If _ | Ast.While _
+      | Ast.Fence ((Ast.F_full | Ast.F_set _), _)
+      | Ast.Cas _ | Ast.Call_stmt _ | Ast.Call_assign _ | Ast.Return _ | Ast.Inlined _
+        ->
+        ())
+    block;
+  !found
+
+let assign_cids (p : Ast.program) =
+  let next = ref 0 in
+  List.filter_map
+    (fun (c : Ast.class_decl) ->
+      if List.exists (fun (m : Ast.meth) -> block_has_class_fence m.body) c.methods
+      then begin
+        incr next;
+        Some (c.cname, !next)
+      end
+      else None)
+    p.Ast.classes
+
+type ctx = {
+  program : Ast.program;
+  cids : (string * int) list;
+  mutable next_site : int;
+}
+
+let class_by_name ctx name =
+  List.find (fun (c : Ast.class_decl) -> c.cname = name) ctx.program.Ast.classes
+
+let instance_class ctx name =
+  let i = List.find (fun (i : Ast.instance_decl) -> i.iname = name) ctx.program.Ast.instances in
+  class_by_name ctx i.cls
+
+(* Collect every Let-bound local in a block (deep). *)
+let bound_locals block =
+  let acc = ref [] in
+  Ast.iter_stmt_deep
+    (fun stmt ->
+      match stmt with
+      | Ast.Let (name, _) -> acc := name :: !acc
+      | Ast.Assign _ | Ast.Store _ | Ast.If _ | Ast.While _ | Ast.Fence _ | Ast.Cas _
+      | Ast.Call_stmt _ | Ast.Call_assign _ | Ast.Return _ | Ast.Inlined _ ->
+        ())
+    block;
+  !acc
+
+let rename_of site names =
+  List.fold_left
+    (fun m name -> String_map.add name (Printf.sprintf "%%%d:%s" site name) m)
+    String_map.empty names
+
+let apply_rename rename name =
+  match String_map.find_opt name rename with
+  | Some fresh -> fresh
+  | None -> name
+
+(* Substitute local renamings and the callee's "self" instance. *)
+let rec subst_expr ~rename ~self e =
+  match e with
+  | Ast.Int _ | Ast.Tid -> e
+  | Ast.Local name -> Ast.Local (apply_rename rename name)
+  | Ast.Read lv -> Ast.Read (subst_lvalue ~rename ~self lv)
+  | Ast.Binop (op, a, b) ->
+    Ast.Binop (op, subst_expr ~rename ~self a, subst_expr ~rename ~self b)
+  | Ast.Not e -> Ast.Not (subst_expr ~rename ~self e)
+
+and subst_lvalue ~rename ~self lv =
+  let inst name = if name = "self" then self name else name in
+  match lv with
+  | Ast.Global _ -> lv
+  | Ast.Elem (name, idx) -> Ast.Elem (name, subst_expr ~rename ~self idx)
+  | Ast.Field (instance, field) -> Ast.Field (inst instance, field)
+  | Ast.Field_elem (instance, field, idx) ->
+    Ast.Field_elem (inst instance, field, subst_expr ~rename ~self idx)
+
+and self_err _ = invalid_arg "Inline: 'self' escaped a method context"
+
+(* Inline every call in a block.  [rename] renames the block's locals;
+   [self] resolves the instance name "self". *)
+let rec inline_block ctx ~rename ~self block =
+  List.concat_map (inline_stmt ctx ~rename ~self) block
+
+and inline_stmt ctx ~rename ~self stmt =
+  let e = subst_expr ~rename ~self in
+  let lv = subst_lvalue ~rename ~self in
+  match stmt with
+  | Ast.Let (name, ex) -> [ Ast.Let (apply_rename rename name, e ex) ]
+  | Ast.Assign (name, ex) -> [ Ast.Assign (apply_rename rename name, e ex) ]
+  | Ast.Store (l, ex) -> [ Ast.Store (lv l, e ex) ]
+  | Ast.If (cond, then_b, else_b) ->
+    [
+      Ast.If
+        (e cond, inline_block ctx ~rename ~self then_b, inline_block ctx ~rename ~self else_b);
+    ]
+  | Ast.While (cond, body) -> [ Ast.While (e cond, inline_block ctx ~rename ~self body) ]
+  | Ast.Fence (spec, flavor) -> [ Ast.Fence (spec, flavor) ]
+  | Ast.Cas { dst; lv = l; expected; desired } ->
+    [
+      Ast.Cas
+        {
+          dst = apply_rename rename dst;
+          lv = lv l;
+          expected = e expected;
+          desired = e desired;
+        };
+    ]
+  | Ast.Return ex -> [ Ast.Return (Option.map e ex) ]
+  | Ast.Call_stmt call -> [ inline_call ctx ~rename ~self ~result:None call ]
+  | Ast.Call_assign (dst, call) ->
+    [ inline_call ctx ~rename ~self ~result:(Some (apply_rename rename dst)) call ]
+  | Ast.Inlined _ -> invalid_arg "Inline: program already contains Inlined nodes"
+
+and inline_call ctx ~rename ~self ~result (call : Ast.call) =
+  let instance_name =
+    let raw = Option.get call.Ast.instance in
+    if raw = "self" then self raw else raw
+  in
+  let cls = instance_class ctx instance_name in
+  let meth =
+    List.find (fun (m : Ast.meth) -> m.mname = call.Ast.meth) cls.Ast.methods
+  in
+  let site = ctx.next_site in
+  ctx.next_site <- ctx.next_site + 1;
+  let callee_rename = rename_of site (meth.params @ bound_locals meth.body) in
+  (* Bind arguments (evaluated in the caller's naming context). *)
+  let param_lets =
+    List.map2
+      (fun param arg ->
+        Ast.Let (apply_rename callee_rename param, subst_expr ~rename ~self arg))
+      meth.params call.Ast.args
+  in
+  let callee_self _ = instance_name in
+  let body = inline_block ctx ~rename:callee_rename ~self:callee_self meth.body in
+  Ast.Inlined
+    {
+      cid = List.assoc_opt cls.Ast.cname ctx.cids;
+      result;
+      body = param_lets @ body;
+    }
+
+let run (p : Ast.program) =
+  let cids = assign_cids p in
+  let ctx = { program = p; cids; next_site = 0 } in
+  let threads =
+    List.map
+      (fun thread -> inline_block ctx ~rename:String_map.empty ~self:self_err thread)
+      p.Ast.threads
+  in
+  ({ p with Ast.threads }, cids)

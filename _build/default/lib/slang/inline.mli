@@ -1,0 +1,20 @@
+(** Method-call inlining.
+
+    The compiler inlines every call (the language forbids recursion,
+    so this terminates).  A call to a method of a class that contains
+    class-scoped fences becomes an {!Ast.Inlined} region tagged with
+    the class's [cid]; code generation brackets such regions with
+    [fs_start cid] / [fs_end cid] — the paper's compiler support for
+    class scope (§IV-A.1).  Calls to classes without class fences
+    still become (untagged) regions so that [Return] compiles to a
+    jump to the region's end.
+
+    Argument expressions are evaluated at the top of the inlined
+    region (i.e. inside the callee's scope).  This is harmless for
+    scoping: it can only make fences stricter, and in the shipped
+    workloads arguments are locals or constants. *)
+
+val run : Ast.program -> Ast.program * (string * int) list
+(** [run p] returns the program with every thread fully inlined, plus
+    the class-name -> cid table (only classes containing class-scoped
+    fences are listed).  [p] must already have passed {!Typecheck}. *)

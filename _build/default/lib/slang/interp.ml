@@ -1,0 +1,161 @@
+module Layout = Fscope_isa.Layout
+module String_map = Map.Make (String)
+
+exception Stuck of string
+
+exception Returned of int option
+(* internal: unwinds a method body on Return *)
+
+let stuck fmt = Printf.ksprintf (fun s -> raise (Stuck s)) fmt
+
+type state = {
+  program : Ast.program;
+  layout : Layout.t;
+  mem : int array;
+  mutable fuel : int;
+  tid : int;
+}
+
+let class_of st name =
+  match List.find_opt (fun (c : Ast.class_decl) -> c.cname = name) st.program.Ast.classes with
+  | Some c -> c
+  | None -> stuck "unknown class %s" name
+
+let instance_class st ~self name =
+  let name = if name = "self" then Option.get self else name in
+  let inst =
+    match
+      List.find_opt (fun (i : Ast.instance_decl) -> i.iname = name) st.program.Ast.instances
+    with
+    | Some i -> i
+    | None -> stuck "unknown instance %s" name
+  in
+  (name, class_of st inst.cls)
+
+let addr_of st name =
+  match Layout.address_of st.layout name with
+  | a -> a
+  | exception Not_found -> stuck "unknown symbol %s" name
+
+let burn st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise (Stuck "out of fuel")
+
+let read_word st addr =
+  if addr < 0 || addr >= Array.length st.mem then stuck "load out of bounds: %d" addr;
+  st.mem.(addr)
+
+let write_word st addr v =
+  if addr < 0 || addr >= Array.length st.mem then stuck "store out of bounds: %d" addr;
+  st.mem.(addr) <- v
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.Div -> if b = 0 then 0 else a / b
+  | Ast.Rem -> if b = 0 then 0 else a mod b
+  | Ast.Band -> a land b
+  | Ast.Bor -> a lor b
+  | Ast.Bxor -> a lxor b
+  | Ast.Shl -> a lsl (b land 63)
+  | Ast.Shr -> a asr (b land 63)
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Le -> if a <= b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Ge -> if a >= b then 1 else 0
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Ne -> if a <> b then 1 else 0
+
+(* Locals live in a mutable binding map per activation. *)
+type frame = { mutable locals : int String_map.t }
+
+let get_local frame name =
+  match String_map.find_opt name frame.locals with
+  | Some v -> v
+  | None -> stuck "unbound local %s" name
+
+let rec lvalue_addr st ~self frame = function
+  | Ast.Global name -> addr_of st name
+  | Ast.Elem (name, idx) -> addr_of st name + eval st ~self frame idx
+  | Ast.Field (instance, field) ->
+    let instance = if instance = "self" then Option.get self else instance in
+    addr_of st (Ast.field_symbol instance field)
+  | Ast.Field_elem (instance, field, idx) ->
+    let instance = if instance = "self" then Option.get self else instance in
+    addr_of st (Ast.field_symbol instance field) + eval st ~self frame idx
+
+and eval st ~self frame = function
+  | Ast.Int v -> v
+  | Ast.Tid -> st.tid
+  | Ast.Local name -> get_local frame name
+  | Ast.Read lv -> read_word st (lvalue_addr st ~self frame lv)
+  | Ast.Binop (op, a, b) -> eval_binop op (eval st ~self frame a) (eval st ~self frame b)
+  | Ast.Not e -> if eval st ~self frame e = 0 then 1 else 0
+
+and exec_call st ~self frame (call : Ast.call) =
+  let instance_name, cls =
+    instance_class st ~self (Option.value ~default:"self" call.Ast.instance)
+  in
+  let meth =
+    match List.find_opt (fun (m : Ast.meth) -> m.mname = call.Ast.meth) cls.Ast.methods with
+    | Some m -> m
+    | None -> stuck "class %s has no method %s" cls.Ast.cname call.Ast.meth
+  in
+  let args = List.map (eval st ~self frame) call.Ast.args in
+  let callee_frame =
+    { locals = List.fold_left2 (fun m p v -> String_map.add p v m) String_map.empty meth.params args }
+  in
+  match exec_block st ~self:(Some instance_name) callee_frame meth.body with
+  | () -> None
+  | exception Returned v -> v
+
+and exec_block st ~self frame block = List.iter (exec_stmt st ~self frame) block
+
+and exec_stmt st ~self frame stmt =
+  burn st;
+  match stmt with
+  | Ast.Let (name, e) | Ast.Assign (name, e) ->
+    frame.locals <- String_map.add name (eval st ~self frame e) frame.locals
+  | Ast.Store (lv, e) ->
+    let v = eval st ~self frame e in
+    write_word st (lvalue_addr st ~self frame lv) v
+  | Ast.If (cond, then_b, else_b) ->
+    if eval st ~self frame cond <> 0 then exec_block st ~self frame then_b
+    else exec_block st ~self frame else_b
+  | Ast.While (cond, body) ->
+    while eval st ~self frame cond <> 0 do
+      burn st;
+      exec_block st ~self frame body
+    done
+  | Ast.Fence _ -> ()
+  | Ast.Cas { dst; lv; expected; desired } ->
+    let addr = lvalue_addr st ~self frame lv in
+    let expected = eval st ~self frame expected in
+    let desired = eval st ~self frame desired in
+    let old = read_word st addr in
+    let ok = old = expected in
+    if ok then write_word st addr desired;
+    frame.locals <- String_map.add dst (if ok then 1 else 0) frame.locals
+  | Ast.Call_stmt call -> ignore (exec_call st ~self frame call)
+  | Ast.Call_assign (dst, call) -> (
+    match exec_call st ~self frame call with
+    | Some v -> frame.locals <- String_map.add dst v frame.locals
+    | None -> stuck "method %s returned no value" call.Ast.meth)
+  | Ast.Return e -> raise (Returned (Option.map (eval st ~self frame) e))
+  | Ast.Inlined _ -> stuck "interpreter runs source programs, not inlined ones"
+
+let run_sequential ?(fuel = 1_000_000) (p : Ast.program) ~layout =
+  let mem = Array.make (Layout.size layout) 0 in
+  List.iter (fun (addr, v) -> mem.(addr) <- v) (Layout.initials layout);
+  let shared_fuel = ref fuel in
+  List.iteri
+    (fun tid thread ->
+      let st = { program = p; layout; mem; fuel = !shared_fuel; tid } in
+      let frame = { locals = String_map.empty } in
+      (try exec_block st ~self:None frame thread with
+      | Returned _ -> stuck "Return escaped a thread body");
+      shared_fuel := st.fuel)
+    p.Ast.threads;
+  mem

@@ -1,0 +1,24 @@
+(** A reference interpreter for slang.
+
+    Executes the *source* AST directly — method calls are evaluated by
+    recursion (no inlining), fences are no-ops, CAS is an atomic
+    read-modify-write — against the same data layout the compiler
+    produces.  Threads run to completion one after another, so for
+    single-threaded programs (or programs whose threads touch disjoint
+    data) the final memory must equal what the cycle-level simulator
+    computes, whatever the pipeline does.
+
+    This gives the test suite a differential oracle spanning the
+    typechecker, the inliner, register allocation, code generation and
+    the processor model: random programs are run both ways and the
+    memories compared (see test/test_differential.ml). *)
+
+exception Stuck of string
+(** Raised on a runtime error (call to a missing method, unbounded
+    loop exceeding the fuel, out-of-bounds array index). *)
+
+val run_sequential : ?fuel:int -> Ast.program -> layout:Fscope_isa.Layout.t -> int array
+(** [run_sequential p ~layout] interprets every thread in order and
+    returns the final memory image (of [Layout.size layout] words).
+    [fuel] bounds the total statement count (default 1_000_000).
+    The program must be well typed. *)

@@ -1,0 +1,274 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+type env = {
+  program : Ast.program;
+  globals_scalar : String_set.t;
+  globals_array : String_set.t;
+  classes : Ast.class_decl String_map.t;
+  instances : Ast.instance_decl String_map.t;
+}
+
+let build_env (p : Ast.program) =
+  let add_unique what set name =
+    if String_set.mem name set then err "duplicate %s %s" what name
+    else String_set.add name set
+  in
+  let globals_scalar, globals_array =
+    List.fold_left
+      (fun (s, a) -> function
+        | Ast.G_scalar (name, _) -> (add_unique "global" s name, a)
+        | Ast.G_array (name, size, init) ->
+          if size <= 0 then err "global array %s has size %d" name size;
+          (match init with
+          | Some values when Array.length values > size ->
+            err "global array %s: initializer longer than %d" name size
+          | Some _ | None -> ());
+          if String_set.mem name s then err "duplicate global %s" name;
+          (s, add_unique "global" a name))
+      (String_set.empty, String_set.empty)
+      p.Ast.globals
+  in
+  let classes =
+    List.fold_left
+      (fun m (c : Ast.class_decl) ->
+        if String_map.mem c.cname m then err "duplicate class %s" c.cname;
+        let field_names =
+          List.map fst c.scalars @ List.map (fun (n, _, _) -> n) c.arrays
+        in
+        let dedup = List.sort_uniq String.compare field_names in
+        if List.length dedup <> List.length field_names then
+          err "class %s has duplicate field names" c.cname;
+        let meth_names = List.map (fun (m : Ast.meth) -> m.mname) c.methods in
+        let dedup_m = List.sort_uniq String.compare meth_names in
+        if List.length dedup_m <> List.length meth_names then
+          err "class %s has duplicate method names" c.cname;
+        String_map.add c.cname c m)
+      String_map.empty p.Ast.classes
+  in
+  let instances =
+    List.fold_left
+      (fun m (i : Ast.instance_decl) ->
+        if String_map.mem i.iname m then err "duplicate instance %s" i.iname;
+        if i.iname = "self" then err "instance may not be named 'self'";
+        if not (String_map.mem i.cls classes) then
+          err "instance %s of unknown class %s" i.iname i.cls;
+        String_map.add i.iname i m)
+      String_map.empty p.Ast.instances
+  in
+  { program = p; globals_scalar; globals_array; classes; instances }
+
+(* The class an instance name denotes, in a context where "self" means
+   [self_class]. *)
+let class_of_instance env ~self_class name =
+  if name = "self" then (
+    match self_class with
+    | Some c -> c
+    | None -> err "'self' used outside a method")
+  else
+    match String_map.find_opt name env.instances with
+    | Some i -> String_map.find i.cls env.classes
+    | None -> err "unknown instance %s" name
+
+let check_field env ~self_class ~want_array instance field =
+  let c = class_of_instance env ~self_class instance in
+  let is_scalar = List.mem_assoc field c.scalars in
+  let is_array = List.exists (fun (n, _, _) -> n = field) c.arrays in
+  if (not is_scalar) && not is_array then
+    err "class %s has no field %s" c.cname field;
+  if want_array && not is_array then err "field %s.%s is not an array" instance field;
+  if (not want_array) && not is_scalar then err "field %s.%s is an array" instance field
+
+let rec check_lvalue env ~self_class ~locals lv =
+  match lv with
+  | Ast.Global name ->
+    if not (String_set.mem name env.globals_scalar) then
+      if String_set.mem name env.globals_array then
+        err "global %s is an array; use an element access" name
+      else err "unknown global %s" name
+  | Ast.Elem (name, idx) ->
+    if not (String_set.mem name env.globals_array) then
+      err "unknown global array %s" name;
+    check_expr env ~self_class ~locals idx
+  | Ast.Field (instance, field) ->
+    check_field env ~self_class ~want_array:false instance field
+  | Ast.Field_elem (instance, field, idx) ->
+    check_field env ~self_class ~want_array:true instance field;
+    check_expr env ~self_class ~locals idx
+
+and check_expr env ~self_class ~locals e =
+  match e with
+  | Ast.Int _ | Ast.Tid -> ()
+  | Ast.Local name ->
+    if not (String_set.mem name locals) then err "local %s used before declaration" name
+  | Ast.Read lv -> check_lvalue env ~self_class ~locals lv
+  | Ast.Binop (_, a, b) ->
+    check_expr env ~self_class ~locals a;
+    check_expr env ~self_class ~locals b
+  | Ast.Not e -> check_expr env ~self_class ~locals e
+
+let check_set_vars env vars =
+  if vars = [] then err "S-FENCE[set] with an empty variable list";
+  List.iter
+    (fun v ->
+      match String.index_opt v '.' with
+      | None ->
+        if
+          (not (String_set.mem v env.globals_scalar))
+          && not (String_set.mem v env.globals_array)
+        then err "S-FENCE[set]: unknown global %s" v
+      | Some i ->
+        let instance = String.sub v 0 i in
+        let field = String.sub v (i + 1) (String.length v - i - 1) in
+        let c = class_of_instance env ~self_class:None instance in
+        if
+          (not (List.mem_assoc field c.scalars))
+          && not (List.exists (fun (n, _, _) -> n = field) c.arrays)
+        then err "S-FENCE[set]: class %s has no field %s" c.cname field)
+    vars
+
+let check_call env ~self_class ~locals (call : Ast.call) =
+  let instance =
+    match call.instance with
+    | Some i -> i
+    | None -> err "calls must name an instance"
+  in
+  let c = class_of_instance env ~self_class instance in
+  let meth =
+    match List.find_opt (fun (m : Ast.meth) -> m.mname = call.meth) c.methods with
+    | Some m -> m
+    | None -> err "class %s has no method %s" c.cname call.meth
+  in
+  if List.length call.args <> List.length meth.params then
+    err "%s.%s expects %d arguments, got %d" c.cname call.meth
+      (List.length meth.params) (List.length call.args);
+  List.iter (check_expr env ~self_class ~locals) call.args;
+  meth
+
+(* Returns the set of locals in scope after the block. *)
+let rec check_block env ~self_class ~in_method ~returns ~locals block =
+  List.fold_left
+    (fun locals stmt ->
+      match stmt with
+      | Ast.Let (name, e) ->
+        if String_set.mem name locals then err "local %s declared twice" name;
+        check_expr env ~self_class ~locals e;
+        String_set.add name locals
+      | Ast.Assign (name, e) ->
+        if not (String_set.mem name locals) then
+          err "assignment to undeclared local %s" name;
+        check_expr env ~self_class ~locals e;
+        locals
+      | Ast.Store (lv, e) ->
+        check_lvalue env ~self_class ~locals lv;
+        check_expr env ~self_class ~locals e;
+        locals
+      | Ast.If (cond, then_b, else_b) ->
+        check_expr env ~self_class ~locals cond;
+        ignore (check_block env ~self_class ~in_method ~returns ~locals then_b);
+        ignore (check_block env ~self_class ~in_method ~returns ~locals else_b);
+        locals
+      | Ast.While (cond, body) ->
+        check_expr env ~self_class ~locals cond;
+        ignore (check_block env ~self_class ~in_method ~returns ~locals body);
+        locals
+      | Ast.Fence ((Ast.F_full | Ast.F_class), _) -> locals
+      | Ast.Fence (Ast.F_set vars, _) ->
+        check_set_vars env vars;
+        locals
+      | Ast.Cas { dst; lv; expected; desired } ->
+        if not (String_set.mem dst locals) then err "CAS result local %s undeclared" dst;
+        check_lvalue env ~self_class ~locals lv;
+        check_expr env ~self_class ~locals expected;
+        check_expr env ~self_class ~locals desired;
+        locals
+      | Ast.Call_stmt call ->
+        ignore (check_call env ~self_class ~locals call);
+        locals
+      | Ast.Call_assign (dst, call) ->
+        if not (String_set.mem dst locals) then err "call result local %s undeclared" dst;
+        let meth = check_call env ~self_class ~locals call in
+        if not meth.returns then
+          err "method %s does not return a value" call.Ast.meth;
+        locals
+      | Ast.Return e ->
+        if not in_method then err "Return outside a method";
+        (match (e, returns) with
+        | Some e, true ->
+          check_expr env ~self_class ~locals e;
+          locals
+        | None, false -> locals
+        | Some _, false -> err "Return with a value in a non-returning method"
+        | None, true -> err "Return without a value in a returning method")
+      | Ast.Inlined _ -> err "Inlined nodes may not appear in source programs")
+    locals block
+
+(* Call-graph acyclicity: calls are resolved per (class, method). *)
+let check_no_recursion env =
+  let key cname mname = cname ^ "#" ^ mname in
+  let visiting = Hashtbl.create 16 in
+  let finished = Hashtbl.create 16 in
+  let rec visit (c : Ast.class_decl) (m : Ast.meth) =
+    let k = key c.cname m.mname in
+    if Hashtbl.mem finished k then ()
+    else if Hashtbl.mem visiting k then err "recursive call involving %s.%s" c.cname m.mname
+    else begin
+      Hashtbl.add visiting k ();
+      Ast.iter_stmt_deep
+        (fun stmt ->
+          let call =
+            match stmt with
+            | Ast.Call_stmt call | Ast.Call_assign (_, call) -> Some call
+            | Ast.Let _ | Ast.Assign _ | Ast.Store _ | Ast.If _ | Ast.While _
+            | Ast.Fence _ | Ast.Cas _ | Ast.Return _ | Ast.Inlined _ ->
+              None
+          in
+          match call with
+          | None -> ()
+          | Some call ->
+            let callee_class =
+              class_of_instance env ~self_class:(Some c) (Option.get call.instance)
+            in
+            let callee =
+              List.find
+                (fun (m : Ast.meth) -> m.mname = call.Ast.meth)
+                callee_class.methods
+            in
+            visit callee_class callee)
+        m.body;
+      Hashtbl.remove visiting k;
+      Hashtbl.add finished k ()
+    end
+  in
+  List.iter
+    (fun (c : Ast.class_decl) -> List.iter (fun m -> visit c m) c.methods)
+    env.program.Ast.classes
+
+let check (p : Ast.program) =
+  if p.Ast.threads = [] then err "program has no threads";
+  let env = build_env p in
+  (* Method bodies. *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      List.iter
+        (fun (m : Ast.meth) ->
+          let params = String_set.of_list m.params in
+          if String_set.cardinal params <> List.length m.params then
+            err "%s.%s has duplicate parameters" c.cname m.mname;
+          ignore
+            (check_block env ~self_class:(Some c) ~in_method:true ~returns:m.returns
+               ~locals:params m.body))
+        c.methods)
+    p.Ast.classes;
+  check_no_recursion env;
+  (* Thread bodies. *)
+  List.iter
+    (fun thread ->
+      ignore
+        (check_block env ~self_class:None ~in_method:false ~returns:false
+           ~locals:String_set.empty thread))
+    p.Ast.threads

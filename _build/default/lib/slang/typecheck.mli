@@ -1,0 +1,13 @@
+(** Static checks for slang programs.
+
+    Verifies name resolution (globals, instances, fields, methods,
+    locals-before-use), call-graph acyclicity (inlining requires no
+    recursion), arity of calls, return discipline, and set-fence
+    variable lists.  Inside method bodies, fields and methods of the
+    enclosing class are addressed through the distinguished instance
+    name ["self"]. *)
+
+exception Error of string
+
+val check : Ast.program -> unit
+(** Raises [Error] with a descriptive message on the first problem. *)

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator, workload generators and property
+    tests flows through this module so that every experiment is exactly
+    reproducible from a seed.  The generator is splitmix64, which is
+    fast, has a 64-bit state and passes BigCrush. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 fresh bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator, advancing
+    [t].  Useful for giving sub-components their own streams. *)

@@ -1,0 +1,39 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          assert (x > 0.);
+          acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    let sorted = List.sort Float.compare xs in
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let rank = if rank <= 0 then 1 else if rank > n then n else rank in
+    List.nth sorted (rank - 1)
+
+let ratio ~num ~den = if den = 0 then 0. else float_of_int num /. float_of_int den

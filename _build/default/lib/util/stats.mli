@@ -1,0 +1,22 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0. on the empty list.  All inputs must be
+    positive. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists shorter than 2. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on the
+    empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank method.
+    Raises [Invalid_argument] on the empty list. *)
+
+val ratio : num:int -> den:int -> float
+(** [ratio ~num ~den] as a float; 0. when [den] is 0. *)

@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row =
+  let n_header = List.length t.header and n_row = List.length row in
+  if n_row > n_header then invalid_arg "Table.add_row: row wider than header";
+  let padded =
+    if n_row = n_header then row
+    else row @ List.init (n_header - n_row) (fun _ -> "")
+  in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) t.header)
+      all
+  in
+  let pad cell width = cell ^ String.make (width - String.length cell) ' ' in
+  let line row = String.concat "  " (List.map2 pad row widths) in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f v = Printf.sprintf "%.3f" v
+let cell_pct v = Printf.sprintf "%.1f%%" (v *. 100.)
+let cell_x v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,29 @@
+(** Plain-text tables for the experiment reports.
+
+    The bench harness prints one table per reproduced paper table or
+    figure; this module keeps the formatting in one place. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** A new table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** The table as a string, columns aligned, with a title line and a
+    rule under the header. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_f : float -> string
+(** Format a float cell with 3 decimals. *)
+
+val cell_pct : float -> string
+(** Format a fraction as a percentage with 1 decimal, e.g. ["38.8%"]. *)
+
+val cell_x : float -> string
+(** Format a speedup cell, e.g. ["1.23x"]. *)

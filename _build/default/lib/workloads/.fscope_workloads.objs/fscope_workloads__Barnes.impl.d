@@ -1,0 +1,1 @@
+lib/workloads/barnes.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Fscope_util List Printf Privwork Workload

@@ -1,0 +1,1 @@
+lib/workloads/barnes.mli: Privwork Workload

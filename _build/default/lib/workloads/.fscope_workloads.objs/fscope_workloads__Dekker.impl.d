@@ -1,0 +1,1 @@
+lib/workloads/dekker.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Printf Privwork Stdlib Workload

@@ -1,0 +1,1 @@
+lib/workloads/dekker.mli: Privwork Workload

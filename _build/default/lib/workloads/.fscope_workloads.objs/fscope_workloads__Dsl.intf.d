@@ -1,0 +1,1 @@
+lib/workloads/dsl.mli: Fscope_slang

@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Array Fscope_util Fun List Queue

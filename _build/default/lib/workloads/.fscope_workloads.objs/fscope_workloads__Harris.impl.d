@@ -1,0 +1,1 @@
+lib/workloads/harris.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Fun Harris_class Int List Printf Privwork Stdlib Workload

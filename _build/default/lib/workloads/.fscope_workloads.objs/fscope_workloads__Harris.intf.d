@@ -1,0 +1,1 @@
+lib/workloads/harris.mli: Privwork Workload

@@ -1,0 +1,1 @@
+lib/workloads/harris_class.ml: Array Dsl Fscope_slang List Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/harris_class.mli: Fscope_slang

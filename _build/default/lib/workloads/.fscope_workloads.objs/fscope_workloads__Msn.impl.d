@@ -1,0 +1,1 @@
+lib/workloads/msn.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Fun List Msn_class Printf Privwork Stdlib Workload

@@ -1,0 +1,1 @@
+lib/workloads/msn.mli: Privwork Workload

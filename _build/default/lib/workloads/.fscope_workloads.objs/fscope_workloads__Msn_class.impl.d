@@ -1,0 +1,1 @@
+lib/workloads/msn_class.ml: Dsl Fscope_slang List

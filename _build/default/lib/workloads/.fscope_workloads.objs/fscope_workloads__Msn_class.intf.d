@@ -1,0 +1,1 @@
+lib/workloads/msn_class.mli: Fscope_slang

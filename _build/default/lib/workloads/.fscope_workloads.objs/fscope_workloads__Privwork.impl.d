@@ -1,0 +1,1 @@
+lib/workloads/privwork.ml: Dsl Fscope_slang List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/privwork.mli: Fscope_slang

@@ -1,0 +1,1 @@
+lib/workloads/pst.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Graph List Printf Stdlib Workload Wsq_class

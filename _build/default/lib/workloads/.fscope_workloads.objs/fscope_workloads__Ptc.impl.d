@@ -1,0 +1,1 @@
+lib/workloads/ptc.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang Fun Graph List Printf Stdlib Workload Wsq_class

@@ -1,0 +1,1 @@
+lib/workloads/radiosity.mli: Privwork Workload

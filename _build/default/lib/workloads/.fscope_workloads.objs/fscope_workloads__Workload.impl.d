@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fscope_isa Fscope_machine Printf

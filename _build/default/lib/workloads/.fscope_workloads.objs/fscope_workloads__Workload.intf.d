@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Fscope_isa Fscope_machine

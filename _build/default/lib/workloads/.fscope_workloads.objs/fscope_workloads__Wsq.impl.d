@@ -1,0 +1,1 @@
+lib/workloads/wsq.ml: Array Dsl Fscope_isa Fscope_machine Fscope_slang List Printf Privwork Stdlib String Workload Wsq_class

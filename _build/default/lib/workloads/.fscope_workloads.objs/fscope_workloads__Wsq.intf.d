@@ -1,0 +1,1 @@
+lib/workloads/wsq.mli: Privwork Workload

@@ -1,0 +1,1 @@
+lib/workloads/wsq_class.ml: Dsl Fscope_slang List

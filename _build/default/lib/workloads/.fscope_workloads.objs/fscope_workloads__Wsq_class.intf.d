@@ -1,0 +1,1 @@
+lib/workloads/wsq_class.mli: Fscope_slang

@@ -1,0 +1,128 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+module Rng = Fscope_util.Rng
+
+let shared_vars = [ "pos_out"; "com"; "cells" ]
+
+let thread_body ~me ~threads ~bodies ~partners ~scratch =
+  let per = bodies / threads in
+  let first = me * per in
+  let last = if me = threads - 1 then bodies else first + per in
+  let open Dsl in
+  Privwork.warmup ~thread:me ~level:scratch
+  @ [
+    let_ "b" (i first);
+    while_
+      (l "b" < i last)
+      ([
+         (* Read-only partner positions (not in the delay set). *)
+         let_ "acc" (i 0);
+         let_ "j" (i 0);
+         while_
+           (l "j" < i partners)
+           [
+             let_ "p" (elem "ilist" ((l "b" * i partners) + l "j"));
+             set "acc" (l "acc" + elem "pos_in" (l "p"));
+             set "j" (l "j" + i 1);
+           ];
+       ]
+      (* Private scratch walk: the long-latency accesses the paper's
+         set-scoped fences do not wait for. *)
+      @ Privwork.block ~thread:me ~level:scratch ~unique:"sc" ()
+      @ [
+          fence_set shared_vars (* SC-enforcing fence before the shared section *);
+          selem "pos_out" (l "b") ((l "acc" / i partners) + elem "pos_in" (l "b"));
+          (* A scattered flagged store (the tree-cell update of the
+             original): a fresh line almost every body, so the scoped
+             fence still has real in-scope work to wait for. *)
+          selem "cells" (elem "scatter" (l "b")) (l "acc");
+          (* The contended centre-of-mass line: one cell per thread,
+             all on one cache line. *)
+          selem "com" tid (elem "com" tid + (l "acc" / i partners));
+          fence_set shared_vars (* SC-enforcing fence after the shared section *);
+          set "b" (l "b" + i 1);
+        ]);
+  ]
+
+let make ?(threads = 8) ?(bodies = 192) ?(partners = 6) ?(seed = 31)
+    ?(scratch = Privwork.cold ~arith:48 ~stores:2) () =
+  if bodies mod threads <> 0 then invalid_arg "Barnes.make: bodies must divide evenly";
+  let rng = Rng.create seed in
+  let pos_in = Array.init bodies (fun _ -> Rng.int_in rng 1 1000) in
+  let ilist = Array.init (bodies * partners) (fun _ -> Rng.int rng bodies) in
+  (* A permutation spread over a large cell array: successive bodies
+     land on distant lines. *)
+  let cell_words = 8 * bodies in
+  let scatter = Array.init bodies (fun b -> b * 8 mod cell_words) in
+  let scatter_shuffled = Array.copy scatter in
+  Rng.shuffle rng scatter_shuffled;
+  let program_ast =
+    {
+      Ast.classes = [];
+      instances = [];
+      globals =
+        [
+          Ast.G_array ("pos_in", bodies, Some pos_in);
+          Ast.G_array ("ilist", bodies * partners, Some ilist);
+          Ast.G_array ("pos_out", bodies, None);
+          Ast.G_array ("scatter", bodies, Some scatter_shuffled);
+          Ast.G_array ("cells", cell_words, None);
+          Ast.G_array ("com", threads, None) (* deliberately one line: false sharing *);
+        ]
+        @ Privwork.globals ~threads ();
+      threads =
+        List.init threads (fun t -> thread_body ~me:t ~threads ~bodies ~partners ~scratch);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  (* Host recomputation of the per-thread chains. *)
+  let expected_pos_out = Array.make bodies 0 in
+  let expected_cells = Array.make (8 * bodies) 0 in
+  let expected_com = Array.make threads 0 in
+  let per = bodies / threads in
+  for t = 0 to threads - 1 do
+    let first = t * per in
+    let last = if t = threads - 1 then bodies else first + per in
+    for b = first to last - 1 do
+      let acc = ref 0 in
+      for j = 0 to partners - 1 do
+        acc := !acc + pos_in.(ilist.((b * partners) + j))
+      done;
+      expected_pos_out.(b) <- (!acc / partners) + pos_in.(b);
+      expected_cells.(scatter_shuffled.(b)) <- !acc;
+      expected_com.(t) <- expected_com.(t) + (!acc / partners)
+    done
+  done;
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let pos_out = Program.address_of program "pos_out"
+    and com = Program.address_of program "com" in
+    let problem = ref None in
+    for b = 0 to bodies - 1 do
+      if mem.(pos_out + b) <> expected_pos_out.(b) && !problem = None then
+        problem :=
+          Some
+            (Printf.sprintf "pos_out[%d] = %d, expected %d" b mem.(pos_out + b)
+               expected_pos_out.(b))
+    done;
+    for t = 0 to threads - 1 do
+      if mem.(com + t) <> expected_com.(t) && !problem = None then
+        problem :=
+          Some (Printf.sprintf "com[%d] = %d, expected %d" t mem.(com + t) expected_com.(t))
+    done;
+    let cells = Program.address_of program "cells" in
+    for c = 0 to (8 * bodies) - 1 do
+      if mem.(cells + c) <> expected_cells.(c) && !problem = None then
+        problem := Some (Printf.sprintf "cells[%d] = %d, expected %d" c mem.(cells + c) expected_cells.(c))
+    done;
+    match !problem with
+    | Some msg -> Error msg
+    | None -> Ok ()
+  in
+  {
+    Workload.name = "barnes";
+    description = "Barnes-Hut-style force kernel, SC enforced by set-scoped fences";
+    program;
+    validate;
+  }

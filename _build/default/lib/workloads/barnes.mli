@@ -1,0 +1,30 @@
+(** A Barnes-Hut-style force-computation kernel (Table IV "barnes",
+    scope type "set").
+
+    In the paper, barnes is SPLASH-2 code compiled for sequential
+    consistency: a delay-set analysis inserts fences, and S-Fence with
+    set scope flags only the conflict-shared accesses, so the many
+    long-latency private accesses no longer hold fences up (§VI-B).
+
+    This port keeps exactly those properties.  Per body, a thread
+    reads the (read-only) positions of its interaction partners,
+    walks a large private scratch array (cold misses), accumulates
+    into a per-thread cell of a contended [com] line (false sharing,
+    like the shared cell updates of the original), and writes the
+    body's entry of [pos_out] — chained to the thread's previous body
+    so flagged reads exist.  The SC-enforcing fences bracket the
+    shared accesses and are [S-FENCE\[set, {pos_out, com}\]].
+
+    Validation: [pos_out] and [com] are exactly reproducible on the
+    host (per-thread chains over read-only inputs). *)
+
+val make :
+  ?threads:int ->
+  ?bodies:int ->
+  ?partners:int ->
+  ?seed:int ->
+  ?scratch:Privwork.level ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 192 bodies, 6 partners per body, seed 31,
+    scratch level {arith=48; stores=2}. *)

@@ -1,0 +1,83 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+(* Why the counter is part of the fence set: the release fence before
+   "my flag := 0" must order the counter store, or the next entrant
+   could see the flag drop before the increment lands (a lost update
+   even with exclusion intact).  Symmetrically the acquire fence
+   orders the counter read after the flag test.  With the S-Fence
+   hardware disabled these become the full fences of a textbook RMO
+   Dekker. *)
+let fence_vars = [ "flag0"; "flag1"; "counter" ]
+
+let thread ~me ~level ~attempts =
+  let open Dsl in
+  let mine = Printf.sprintf "flag%d" me
+  and theirs = Printf.sprintf "flag%d" (Stdlib.( - ) 1 me)
+  and succ_slot = Printf.sprintf "succ%d" me in
+  Privwork.warmup ~thread:me ~level
+  @ [
+    (* Stagger the two threads: identical deterministic threads would
+       collide on every attempt and never enter the section. *)
+    let_ "stagger" (i (Stdlib.( * ) me 150));
+    while_ (l "stagger" > i 0) [ set "stagger" (l "stagger" - i 1) ];
+    let_ "succ" (i 0);
+    let_ "attempt" (i attempts);
+    while_
+      (l "attempt" > i 0)
+      ([
+         sg mine (i 1);
+         fence_set fence_vars (* the paper's Fig. 11 fence *);
+         when_
+           (g theirs = i 0)
+           [
+             fence_set fence_vars (* acquire *);
+             let_ "c" (g "counter");
+             sg "counter" (l "c" + i 1);
+             fence_set fence_vars (* release *);
+             set "succ" (l "succ" + i 1);
+           ];
+         sg mine (i 0);
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"w" ()
+      @ [ set "attempt" (l "attempt" - i 1) ]);
+    sg succ_slot (l "succ");
+  ]
+
+let make ~level ~attempts =
+  let program_ast =
+    {
+      Ast.classes = [];
+      instances = [];
+      globals =
+        [
+          Ast.G_scalar ("flag0", 0);
+          Ast.G_scalar ("flag1", 0);
+          Ast.G_scalar ("counter", 0);
+          Ast.G_scalar ("succ0", 0);
+          Ast.G_scalar ("succ1", 0);
+        ]
+        @ Privwork.globals ~threads:2 ();
+      threads =
+        [
+          thread ~me:0 ~level ~attempts;
+          thread ~me:1 ~level ~attempts;
+        ];
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let v name = result.Machine.mem.(Program.address_of program name) in
+    let counter = v "counter" and succ = v "succ0" + v "succ1" in
+    if counter <> succ then
+      Error (Printf.sprintf "counter %d <> successful entries %d" counter succ)
+    else if succ = 0 then Error "no thread ever entered the critical section"
+    else Ok ()
+  in
+  {
+    Workload.name = "dekker";
+    description = "Dekker try-lock, set-scoped fences over {flag0,flag1,counter}";
+    program;
+    validate;
+  }

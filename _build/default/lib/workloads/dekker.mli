@@ -1,0 +1,18 @@
+(** The Dekker mutual-exclusion workload (Fig. 11; Table IV row
+    "dekker", scope type "set").
+
+    Two threads repeatedly attempt the critical section with the
+    flag-based try-lock of the paper's simplified Dekker algorithm,
+    then run the private workload.  The fences are
+    [S-FENCE\[set, {flag0, flag1, counter}\]]: the paper's entry fence
+    plus the RMO-required acquire/release fences around the critical
+    section (the counter is in the set so the shared increment is
+    ordered with the flags — see the module body for the argument).
+
+    Validation: the critical-section counter must equal the total
+    number of successful entries — a mutual-exclusion or fence-order
+    violation loses increments. *)
+
+val make : level:Privwork.level -> attempts:int -> Workload.t
+(** [level] is the private-work setting per attempt (the Fig. 12
+    x-axis); [attempts] the number of lock attempts per thread. *)

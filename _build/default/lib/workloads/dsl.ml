@@ -1,0 +1,67 @@
+open Fscope_slang.Ast
+
+let i n = Int n
+let l name = Local name
+let tid = Tid
+let g name = Read (Global name)
+let elem arr idx = Read (Elem (arr, idx))
+let fld instance field = Read (Field (instance, field))
+let fldelem instance field idx = Read (Field_elem (instance, field, idx))
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Rem, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( &&& ) a b = Binop (Band, a, b)
+let ( ||| ) a b = Binop (Bor, a, b)
+let not_ e = Not e
+
+let let_ name e = Let (name, e)
+let set name e = Assign (name, e)
+let sg name e = Store (Global name, e)
+let selem arr idx v = Store (Elem (arr, idx), v)
+let sfld instance field v = Store (Field (instance, field), v)
+let sfldelem instance field idx v = Store (Field_elem (instance, field, idx), v)
+let if_ cond then_b else_b = If (cond, then_b, else_b)
+let when_ cond then_b = If (cond, then_b, [])
+let while_ cond body = While (cond, body)
+let fence = Fence (F_full, FF_full)
+let fence_class = Fence (F_class, FF_full)
+let fence_set vars = Fence (F_set vars, FF_full)
+
+let flavored flavor stmt =
+  match stmt with
+  | Fence (spec, _) -> Fence (spec, flavor)
+  | _ -> invalid_arg "Dsl.flavored: not a fence"
+
+let fence_ss stmt = flavored FF_store_store stmt
+let fence_ll stmt = flavored FF_load_load stmt
+let fence_sl stmt = flavored FF_store_load stmt
+
+let cas_g dst global expected desired = Cas { dst; lv = Global global; expected; desired }
+
+let cas_elem dst arr idx expected desired =
+  Cas { dst; lv = Elem (arr, idx); expected; desired }
+
+let cas_fld dst instance field expected desired =
+  Cas { dst; lv = Field (instance, field); expected; desired }
+
+let cas_fldelem dst instance field idx expected desired =
+  Cas { dst; lv = Field_elem (instance, field, idx); expected; desired }
+
+let call instance meth args = Call_stmt { instance = Some instance; meth; args }
+let callv dst instance meth args = Call_assign (dst, { instance = Some instance; meth; args })
+let return_ e = Return (Some e)
+let return_unit = Return None
+
+let meth mname params ?(returns = false) body = { mname; params; returns; body }
+let scalar name init = (name, init)
+let array name size = (name, size, None)
+let array_init name values = (name, Array.length values, Some values)

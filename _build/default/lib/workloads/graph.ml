@@ -1,0 +1,94 @@
+module Rng = Fscope_util.Rng
+
+type t = {
+  nodes : int;
+  offsets : int array;
+  edges : int array;
+}
+
+let make ~nodes ~degree ~seed =
+  if nodes <= 1 then invalid_arg "Graph.make: need at least 2 nodes";
+  if degree < 2 then invalid_arg "Graph.make: degree must be >= 2";
+  let rng = Rng.create seed in
+  (* Random labelling so that tree edges connect unrelated ids. *)
+  let label = Array.init nodes Fun.id in
+  Rng.shuffle rng label;
+  let adj = Array.make nodes [] in
+  let add_edge u v =
+    adj.(u) <- v :: adj.(u);
+    adj.(v) <- u :: adj.(v)
+  in
+  (* Spanning backbone: label.(k) attaches to a random earlier node. *)
+  for k = 1 to nodes - 1 do
+    let parent = label.(Rng.int rng k) in
+    add_edge label.(k) parent
+  done;
+  (* Extra edges to reach the average degree. *)
+  let extra = max 0 ((nodes * degree / 2) - (nodes - 1)) in
+  for _ = 1 to extra do
+    let u = Rng.int rng nodes and v = Rng.int rng nodes in
+    if u <> v then add_edge u v
+  done;
+  let offsets = Array.make (nodes + 1) 0 in
+  for v = 0 to nodes - 1 do
+    offsets.(v + 1) <- offsets.(v) + List.length adj.(v)
+  done;
+  let edges = Array.make offsets.(nodes) 0 in
+  let cursor = Array.copy offsets in
+  for v = 0 to nodes - 1 do
+    List.iter
+      (fun u ->
+        edges.(cursor.(v)) <- u;
+        cursor.(v) <- cursor.(v) + 1)
+      adj.(v)
+  done;
+  { nodes; offsets; edges }
+
+let neighbours t v =
+  let rec go k acc = if k < t.offsets.(v) then acc else go (k - 1) (t.edges.(k) :: acc) in
+  go (t.offsets.(v + 1) - 1) []
+
+let reachable_from t root =
+  let seen = Array.make t.nodes false in
+  let queue = Queue.create () in
+  seen.(root) <- true;
+  Queue.push root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    for k = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+      let u = t.edges.(k) in
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        Queue.push u queue
+      end
+    done
+  done;
+  seen
+
+let is_spanning_tree t ~parent ~root =
+  let reachable = reachable_from t root in
+  let ok = ref (parent.(root) = root) in
+  (* Every reachable node must have a parent that is a neighbour, and
+     following parents must terminate at the root (acyclicity). *)
+  Array.iteri
+    (fun v is_reachable ->
+      if is_reachable && v <> root then begin
+        let p = parent.(v) in
+        if p < 0 || p >= t.nodes || not (List.mem p (neighbours t v)) then ok := false
+      end)
+    reachable;
+  if !ok then begin
+    (* Path-to-root check with a step bound. *)
+    Array.iteri
+      (fun v is_reachable ->
+        if is_reachable then begin
+          let rec walk v steps =
+            if steps > t.nodes then false
+            else if v = root then true
+            else walk parent.(v) (steps + 1)
+          in
+          if not (walk v 0) then ok := false
+        end)
+      reachable
+  end;
+  !ok

@@ -1,0 +1,27 @@
+(** Synthetic random graphs in CSR form for the graph workloads
+    (pst, ptc).
+
+    The generator produces a connected undirected graph: a random
+    spanning-tree backbone (guaranteeing connectivity from node 0)
+    plus extra random edges up to the requested average degree.  Node
+    ids are shuffled so neighbour accesses have no locality — the
+    irregular-access property the paper's motivation leans on. *)
+
+type t = {
+  nodes : int;
+  offsets : int array;  (** length [nodes + 1] *)
+  edges : int array;  (** adjacency, indexed by [offsets] *)
+}
+
+val make : nodes:int -> degree:int -> seed:int -> t
+(** [degree] is the average total degree (>= 2). *)
+
+val neighbours : t -> int -> int list
+
+val reachable_from : t -> int -> bool array
+(** BFS reachability (for validating the simulated algorithms). *)
+
+val is_spanning_tree : t -> parent:int array -> root:int -> bool
+(** Does [parent] (with [parent.(root) = root], and [parent.(v)] a
+    graph neighbour of [v]) encode a tree covering every node
+    reachable from [root]? *)

@@ -1,0 +1,141 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+(* Keys are interleaved across threads (thread t owns keys
+   {10 + t + j*threads}) so neighbouring list nodes belong to
+   different threads and the CAS contention is real. *)
+let key_of ~threads ~t ~j = 10 + t + (j * threads)
+
+let thread_body ~me ~threads ~keys_per_thread ~level =
+  let open Dsl in
+  let key j = i 10 + tid + (j * i threads) in
+  let node_base = Stdlib.( + ) 3 (Stdlib.( * ) me keys_per_thread) in
+  Privwork.warmup ~thread:me ~level
+  @ [
+    let_ "ins_ok" (i 0);
+    let_ "del_ok" (i 0);
+    let_ "con_ok" (i 0);
+    let_ "r" (i 0);
+    let_ "j" (i 0);
+    while_
+      (l "j" < i keys_per_thread)
+      ([
+         callv "r" "set" "insert" [ key (l "j"); i node_base + l "j" ];
+         set "ins_ok" (l "ins_ok" + l "r");
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"wi" ()
+      @ [ set "j" (l "j" + i 1) ]);
+    set "j" (i 0);
+    while_
+      (l "j" < i keys_per_thread)
+      ([
+         callv "r" "set" "delete" [ key (l "j") ];
+         set "del_ok" (l "del_ok" + l "r");
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"wd" ()
+      @ [ set "j" (l "j" + i 2) ]);
+    set "j" (i 0);
+    while_
+      (l "j" < i keys_per_thread)
+      ([
+         callv "r" "set" "contains" [ key (l "j") ];
+         set "con_ok" (l "con_ok" + l "r");
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"wc" ()
+      @ [ set "j" (l "j" + i 1) ]);
+    sg (Printf.sprintf "ins%d" me) (l "ins_ok");
+    sg (Printf.sprintf "del%d" me) (l "del_ok");
+    sg (Printf.sprintf "con%d" me) (l "con_ok");
+  ]
+
+let make ?(threads = 8) ?(keys_per_thread = 2) ~scope ~level () =
+  let pool = 3 + (threads * keys_per_thread) in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Harris_class.set_fence_vars ~instances:[ "set" ])
+  in
+  let program_ast =
+    {
+      Ast.classes = [ Harris_class.decl ~fence ~pool ];
+      instances = [ { Ast.iname = "set"; cls = "Harris" } ];
+      globals =
+        List.concat_map
+          (fun t ->
+            [
+              Ast.G_scalar (Printf.sprintf "ins%d" t, 0);
+              Ast.G_scalar (Printf.sprintf "del%d" t, 0);
+              Ast.G_scalar (Printf.sprintf "con%d" t, 0);
+            ])
+          (List.init threads Fun.id)
+        @ Privwork.globals ~threads ();
+      threads =
+        List.init threads (fun t -> thread_body ~me:t ~threads ~keys_per_thread ~level);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  (* Thread t deletes keys at even j; odd j keys survive. *)
+  let expected_present =
+    List.concat_map
+      (fun t ->
+        List.filter_map
+          (fun j -> if j mod 2 = 1 then Some (key_of ~threads ~t ~j) else None)
+          (List.init keys_per_thread Fun.id))
+      (List.init threads Fun.id)
+    |> List.sort Int.compare
+  in
+  let deleted_per_thread = (keys_per_thread + 1) / 2 in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let v name = mem.(Program.address_of program name) in
+    let nkey = Program.address_of program "set.nkey"
+    and nnext = Program.address_of program "set.nnext" in
+    (* Walk the list, collecting unmarked keys. *)
+    let rec walk idx acc steps =
+      if steps > pool * 2 then Error "list walk did not terminate (cycle?)"
+      else if idx = Harris_class.tail_index then Ok (List.rev acc)
+      else begin
+        let next = mem.(nnext + idx) in
+        let succ = next / 2 in
+        let acc =
+          if next mod 2 = 0 && idx <> Harris_class.head_index then
+            mem.(nkey + idx) :: acc
+          else acc
+        in
+        walk succ acc (steps + 1)
+      end
+    in
+    match walk Harris_class.head_index [] 0 with
+    | Error e -> Error e
+    | Ok keys ->
+      let sorted = List.sort Int.compare keys in
+      if keys <> sorted then Error "final list is not sorted"
+      else if keys <> expected_present then
+        Error
+          (Printf.sprintf "final set has %d keys, expected %d" (List.length keys)
+             (List.length expected_present))
+      else begin
+        let problem = ref None in
+        for t = 0 to threads - 1 do
+          let ins = v (Printf.sprintf "ins%d" t)
+          and del = v (Printf.sprintf "del%d" t)
+          and con = v (Printf.sprintf "con%d" t) in
+          if ins <> keys_per_thread && !problem = None then
+            problem := Some (Printf.sprintf "thread %d: %d inserts succeeded" t ins);
+          if del <> deleted_per_thread && !problem = None then
+            problem := Some (Printf.sprintf "thread %d: %d deletes succeeded" t del);
+          if con <> keys_per_thread - deleted_per_thread && !problem = None then
+            problem := Some (Printf.sprintf "thread %d: %d contains succeeded" t con)
+        done;
+        match !problem with
+        | Some msg -> Error msg
+        | None -> Ok ()
+      end
+  in
+  {
+    Workload.name = "harris";
+    description = "Harris lock-free sorted-list set under the Fig. 12 harness";
+    program;
+    validate;
+  }

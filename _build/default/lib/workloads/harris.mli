@@ -1,0 +1,22 @@
+(** The Harris-set harness workload (Table IV "harris").
+
+    Each thread owns a disjoint key range; it inserts all its keys,
+    deletes every second one, then probes membership with [contains],
+    running the tunable private workload between operations.  Threads
+    contend on the shared list structure (adjacent keys interleave
+    across threads) even though key ownership is disjoint — which
+    keeps the expected final set exactly computable.
+
+    Validation: the final list, walked from the head skipping marked
+    nodes, must be strictly sorted and contain exactly the expected
+    keys; per-thread insert/delete/contains success counters must
+    match the deterministic expectation. *)
+
+val make :
+  ?threads:int ->
+  ?keys_per_thread:int ->
+  scope:[ `Class | `Set ] ->
+  level:Privwork.level ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 2 keys each (the list stays short enough that searches do not fully absorb the private-store drain S-Fence saves). *)

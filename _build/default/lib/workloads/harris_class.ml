@@ -1,0 +1,153 @@
+open Dsl
+module Ast = Fscope_slang.Ast
+
+let head_index = 1
+let tail_index = 2
+let tail_key = 1_000_000
+
+let set_fence_vars ~instances =
+  List.concat_map (fun inst -> List.map (Ast.field_symbol inst) [ "nkey"; "nnext" ]) instances
+
+(* Harris's search: find adjacent (left, right) with
+   key[left] < k <= key[right], snipping marked chains.  Leaves locals
+   "left" and "right" set; "settled" drives the retry loop. *)
+let search_block k =
+  [
+    let_ "left" (i head_index);
+    let_ "right" (i tail_index);
+    let_ "left_next" (i 0);
+    let_ "settled" (i 0);
+    while_
+      (not_ (l "settled"))
+      [
+        (* 1. scan for left and right *)
+        let_ "t" (i head_index);
+        let_ "tnext" (fldelem "self" "nnext" (i head_index));
+        let_ "scan" (i 1);
+        while_
+          (l "scan")
+          [
+            when_
+              (l "tnext" % i 2 = i 0)
+              [ set "left" (l "t"); set "left_next" (l "tnext") ];
+            set "t" (l "tnext" / i 2);
+            if_ (l "t" = i tail_index)
+              [ set "scan" (i 0) ]
+              [
+                set "tnext" (fldelem "self" "nnext" (l "t"));
+                when_
+                  (not_
+                     ((l "tnext" % i 2 = i 1)
+                     ||| (fldelem "self" "nkey" (l "t") < k)))
+                  [ set "scan" (i 0) ];
+              ];
+          ];
+        set "right" (l "t");
+        (* 2. adjacent, or snip the marked chain *)
+        if_ (l "left_next" = (l "right" * i 2))
+          [
+            when_
+              ((l "right" = i tail_index)
+              ||| (fldelem "self" "nnext" (l "right") % i 2 = i 0))
+              [ set "settled" (i 1) ];
+          ]
+          [
+            let_ "snip" (i 0);
+            cas_fldelem "snip" "self" "nnext" (l "left") (l "left_next")
+              (l "right" * i 2);
+            when_ (l "snip")
+              [
+                when_
+                  ((l "right" = i tail_index)
+                  ||| (fldelem "self" "nnext" (l "right") % i 2 = i 0))
+                  [ set "settled" (i 1) ];
+              ];
+          ];
+      ];
+  ]
+
+let decl ~fence ~pool =
+  let insert =
+    meth "insert" [ "k"; "node" ] ~returns:true
+      [
+        let_ "res" (i 0);
+        let_ "working" (i 1);
+        while_
+          (l "working")
+          (search_block (l "k")
+          @ [
+              if_ (fldelem "self" "nkey" (l "right") = l "k")
+                [ set "working" (i 0) (* already present *) ]
+                [
+                  sfldelem "self" "nkey" (l "node") (l "k");
+                  sfldelem "self" "nnext" (l "node") (l "right" * i 2);
+                  fence (* publish the node before linking it *);
+                  let_ "ok" (i 0);
+                  cas_fldelem "ok" "self" "nnext" (l "left") (l "right" * i 2)
+                    (l "node" * i 2);
+                  when_ (l "ok") [ set "working" (i 0); set "res" (i 1) ];
+                ];
+            ]);
+        return_ (l "res");
+      ]
+  in
+  let delete =
+    meth "delete" [ "k" ] ~returns:true
+      [
+        let_ "res" (i 0);
+        let_ "working" (i 1);
+        while_
+          (l "working")
+          (search_block (l "k")
+          @ [
+              if_ (fldelem "self" "nkey" (l "right") <> l "k")
+                [ set "working" (i 0) (* not present *) ]
+                [
+                  let_ "rnext" (fldelem "self" "nnext" (l "right"));
+                  when_
+                    (l "rnext" % i 2 = i 0)
+                    [
+                      let_ "ok" (i 0);
+                      cas_fldelem "ok" "self" "nnext" (l "right") (l "rnext")
+                        (l "rnext" + i 1) (* logical delete: mark *);
+                      when_ (l "ok")
+                        [
+                          fence (* order the mark before the unlink *);
+                          let_ "ok2" (i 0);
+                          cas_fldelem "ok2" "self" "nnext" (l "left")
+                            (l "right" * i 2)
+                            (l "rnext")
+                            (* physical unlink; a failure is cleaned up
+                               by later searches *);
+                          set "working" (i 0);
+                          set "res" (i 1);
+                        ];
+                    ];
+                  (* marked by someone else: retry the search *)
+                ];
+            ]);
+        return_ (l "res");
+      ]
+  in
+  let contains =
+    meth "contains" [ "k" ] ~returns:true
+      [
+        let_ "t" (fldelem "self" "nnext" (i head_index) / i 2);
+        while_
+          (fldelem "self" "nkey" (l "t") < l "k")
+          [ set "t" (fldelem "self" "nnext" (l "t") / i 2) ];
+        return_
+          ((fldelem "self" "nkey" (l "t") = l "k")
+          &&& (fldelem "self" "nnext" (l "t") % i 2 = i 0));
+      ]
+  in
+  let nkey_init = Array.make pool 0 in
+  nkey_init.(tail_index) <- tail_key;
+  let nnext_init = Array.make pool 0 in
+  nnext_init.(head_index) <- Stdlib.( * ) tail_index 2;
+  {
+    Ast.cname = "Harris";
+    scalars = [];
+    arrays = [ array_init "nkey" nkey_init; array_init "nnext" nnext_init ];
+    methods = [ insert; delete; contains ];
+  }

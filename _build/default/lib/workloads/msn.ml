@@ -1,0 +1,115 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let claims_name t = Printf.sprintf "claims%d" t
+
+let producer_thread ~me ~per_producer ~level =
+  let open Dsl in
+  (* Disjoint node indices: producer p uses 2 + p*per + k; values are
+     node-index-aligned so validation can recompute them. *)
+  let base = Stdlib.( + ) 2 (Stdlib.( * ) me per_producer) in
+  Privwork.warmup ~thread:me ~level
+  @ [
+    let_ "k" (i 0);
+    while_
+      (l "k" < i per_producer)
+      ([
+         call "q" "enqueue" [ i base + l "k" + i 1000; i base + l "k" ];
+         set "k" (l "k" + i 1);
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"w" ());
+    fence (* all enqueue effects visible before the completion count *);
+    let_ "ok" (i 0);
+    while_
+      (not_ (l "ok"))
+      [ let_ "d" (g "done_producers"); cas_g "ok" "done_producers" (l "d") (l "d" + i 1) ];
+  ]
+
+let consumer_thread ~me ~producers ~level ~n_values =
+  let open Dsl in
+  let claim v =
+    [ selem (claims_name me) (v - i 1002) (elem (claims_name me) (v - i 1002) + i 1) ]
+  in
+  Privwork.warmup ~thread:me ~level
+  @ Privwork.warm_array ~name:(claims_name me) ~words:(Stdlib.( + ) n_values 2)
+  @ [
+    let_ "leave" (i 0);
+    let_ "v" (i 0);
+    while_
+      (not_ (l "leave"))
+      [
+        callv "v" "q" "dequeue" [];
+        if_ (l "v" > i 0)
+          (claim (l "v") @ Privwork.block ~thread:me ~level ~unique:"w" ())
+          [
+            (* Drain protocol: only leave when a dequeue that *follows*
+               the done_producers == P observation still finds the
+               queue empty. *)
+            let_ "d" (g "done_producers");
+            fence;
+            let_ "v2" (i 0);
+            callv "v2" "q" "dequeue" [];
+            if_ (l "v2" > i 0)
+              (claim (l "v2") @ Privwork.block ~thread:me ~level ~unique:"w2" ())
+              [ when_ (l "d" = i producers) [ set "leave" (i 1) ] ];
+          ];
+      ];
+  ]
+
+let make ?(threads = 8) ?(per_producer = 16) ~scope ~level () =
+  if threads < 2 || threads mod 2 <> 0 then
+    invalid_arg "Msn.make: need an even thread count >= 2";
+  let producers = threads / 2 in
+  let pool = 2 + (producers * per_producer) in
+  let n_values = producers * per_producer in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Msn_class.set_fence_vars ~instances:[ "q" ])
+  in
+  let program_ast =
+    {
+      Ast.classes = [ Msn_class.decl ~fence ~pool ];
+      instances = [ { Ast.iname = "q"; cls = "Msn" } ];
+      globals =
+        (Ast.G_scalar ("done_producers", 0)
+        :: List.init threads (fun t -> Ast.G_array (claims_name t, n_values + 2, None)))
+        @ Privwork.globals ~threads ();
+      threads =
+        List.init threads (fun t ->
+            if t < producers then producer_thread ~me:t ~per_producer ~level
+            else consumer_thread ~me:t ~producers ~level ~n_values);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    (* Node indices 2 .. pool-1 carry values node+1000; claim slot is
+       value-1002 = node-2, in [0, n_values). *)
+    let problem = ref None in
+    for slot = 0 to n_values - 1 do
+      let total =
+        List.fold_left
+          (fun acc t -> acc + mem.(Program.address_of program (claims_name t) + slot))
+          0
+          (List.init threads Fun.id)
+      in
+      if total <> 1 && !problem = None then
+        problem := Some (Printf.sprintf "value for node %d consumed %d times" (slot + 2) total)
+    done;
+    (* The queue must end empty: head's node has no successor. *)
+    let head = mem.(Program.address_of program "q.qhead") in
+    let next = Program.address_of program "q.qnext" in
+    if mem.(next + head) <> 0 && !problem = None then
+      problem := Some "queue not empty at exit";
+    match !problem with
+    | Some msg -> Error msg
+    | None -> Ok ()
+  in
+  {
+    Workload.name = "msn";
+    description = "Michael-Scott non-blocking queue under the Fig. 12 harness";
+    program;
+    validate;
+  }

@@ -1,0 +1,19 @@
+(** The non-blocking-queue harness workload (Table IV "msn").
+
+    Half the threads produce uniquely numbered values, half consume,
+    with the tunable private workload between operations.  Producers
+    announce completion through a fenced counter; consumers leave only
+    after observing the queue empty *after* observing all producers
+    done (see the module body for the drain protocol).  Validation:
+    every produced value is consumed exactly once and the queue ends
+    empty. *)
+
+val make :
+  ?threads:int ->
+  ?per_producer:int ->
+  scope:[ `Class | `Set ] ->
+  level:Privwork.level ->
+  unit ->
+  Workload.t
+(** [threads] must be even (default 8: 4 producers + 4 consumers);
+    [per_producer] values enqueued by each producer (default 16). *)

@@ -1,0 +1,84 @@
+open Dsl
+module Ast = Fscope_slang.Ast
+
+let set_fence_vars ~instances =
+  List.concat_map
+    (fun inst -> List.map (Ast.field_symbol inst) [ "qhead"; "qtail"; "qval"; "qnext" ])
+    instances
+
+let decl ~fence ~pool =
+  let enqueue =
+    meth "enqueue" [ "v"; "node" ]
+      [
+        sfldelem "self" "qval" (l "node") (l "v");
+        sfldelem "self" "qnext" (l "node") (i 0);
+        fence (* store-store: initialise the node before publishing it *);
+        let_ "done_" (i 0);
+        let_ "ok" (i 0);
+        while_
+          (not_ (l "done_"))
+          [
+            let_ "t" (fld "self" "qtail");
+            let_ "n" (fldelem "self" "qnext" (l "t"));
+            fence (* load-load: snapshot before the re-check *);
+            when_
+              (l "t" = fld "self" "qtail")
+              [
+                if_ (l "n" = i 0)
+                  [
+                    cas_fldelem "ok" "self" "qnext" (l "t") (i 0) (l "node");
+                    when_
+                      (l "ok")
+                      [
+                        (* swing the tail; failure means someone helped *)
+                        cas_fld "ok" "self" "qtail" (l "t") (l "node");
+                        set "done_" (i 1);
+                      ];
+                  ]
+                  [ cas_fld "ok" "self" "qtail" (l "t") (l "n") (* help *) ];
+              ];
+          ];
+      ]
+  in
+  let dequeue =
+    meth "dequeue" [] ~returns:true
+      [
+        let_ "res" (i 0);
+        let_ "done_" (i 0);
+        let_ "ok" (i 0);
+        while_
+          (not_ (l "done_"))
+          [
+            let_ "h" (fld "self" "qhead");
+            let_ "t" (fld "self" "qtail");
+            let_ "n" (fldelem "self" "qnext" (l "h"));
+            fence (* load-load: snapshot before the re-check *);
+            when_
+              (l "h" = fld "self" "qhead")
+              [
+                if_ (l "h" = l "t")
+                  [
+                    if_ (l "n" = i 0)
+                      [ set "done_" (i 1) (* empty *) ]
+                      [ cas_fld "ok" "self" "qtail" (l "t") (l "n") (* help *) ];
+                  ]
+                  [
+                    let_ "v" (fldelem "self" "qval" (l "n"));
+                    cas_fld "ok" "self" "qhead" (l "h") (l "n");
+                    when_ (l "ok")
+                      [
+                        set "res" (l "v");
+                        set "done_" (i 1);
+                      ];
+                  ];
+              ];
+          ];
+        return_ (l "res");
+      ]
+  in
+  {
+    Ast.cname = "Msn";
+    scalars = [ scalar "qhead" 1; scalar "qtail" 1 ];
+    arrays = [ array "qval" pool; array "qnext" pool ];
+    methods = [ enqueue; dequeue ];
+  }

@@ -1,0 +1,22 @@
+(** The Michael-Scott non-blocking queue (Table IV "msn") as a slang
+    class.
+
+    Nodes live in a preallocated pool (arrays [val]/[next]); index 0
+    is nil and index 1 the initial dummy node.  Callers hand [enqueue]
+    a fresh node index — the harness gives each thread a disjoint
+    index range, so nodes are never reused and the ABA problem cannot
+    arise (the original algorithm's counted pointers are unnecessary
+    for a bounded run).
+
+    Values must be positive; [dequeue] returns 0 when the queue is
+    empty.  Fences: a store-store fence publishes the node's fields
+    before the link CAS, and a load-load fence orders the
+    head/tail/next snapshot before its consistency re-check — the
+    placements fence-synthesis tools derive for this queue under
+    RMO. *)
+
+val decl : fence:Fscope_slang.Ast.stmt -> pool:int -> Fscope_slang.Ast.class_decl
+(** The class, named "Msn". *)
+
+val set_fence_vars : instances:string list -> string list
+(** Field symbols for the Fig. 14 set-scope variant. *)

@@ -1,0 +1,97 @@
+open Dsl
+
+type level = {
+  arith : int;
+  stores : int;
+  span : int;
+  warm : bool;
+}
+
+let cold ~arith ~stores = { arith; stores; span = 0; warm = false }
+
+let fig12_levels =
+  [|
+    { arith = 16; stores = 1; span = 1024; warm = true };
+    { arith = 32; stores = 2; span = 2048; warm = true };
+    { arith = 96; stores = 1; span = 0; warm = false };
+    { arith = 96; stores = 2; span = 0; warm = false };
+    { arith = 192; stores = 3; span = 0; warm = false };
+    { arith = 384; stores = 4; span = 0; warm = false };
+  |]
+
+let words_default = 65_536
+
+let priv_name thread = Printf.sprintf "priv%d" thread
+
+let globals ~threads ?(words = words_default) () =
+  List.init threads (fun t -> Fscope_slang.Ast.G_array (priv_name t, words, None))
+
+(* The walk lives in [8, 8+modulus); word 0 holds the persistent
+   cursor so successive blocks continue where the last one stopped. *)
+let modulus level ~words =
+  if Stdlib.( > ) level.span 0 then level.span else Stdlib.( - ) words 16
+
+(* The walk cursor lives in a register declared once per thread, not
+   in memory: a memory cursor would be per-block out-of-scope traffic
+   that distorts the workload knob (wrong-path loads from other cores
+   can even downgrade its line, making the store an upgrade miss). *)
+let warmup ~thread ~level =
+  let cursor_init = [ let_ "pw_idx" (i 0) ] in
+  if not level.warm then cursor_init
+  else begin
+    let arr = priv_name thread in
+    cursor_init
+    @ [
+        let_ "warm_i" (i 0);
+        while_
+          (l "warm_i" < i (Stdlib.( + ) level.span 8))
+          [
+            selem arr (l "warm_i") (i 0);
+            set "warm_i" (l "warm_i" + i 8);
+          ];
+      ]
+  end
+
+(* Load-walk an arbitrary global array to pull it into the cache:
+   harnesses use it to warm their small bookkeeping arrays so the
+   workload [level] alone controls the out-of-scope traffic. *)
+let warm_array ~name ~words =
+  [
+    let_ ("wa_" ^ name) (i 0);
+    while_
+      (l ("wa_" ^ name) < i words)
+      [
+        (* A store leaves the line Modified, so later stores are
+           plain L1 hits (arrays warmed this way start zeroed). *)
+        selem name (l ("wa_" ^ name)) (i 0);
+        set ("wa_" ^ name) (l ("wa_" ^ name) + i 8);
+      ];
+  ]
+
+let block ~thread ~level ?(words = words_default) ~unique () =
+  let arr = priv_name thread in
+  let m = modulus level ~words in
+  let acc = unique ^ "_acc"
+  and k = unique ^ "_k"
+  and s = unique ^ "_s" in
+  [
+    let_ acc (tid + i 1);
+    let_ s (i level.stores);
+    while_
+      (l s > i 0)
+      [
+        let_ k (i level.arith);
+        while_
+          (l k > i 0)
+          [
+            set acc ((l acc * i 1103515245) + i 12345);
+            set acc ((l acc * i 32717) + l k);
+            set k (l k - i 1);
+          ];
+        (* One private store at a line-crossing stride; the cursor
+           "pw_idx" is the register declared by [warmup]. *)
+        set "pw_idx" ((l "pw_idx" + i 9) % i m);
+        selem arr (l "pw_idx" + i 8) (l acc);
+        set s (l s - i 1);
+      ];
+  ]

@@ -1,0 +1,118 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let wsq_name t = Printf.sprintf "wsq%d" t
+
+(* Node v is published as task v+1 (0 is the deque's EMPTY). *)
+let thread_body ~me ~threads ~nodes =
+  let open Dsl in
+  let own = wsq_name me in
+  let steal_round =
+    (* Try every other thread's deque once, in a me-relative order. *)
+    List.concat_map
+      (fun k ->
+        let victim = Stdlib.( mod ) (Stdlib.( + ) me k) threads in
+        [ when_ (l "task" = i 0) [ callv "task" (wsq_name victim) "steal" [] ] ])
+      (List.init (Stdlib.( - ) threads 1) (fun k -> Stdlib.( + ) k 1))
+  in
+  let seed_root = if Stdlib.( = ) me 0 then [ call own "put" [ i 1 ] ] else [] in
+  seed_root
+  @ [
+      let_ "task" (i 0);
+      while_
+        (g "done_count" < i nodes)
+        [
+          callv "task" own "take" [];
+          if_ (l "task" = i 0) steal_round [];
+          when_
+            (l "task" > i 0)
+            [
+              let_ "u" (l "task" - i 1);
+              let_ "k" (elem "offsets" (l "u"));
+              let_ "kend" (elem "offsets" (l "u" + i 1));
+              while_
+                (l "k" < l "kend")
+                [
+                  let_ "v" (elem "edges" (l "k"));
+                  let_ "ok" (i 0);
+                  cas_elem "ok" "color" (l "v") (i 0) (tid + i 1);
+                  when_
+                    (l "ok")
+                    [
+                      fence
+                      (* Fig. 3 segment 2: the full fence between the
+                         colour and parent stores.  S-Fence does not
+                         optimise it, which is what caps pst's speedup
+                         in Fig. 13. *);
+                      selem "parent" (l "v") (l "u");
+                      (* The parent store is still in flight here: the
+                         deque's own fence inside put() waits for it
+                         under traditional fencing but skips it under
+                         class scope — Fig. 3's segments 2 vs 3. *)
+                      call own "put" [ l "v" + i 1 ];
+                      let_ "okc" (i 0);
+                      while_
+                        (not_ (l "okc"))
+                        [
+                          let_ "d" (g "done_count");
+                          cas_g "okc" "done_count" (l "d") (l "d" + i 1);
+                        ];
+                    ];
+                  set "k" (l "k" + i 1);
+                ];
+            ];
+          set "task" (i 0);
+        ];
+    ]
+
+let make ?(threads = 8) ?(nodes = 768) ?(degree = 4) ?(seed = 11) ~scope () =
+  let graph = Graph.make ~nodes ~degree ~seed in
+  let cap = 1 lsl (int_of_float (ceil (log (float_of_int nodes) /. log 2.)) + 1) in
+  let instances = List.init threads wsq_name in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Wsq_class.set_fence_vars ~instances)
+  in
+  let program_ast =
+    {
+      Ast.classes = [ Wsq_class.decl ~fence ~cap () ];
+      instances = List.map (fun name -> { Ast.iname = name; cls = "Wsq" }) instances;
+      globals =
+        [
+          Ast.G_array ("offsets", nodes + 1, Some graph.Graph.offsets);
+          Ast.G_array ("edges", max 1 (Array.length graph.Graph.edges), Some graph.Graph.edges);
+          Ast.G_array
+            ( "color",
+              nodes,
+              Some (Array.init nodes (fun v -> if v = 0 then 1 else 0)) );
+          Ast.G_array ("parent", nodes, None);
+          Ast.G_scalar ("done_count", 1) (* the root is pre-claimed *);
+        ];
+      threads = List.init threads (fun t -> thread_body ~me:t ~threads ~nodes);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let color = Program.address_of program "color"
+    and parent_base = Program.address_of program "parent" in
+    let parent = Array.init nodes (fun v -> if v = 0 then 0 else mem.(parent_base + v)) in
+    let unclaimed = ref 0 in
+    for v = 0 to nodes - 1 do
+      if mem.(color + v) = 0 then incr unclaimed
+    done;
+    if !unclaimed > 0 then Error (Printf.sprintf "%d nodes never claimed" !unclaimed)
+    else if mem.(Program.address_of program "done_count") <> nodes then
+      Error "done_count does not match the node count"
+    else if not (Graph.is_spanning_tree graph ~parent ~root:0) then
+      Error "parent array is not a spanning tree"
+    else Ok ()
+  in
+  {
+    Workload.name = "pst";
+    description = "parallel spanning tree over work-stealing deques (Fig. 3)";
+    program;
+    validate;
+  }

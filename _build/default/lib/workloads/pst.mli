@@ -1,0 +1,24 @@
+(** Parallel spanning tree (Table IV "pst") — the paper's motivating
+    full application (Fig. 3, after Bader & Cong).
+
+    Each thread owns a Chase-Lev deque of node tasks and steals from
+    the others when its own runs dry.  Claiming a node is a CAS on
+    [color]; the claimer then writes [parent] and publishes the node,
+    with the paper's *full* fence between the parent store and the
+    publish (Fig. 3's segment-2 fence, which S-Fence deliberately does
+    not optimise, and which caps pst's speedup in Fig. 13).
+    Termination: a CAS-maintained count of claimed nodes.
+
+    Validation: [parent] must encode a spanning tree of the (connected)
+    random input graph rooted at node 0, and every node must be
+    claimed exactly once. *)
+
+val make :
+  ?threads:int ->
+  ?nodes:int ->
+  ?degree:int ->
+  ?seed:int ->
+  scope:[ `Class | `Set ] ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 768 nodes, average degree 4, seed 11. *)

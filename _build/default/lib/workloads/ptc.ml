@@ -1,0 +1,152 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let wsq_name t = Printf.sprintf "wsq%d" t
+
+let thread_body ~me ~threads ~nodes ~total_pairs ~initial_tasks =
+  let open Dsl in
+  let own = wsq_name me in
+  let steal_round =
+    List.concat_map
+      (fun k ->
+        let victim = Stdlib.( mod ) (Stdlib.( + ) me k) threads in
+        [ when_ (l "task" = i 0) [ callv "task" (wsq_name victim) "steal" [] ] ])
+      (List.init (Stdlib.( - ) threads 1) (fun k -> Stdlib.( + ) k 1))
+  in
+  List.map (fun task -> call own "put" [ i task ]) initial_tasks
+  @ [
+      let_ "task" (i 0);
+      while_
+        (g "done_count" < i total_pairs)
+        [
+          callv "task" own "take" [];
+          if_ (l "task" = i 0) steal_round [];
+          when_
+            (l "task" > i 0)
+            [
+              let_ "s" ((l "task" - i 1) / i nodes);
+              let_ "v" ((l "task" - i 1) % i nodes);
+              let_ "k" (elem "offsets" (l "v"));
+              let_ "kend" (elem "offsets" (l "v" + i 1));
+              while_
+                (l "k" < l "kend")
+                [
+                  let_ "u" (elem "edges" (l "k"));
+                  let_ "ok" (i 0);
+                  cas_elem "ok" "reach" ((l "s" * i nodes) + l "u") (i 0) (tid + i 1);
+                  when_
+                    (l "ok")
+                    [
+                      (* Record the predecessor (for path reconstruction);
+                         this out-of-scope store is still in flight when
+                         the deque fence inside put() executes. *)
+                      selem "pred" ((l "s" * i nodes) + l "u") (l "v" + i 1);
+                      call own "put" [ (l "s" * i nodes) + l "u" + i 1 ];
+                      let_ "okc" (i 0);
+                      while_
+                        (not_ (l "okc"))
+                        [
+                          let_ "d" (g "done_count");
+                          cas_g "okc" "done_count" (l "d") (l "d" + i 1);
+                        ];
+                    ];
+                  set "k" (l "k" + i 1);
+                ];
+            ];
+          set "task" (i 0);
+        ];
+    ]
+
+let make ?(threads = 8) ?(nodes = 256) ?(degree = 4) ?(sources = 3) ?(seed = 23) ~scope ()
+    =
+  let graph = Graph.make ~nodes ~degree ~seed in
+  let source_of s = s * nodes / (sources + 1) in
+  let expected =
+    Array.init sources (fun s -> Graph.reachable_from graph (source_of s))
+  in
+  let total_pairs =
+    Array.fold_left
+      (fun acc row -> acc + Array.fold_left (fun a r -> if r then a + 1 else a) 0 row)
+      0 expected
+  in
+  let cap =
+    1 lsl (int_of_float (ceil (log (float_of_int (nodes * sources)) /. log 2.)) + 1)
+  in
+  let instances = List.init threads wsq_name in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Wsq_class.set_fence_vars ~instances)
+  in
+  (* Source s's seed task goes to thread s mod threads; the seed pairs
+     are pre-claimed in the initial reach image. *)
+  let initial_tasks t =
+    List.filter_map
+      (fun s ->
+        if s mod threads = t then Some ((s * nodes) + source_of s + 1) else None)
+      (List.init sources Fun.id)
+  in
+  let reach_init = Array.make (sources * nodes) 0 in
+  for s = 0 to sources - 1 do
+    reach_init.((s * nodes) + source_of s) <- 9 (* pre-claimed marker *)
+  done;
+  let program_ast =
+    {
+      Ast.classes = [ Wsq_class.decl ~fence ~cap () ];
+      instances = List.map (fun name -> { Ast.iname = name; cls = "Wsq" }) instances;
+      globals =
+        [
+          Ast.G_array ("offsets", nodes + 1, Some graph.Graph.offsets);
+          Ast.G_array ("edges", max 1 (Array.length graph.Graph.edges), Some graph.Graph.edges);
+          Ast.G_array ("reach", sources * nodes, Some reach_init);
+          Ast.G_array ("pred", sources * nodes, None);
+          Ast.G_scalar ("done_count", sources);
+        ];
+      threads =
+        List.init threads (fun t ->
+            thread_body ~me:t ~threads ~nodes ~total_pairs ~initial_tasks:(initial_tasks t));
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let reach = Program.address_of program "reach" in
+    let problem = ref None in
+    for s = 0 to sources - 1 do
+      for v = 0 to nodes - 1 do
+        let marked = mem.(reach + (s * nodes) + v) <> 0 in
+        if marked <> expected.(s).(v) && !problem = None then
+          problem :=
+            Some
+              (Printf.sprintf "pair (source %d, node %d): simulated %b, expected %b" s v
+                 marked expected.(s).(v))
+      done
+    done;
+    (* Predecessor sanity: every claimed non-seed pair must record a
+       predecessor that is a graph neighbour of the node. *)
+    let pred = Program.address_of program "pred" in
+    for s = 0 to sources - 1 do
+      for v = 0 to nodes - 1 do
+        let claimed = mem.(reach + (s * nodes) + v) in
+        if claimed <> 0 && claimed <> 9 && !problem = None then begin
+          let p = mem.(pred + (s * nodes) + v) - 1 in
+          if p < 0 || p >= nodes || not (List.mem p (Graph.neighbours graph v)) then
+            problem :=
+              Some (Printf.sprintf "pair (%d,%d): predecessor %d is not a neighbour" s v p)
+        end
+      done
+    done;
+    match !problem with
+    | Some msg -> Error msg
+    | None ->
+      if mem.(Program.address_of program "done_count") <> total_pairs then
+        Error "done_count does not match the reachable pair count"
+      else Ok ()
+  in
+  {
+    Workload.name = "ptc";
+    description = "parallel transitive closure over work-stealing deques";
+    program;
+    validate;
+  }

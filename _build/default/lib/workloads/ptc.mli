@@ -1,0 +1,26 @@
+(** Parallel transitive closure (Table IV "ptc", after Foster).
+
+    Computes reachability from a set of source vertices over the same
+    work-stealing substrate as {!Pst}: a task is a (source, node) pair
+    encoded as [source*nodes + node + 1]; claiming marks the pair in
+    the [reach] matrix with a CAS and publishes the node's neighbours.
+    The workload between fences is larger than pst's (a whole
+    neighbour scan per task, over a reachability row with no
+    locality), which is why the paper sees ptc's fence-stall share —
+    and hence its S-Fence gain — as the smallest of the four full
+    applications.
+
+    Validation: the final [reach] matrix equals a BFS closure computed
+    on the host, and the claim counter matches the number of reachable
+    pairs. *)
+
+val make :
+  ?threads:int ->
+  ?nodes:int ->
+  ?degree:int ->
+  ?sources:int ->
+  ?seed:int ->
+  scope:[ `Class | `Set ] ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 256 nodes, degree 4, 3 sources, seed 23. *)

@@ -1,0 +1,90 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+module Rng = Fscope_util.Rng
+
+let shared_vars = [ "energy"; "next_task" ]
+
+let thread_body ~me ~patches ~scratch =
+  let open Dsl in
+  Privwork.warmup ~thread:me ~level:scratch
+  @ [
+    let_ "leave" (i 0);
+    while_
+      (not_ (l "leave"))
+      [
+        let_ "tk" (g "next_task");
+        if_ (l "tk" >= i patches)
+          [ set "leave" (i 1) ]
+          [
+            let_ "ok" (i 0);
+            cas_g "ok" "next_task" (l "tk") (l "tk" + i 1);
+            when_
+              (l "ok")
+              ([
+                 let_ "src" (elem "task_src" (l "tk"));
+                 let_ "e" (elem "energy0" (l "src"));
+               ]
+              (* Visibility computation over private scratch. *)
+              @ Privwork.block ~thread:me ~level:scratch ~unique:"vis" ()
+              @ [
+                  fence_set shared_vars;
+                  (* The destination patch is scattered, so the flagged
+                     store is a fresh line: real in-scope latency. *)
+                  selem "energy" (elem "task_dst" (l "tk")) ((l "e" / i 4) + i 1);
+                  fence_set shared_vars;
+                ]);
+          ];
+      ];
+  ]
+
+let make ?(threads = 8) ?(patches = 160) ?(seed = 41)
+    ?(scratch = Privwork.cold ~arith:128 ~stores:1) () =
+  let rng = Rng.create seed in
+  let energy0 = Array.init patches (fun _ -> Rng.int_in rng 16 4096) in
+  let task_src = Array.init patches (fun _ -> Rng.int rng patches) in
+  (* Unique, scattered destinations over a padded energy array. *)
+  let energy_words = 8 * patches in
+  let task_dst = Array.init patches (fun tk -> tk * 8 mod energy_words) in
+  Rng.shuffle rng task_dst;
+  let program_ast =
+    {
+      Ast.classes = [];
+      instances = [];
+      globals =
+        [
+          Ast.G_array ("energy0", patches, Some energy0);
+          Ast.G_array ("task_src", patches, Some task_src);
+          Ast.G_array ("task_dst", patches, Some task_dst);
+          Ast.G_array ("energy", energy_words, None);
+          Ast.G_scalar ("next_task", 0);
+        ]
+        @ Privwork.globals ~threads ();
+      threads = List.init threads (fun t -> thread_body ~me:t ~patches ~scratch);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let energy = Program.address_of program "energy" in
+    let problem = ref None in
+    for tk = 0 to patches - 1 do
+      let expected = (energy0.(task_src.(tk)) / 4) + 1 in
+      let dst = task_dst.(tk) in
+      if mem.(energy + dst) <> expected && !problem = None then
+        problem :=
+          Some (Printf.sprintf "energy[%d] = %d, expected %d" dst mem.(energy + dst) expected)
+    done;
+    match !problem with
+    | Some msg -> Error msg
+    | None ->
+      if mem.(Program.address_of program "next_task") < patches then
+        Error "not all tasks were claimed"
+      else Ok ()
+  in
+  {
+    Workload.name = "radiosity";
+    description = "radiosity-style patch interactions, SC enforced by set-scoped fences";
+    program;
+    validate;
+  }

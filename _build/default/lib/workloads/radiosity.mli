@@ -1,0 +1,25 @@
+(** A radiosity-style patch-interaction kernel (Table IV "radiosity",
+    scope type "set").
+
+    Like {!Barnes}, this stands in for the SPLASH-2 application run
+    under compiler-enforced sequential consistency: threads pull
+    interaction tasks off a shared CAS counter, compute a visibility
+    term over private scratch (long-latency misses), and deposit an
+    energy transfer into the destination patch — the shared accesses
+    bracketed by SC-enforcing [S-FENCE\[set, {energy, next_task}\]]
+    fences.  Compared to barnes it has less private work per fence
+    and a hot shared counter, giving it a different stall profile
+    (the paper reports 34.5% fence stalls vs barnes's 38.8%).
+
+    Validation: each task writes a unique destination patch, so the
+    final [energy] array is exactly reproducible on the host. *)
+
+val make :
+  ?threads:int ->
+  ?patches:int ->
+  ?seed:int ->
+  ?scratch:Privwork.level ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 160 patches (= tasks), seed 41, scratch
+    level {arith=128; stores=1}. *)

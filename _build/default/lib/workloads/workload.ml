@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  description : string;
+  program : Fscope_isa.Program.t;
+  validate : Fscope_machine.Machine.result -> (unit, string) result;
+}
+
+let run config t =
+  let result = Fscope_machine.Machine.run config t.program in
+  if result.Fscope_machine.Machine.timed_out then
+    failwith (Printf.sprintf "workload %s: timed out" t.name);
+  result
+
+let run_validated config t =
+  let result = run config t in
+  match t.validate result with
+  | Ok () -> result
+  | Error msg -> failwith (Printf.sprintf "workload %s: validation failed: %s" t.name msg)
+
+let addr t name = Fscope_isa.Program.address_of t.program name

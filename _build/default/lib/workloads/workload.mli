@@ -1,0 +1,27 @@
+(** A benchmark workload: a compiled program plus a functional
+    self-check over the final memory image.
+
+    Every workload validates its own result (queue items claimed
+    exactly once, spanning tree well formed, ...), so a memory-model
+    or S-Fence bug shows up as a validation failure, not as a silent
+    wrong number. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Fscope_isa.Program.t;
+  validate : Fscope_machine.Machine.result -> (unit, string) result;
+}
+
+val run : Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
+(** Run on the given machine configuration.  Raises [Failure] if the
+    run times out. *)
+
+val run_validated : Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
+(** [run] followed by [validate]; raises [Failure] on a validation
+    error.  Use this in tests and in non-speculative experiment runs
+    (in-window speculation is modelled without replay, so validation
+    is only meaningful when it is off; see DESIGN.md). *)
+
+val addr : t -> string -> int
+(** Symbol address in the workload's program. *)

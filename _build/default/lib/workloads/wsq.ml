@@ -1,0 +1,124 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let cap = 256
+
+let claims_name t = Printf.sprintf "claims%d" t
+
+let owner_thread ~rounds ~batch ~level ~n_tasks =
+  let open Dsl in
+  Privwork.warmup ~thread:0 ~level
+  @ Privwork.warm_array ~name:(claims_name 0) ~words:(Stdlib.( + ) n_tasks 1)
+  @ [
+    let_ "r" (i 0);
+    while_
+      (l "r" < i rounds)
+      ([
+         let_ "b" (i 0);
+         while_
+           (l "b" < i batch)
+           [
+             call "q" "put" [ (l "r" * i batch) + l "b" + i 1 ];
+             set "b" (l "b" + i 1);
+           ];
+       ]
+      @ Privwork.block ~thread:0 ~level ~unique:"w1" ()
+      @ [
+          let_ "b2" (i 0);
+          let_ "task" (i 0);
+          while_
+            (l "b2" < i batch)
+            [
+              callv "task" "q" "take" [];
+              when_
+                (l "task" > i 0)
+                [ selem (claims_name 0) (l "task") (elem (claims_name 0) (l "task") + i 1) ];
+              set "b2" (l "b2" + i 1);
+            ];
+        ]
+      @ Privwork.block ~thread:0 ~level ~unique:"w2" ()
+      @ [ set "r" (l "r" + i 1) ]);
+    fence (* publish all queue effects before announcing termination *);
+    sg "stop" (i 1);
+  ]
+
+let thief_thread ~me ~level ~n_tasks =
+  let open Dsl in
+  Privwork.warmup ~thread:me ~level
+  @ Privwork.warm_array ~name:(claims_name me) ~words:(Stdlib.( + ) n_tasks 1)
+  @ [
+    let_ "task" (i 0);
+    while_
+      (g "stop" = i 0)
+      ([
+         callv "task" "q" "steal" [];
+         when_
+           (l "task" > i 0)
+           [ selem (claims_name me) (l "task") (elem (claims_name me) (l "task") + i 1) ];
+       ]
+      @ Privwork.block ~thread:me ~level ~unique:"w" ());
+  ]
+
+let make ?(threads = 8) ?(rounds = 12) ?(batch = 8) ?(flavored = false) ~scope ~level () =
+  if threads < 2 then invalid_arg "Wsq.make: need at least an owner and one thief";
+  let n_tasks = rounds * batch in
+  if batch >= cap then invalid_arg "Wsq.make: batch must fit in the deque";
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Wsq_class.set_fence_vars ~instances:[ "q" ])
+  in
+  let program_ast =
+    {
+      Ast.classes = [ Wsq_class.decl ~flavored ~fence ~cap () ];
+      instances = [ { Ast.iname = "q"; cls = "Wsq" } ];
+      globals =
+        (Ast.G_scalar ("stop", 0)
+        :: List.init threads (fun t -> Ast.G_array (claims_name t, n_tasks + 1, None)))
+        @ Privwork.globals ~threads ();
+      threads =
+        owner_thread ~rounds ~batch ~level ~n_tasks
+        :: List.init (threads - 1) (fun t ->
+               thief_thread ~me:(t + 1) ~level ~n_tasks);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let head = mem.(Program.address_of program "q.head")
+    and tail = mem.(Program.address_of program "q.tail")
+    and buf = Program.address_of program "q.buf" in
+    if head > tail then Error (Printf.sprintf "head %d > tail %d" head tail)
+    else begin
+      let remaining = Array.make (n_tasks + 1) 0 in
+      for j = head to tail - 1 do
+        let task = mem.(buf + (j mod cap)) in
+        if task >= 1 && task <= n_tasks then remaining.(task) <- remaining.(task) + 1
+      done;
+      let problem = ref None in
+      for task = 1 to n_tasks do
+        let claims =
+          List.init threads (fun t ->
+              mem.(Program.address_of program (claims_name t) + task))
+        in
+        let total = List.fold_left ( + ) 0 claims + remaining.(task) in
+        if total <> 1 && !problem = None then
+          problem :=
+            Some
+              (Printf.sprintf "task %d accounted %d times (claims %s, remaining %d)" task
+                 total
+                 (String.concat "," (List.map string_of_int claims))
+                 remaining.(task))
+      done;
+      match !problem with
+      | Some msg -> Error msg
+      | None -> Ok ()
+    end
+  in
+  {
+    Workload.name = "wsq";
+    description = "Chase-Lev work-stealing deque under the Fig. 12 harness";
+    program;
+    validate;
+  }

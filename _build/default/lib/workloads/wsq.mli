@@ -1,0 +1,24 @@
+(** The work-stealing-queue harness workload (Table IV "wsq").
+
+    One owner thread repeatedly puts and takes batches of uniquely
+    numbered tasks on a Chase-Lev deque while the remaining threads
+    steal from it; every thread runs the tunable private workload
+    between operations (§VI-A).  Validation: each task is claimed by
+    exactly one thread or remains in the final queue — a duplicated or
+    lost task indicates a memory-ordering violation. *)
+
+val make :
+  ?threads:int ->
+  ?rounds:int ->
+  ?batch:int ->
+  ?flavored:bool ->
+  scope:[ `Class | `Set ] ->
+  level:Privwork.level ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 12 rounds, 8 tasks per batch.  [flavored]
+    gives each queue fence its precise direction (see
+    {!Wsq_class.decl}).  [scope]
+    selects between [S-FENCE\[class\]] and the Fig. 14 set-scope
+    variant; the traditional-fence baseline runs the same program on
+    a machine with the S-Fence hardware disabled. *)

@@ -1,0 +1,63 @@
+open Dsl
+module Ast = Fscope_slang.Ast
+
+let set_fence_vars ~instances =
+  List.concat_map
+    (fun inst -> List.map (Ast.field_symbol inst) [ "head"; "tail"; "buf" ])
+    instances
+
+let decl ?(flavored = false) ~fence ~cap () =
+  let ss f = if flavored then Dsl.fence_ss f else f in
+  let ll f = if flavored then Dsl.fence_ll f else f in
+  let sl f = if flavored then Dsl.fence_sl f else f in
+  let put =
+    meth "put" [ "task" ]
+      [
+        let_ "t" (fld "self" "tail");
+        sfldelem "self" "buf" (l "t" % i cap) (l "task");
+        ss fence (* store-store: task visible before the tail bump *);
+        sfld "self" "tail" (l "t" + i 1);
+      ]
+  in
+  let take =
+    meth "take" [] ~returns:true
+      [
+        let_ "t" (fld "self" "tail" - i 1);
+        sfld "self" "tail" (l "t");
+        sl fence (* store-load: the tail reservation before reading head *);
+        let_ "h" (fld "self" "head");
+        when_ (l "t" < l "h") [ sfld "self" "tail" (l "h"); return_ (i 0) ];
+        let_ "task" (fldelem "self" "buf" (l "t" % i cap));
+        when_ (l "t" > l "h") [ return_ (l "task") ];
+        (* Last element: race the thieves for it. *)
+        sfld "self" "tail" (l "h" + i 1);
+        let_ "ok" (i 0);
+        cas_fld "ok" "self" "head" (l "h") (l "h" + i 1);
+        when_ (not_ (l "ok")) [ return_ (i 0) ];
+        return_ (l "task");
+      ]
+  in
+  let steal =
+    meth "steal" [] ~returns:true
+      [
+        let_ "h" (fld "self" "head");
+        ll fence (* load-load: head strictly before tail, or a stale
+                    tail paired with a fresh head double-claims the
+                    last in-range index (the RMO race of Fig. 2's
+                    steal) *);
+        let_ "t" (fld "self" "tail");
+        when_ (l "h" >= l "t") [ return_ (i 0) ];
+        ll fence (* load-load: bounds before buffer contents *);
+        let_ "task" (fldelem "self" "buf" (l "h" % i cap));
+        let_ "ok" (i 0);
+        cas_fld "ok" "self" "head" (l "h") (l "h" + i 1);
+        when_ (not_ (l "ok")) [ return_ (i 0) ];
+        return_ (l "task");
+      ]
+  in
+  {
+    Ast.cname = "Wsq";
+    scalars = [ scalar "head" 0; scalar "tail" 0 ];
+    arrays = [ array "buf" cap ];
+    methods = [ put; take; steal ];
+  }

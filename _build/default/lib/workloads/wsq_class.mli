@@ -1,0 +1,27 @@
+(** The Chase-Lev work-stealing deque as a slang class — the paper's
+    Fig. 2, over a fixed-capacity circular buffer.
+
+    Task values must be positive; [take]/[steal] return 0 for
+    EMPTY/ABORT.  Fence placement: the store-store fence in [put] and
+    the store-load fence in [take] are the paper's (lines 4 and 10 of
+    Fig. 2); [steal] additionally carries a load-load fence between
+    reading the bounds and reading the buffer, which the RMO machine
+    needs to exclude phantom reads (the paper evaluates under RMO
+    where the same placement is inferred by the fence-synthesis work
+    it cites). *)
+
+val decl :
+  ?flavored:bool -> fence:Fscope_slang.Ast.stmt -> cap:int -> unit ->
+  Fscope_slang.Ast.class_decl
+(** The class, named "Wsq", with the given fence statement substituted
+    at each fence point (class-scoped for the S configurations,
+    or a set fence over the queue fields for Fig. 14's set-scope
+    variant — the baseline T reuses the same program with the S-Fence
+    hardware disabled).  With [flavored] (default false), each fence
+    additionally carries its precise direction — store-store in [put],
+    store-load in [take], load-load in [steal] — the paper-§VII
+    combination of scope with finer fences. *)
+
+val set_fence_vars : instances:string list -> string list
+(** The field symbols to list in an [S-FENCE\[set\]] covering the given
+    instances: head, tail and buffer of each. *)

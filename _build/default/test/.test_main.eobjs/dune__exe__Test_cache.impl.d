@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Fscope_mem List

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Fscope_core Fscope_cpu Fscope_isa List

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Fscope_machine Fscope_slang Fscope_util Fun List Printf

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Fscope_isa List Option

@@ -1,0 +1,1 @@
+test/test_scope_semantics.ml: Alcotest Fscope_core Fscope_isa Int List Printf QCheck2 QCheck_alcotest String

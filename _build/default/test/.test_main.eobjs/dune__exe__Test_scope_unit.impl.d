@@ -1,0 +1,1 @@
+test/test_scope_unit.ml: Alcotest Fscope_core Fscope_isa List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fscope_isa Fscope_machine Printf

@@ -1,0 +1,1 @@
+test/test_slang.ml: Alcotest Array Fscope_isa Fscope_machine Fscope_slang List Printf

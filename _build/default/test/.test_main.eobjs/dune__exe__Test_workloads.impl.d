@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fscope_core Fscope_experiments Fscope_machine Fscope_util Fscope_workloads Fun List Printf

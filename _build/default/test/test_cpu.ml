@@ -1,0 +1,133 @@
+(* Direct unit tests for the CPU building blocks (the pipeline itself
+   is covered end to end by test_sim and test_differential). *)
+
+module Rob = Fscope_cpu.Rob
+module Sb = Fscope_cpu.Store_buffer
+module Bp = Fscope_cpu.Branch_pred
+module Instr = Fscope_isa.Instr
+module Reg = Fscope_isa.Reg
+module Fsb = Fscope_core.Fsb
+module Fk = Fscope_isa.Fence_kind
+
+let entry seq = Rob.make_entry ~seq ~pc:seq ~instr:Instr.Nop ~srcs:[||]
+
+let test_rob_fifo () =
+  let rob = Rob.create ~size:4 in
+  Alcotest.(check bool) "empty" true (Rob.is_empty rob);
+  for s = 0 to 3 do
+    Rob.dispatch rob (entry s)
+  done;
+  Alcotest.(check bool) "full" true (Rob.is_full rob);
+  Alcotest.(check int) "head is 0" 0 (Rob.pop_head rob).Rob.seq;
+  Rob.dispatch rob (entry 4);
+  Alcotest.(check int) "count" 4 (Rob.count rob);
+  Alcotest.(check int) "head is 1" 1 (Rob.pop_head rob).Rob.seq
+
+let test_rob_wrong_seq () =
+  let rob = Rob.create ~size:4 in
+  Alcotest.check_raises "wrong seq" (Invalid_argument "Rob.dispatch: wrong seq") (fun () ->
+      Rob.dispatch rob (entry 5))
+
+let test_rob_squash () =
+  let rob = Rob.create ~size:8 in
+  for s = 0 to 5 do
+    Rob.dispatch rob (entry s)
+  done;
+  let removed = Rob.squash_after rob 2 in
+  Alcotest.(check (list int)) "removed 3,4,5" [ 3; 4; 5 ]
+    (List.map (fun (e : Rob.entry) -> e.Rob.seq) removed);
+  Alcotest.(check int) "count" 3 (Rob.count rob);
+  Alcotest.(check int) "next seq" 3 (Rob.next_seq rob);
+  Rob.dispatch rob (entry 3);
+  Alcotest.(check bool) "re-dispatch ok" true (Rob.contains rob 3)
+
+let test_rob_iteration_helpers () =
+  let rob = Rob.create ~size:8 in
+  for s = 0 to 4 do
+    Rob.dispatch rob (entry s)
+  done;
+  Alcotest.(check bool) "exists_older finds" true
+    (Rob.exists_older rob 3 (fun e -> e.Rob.seq = 2));
+  Alcotest.(check bool) "exists_older bounded" false
+    (Rob.exists_older rob 3 (fun e -> e.Rob.seq = 3));
+  let seen = Rob.fold_older rob 4 (fun acc e -> e.Rob.seq :: acc) [] in
+  Alcotest.(check (list int)) "fold_older oldest-first" [ 3; 2; 1; 0 ] seen
+
+let sb_entry ?(mask = Fsb.empty) ~addr ~done_at () =
+  { Sb.addr; value = 7; mask; done_at }
+
+let test_sb_fifo_and_completion () =
+  let sb = Sb.create ~capacity:4 in
+  Sb.push sb (sb_entry ~addr:0 ~done_at:10 ());
+  Sb.push sb (sb_entry ~addr:8 ~done_at:5 ());
+  Alcotest.(check int) "count" 2 (Sb.count sb);
+  let done_ = Sb.take_completed sb ~cycle:6 in
+  Alcotest.(check (list int)) "early entry drains out of order" [ 8 ]
+    (List.map (fun (e : Sb.entry) -> e.Sb.addr) done_);
+  Alcotest.(check int) "one left" 1 (Sb.count sb)
+
+let test_sb_forward_youngest () =
+  let sb = Sb.create ~capacity:4 in
+  Sb.push sb { Sb.addr = 3; value = 1; mask = Fsb.empty; done_at = 100 };
+  Sb.push sb { Sb.addr = 3; value = 2; mask = Fsb.empty; done_at = 100 };
+  Alcotest.(check (option int)) "youngest wins" (Some 2) (Sb.forward sb ~addr:3);
+  Alcotest.(check (option int)) "miss" None (Sb.forward sb ~addr:4)
+
+let test_sb_mask_overlap () =
+  let sb = Sb.create ~capacity:4 in
+  Sb.push sb (sb_entry ~mask:(Fsb.column 1) ~addr:0 ~done_at:10 ());
+  Alcotest.(check bool) "overlap" true (Sb.mask_overlaps sb (Fsb.column 1));
+  Alcotest.(check bool) "no overlap" false (Sb.mask_overlaps sb (Fsb.column 2))
+
+let test_sb_capacity () =
+  let sb = Sb.create ~capacity:1 in
+  Sb.push sb (sb_entry ~addr:0 ~done_at:1 ());
+  Alcotest.(check bool) "full" true (Sb.is_full sb);
+  Alcotest.check_raises "push full" (Invalid_argument "Store_buffer.push: full") (fun () ->
+      Sb.push sb (sb_entry ~addr:1 ~done_at:1 ()))
+
+let test_bpred_learns () =
+  let bp = Bp.create ~entries:16 in
+  (* initial state is weakly not-taken *)
+  Alcotest.(check bool) "cold predicts not-taken" false (Bp.predict bp ~pc:3);
+  Bp.update bp ~pc:3 ~taken:true;
+  Alcotest.(check bool) "one taken flips weak counter" true (Bp.predict bp ~pc:3);
+  Bp.update bp ~pc:3 ~taken:true;
+  Bp.update bp ~pc:3 ~taken:false;
+  Alcotest.(check bool) "hysteresis survives one not-taken" true (Bp.predict bp ~pc:3);
+  Bp.update bp ~pc:3 ~taken:false;
+  Bp.update bp ~pc:3 ~taken:false;
+  Alcotest.(check bool) "retrained" false (Bp.predict bp ~pc:3)
+
+let test_bpred_aliasing () =
+  let bp = Bp.create ~entries:4 in
+  Bp.update bp ~pc:0 ~taken:true;
+  Bp.update bp ~pc:0 ~taken:true;
+  (* pc 4 aliases pc 0 in a 4-entry table *)
+  Alcotest.(check bool) "aliased entry shares state" true (Bp.predict bp ~pc:4)
+
+let test_fence_kind_flavors () =
+  Alcotest.(check bool) "full waits stores" true Fk.full.Fk.wait_stores;
+  let ss = Fk.store_store Fk.class_scoped in
+  Alcotest.(check bool) "ss keeps scope" true (Fk.scope_of ss = Fk.Class_scope);
+  Alcotest.(check bool) "ss skips loads" false ss.Fk.wait_loads;
+  Alcotest.(check bool) "ss does not block loads" false ss.Fk.block_loads;
+  let ll = Fk.load_load Fk.set_scoped in
+  Alcotest.(check bool) "ll skips stores" false ll.Fk.wait_stores;
+  Alcotest.(check bool) "ll blocks loads" true ll.Fk.block_loads;
+  Alcotest.(check string) "printing" "S-FENCE[class].ss" (Fk.to_string ss)
+
+let tests =
+  [
+    Alcotest.test_case "rob fifo" `Quick test_rob_fifo;
+    Alcotest.test_case "rob wrong seq" `Quick test_rob_wrong_seq;
+    Alcotest.test_case "rob squash" `Quick test_rob_squash;
+    Alcotest.test_case "rob iteration" `Quick test_rob_iteration_helpers;
+    Alcotest.test_case "sb completion order" `Quick test_sb_fifo_and_completion;
+    Alcotest.test_case "sb forwarding" `Quick test_sb_forward_youngest;
+    Alcotest.test_case "sb mask overlap" `Quick test_sb_mask_overlap;
+    Alcotest.test_case "sb capacity" `Quick test_sb_capacity;
+    Alcotest.test_case "bpred learning" `Quick test_bpred_learns;
+    Alcotest.test_case "bpred aliasing" `Quick test_bpred_aliasing;
+    Alcotest.test_case "fence kind flavors" `Quick test_fence_kind_flavors;
+  ]

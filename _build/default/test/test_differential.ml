@@ -1,0 +1,298 @@
+(* Differential testing: random single-threaded slang programs are run
+   through (a) the reference interpreter on the source AST and (b) the
+   full pipeline — typecheck, inline, codegen, cycle-level simulation —
+   under four machine configurations.  The final memories must agree
+   exactly.  This cross-checks the compiler and the processor's
+   functional behaviour (renaming, forwarding, disambiguation,
+   misprediction recovery, CAS, fence handling) in one property. *)
+
+module Ast = Fscope_slang.Ast
+module Compile = Fscope_slang.Compile
+module Interp = Fscope_slang.Interp
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module Rng = Fscope_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+type genv = {
+  rng : Rng.t;
+  mutable locals : string list;  (** in scope, innermost first *)
+  mutable fresh : int;
+  in_method : bool;  (** inside class K: "self" is available *)
+  callable : (string * bool) list;  (** methods this context may call: (name, returns) *)
+}
+
+let arrays = [ ("arr1", 16); ("arr2", 32) ]
+let scalars = [ "ga"; "gb" ]
+let field_arrays = [ ("buf", 16) ]
+let field_scalars = [ "f" ]
+
+let fresh_name env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "%s%d" prefix env.fresh
+
+let pick env xs = List.nth xs (Rng.int env.rng (List.length xs))
+
+let rec gen_expr env depth =
+  let leaf () =
+    match Rng.int env.rng (if env.locals = [] then 2 else 4) with
+    | 0 -> Ast.Int (Rng.int_in env.rng (-20) 20)
+    | 1 -> Ast.Read (gen_lvalue env (depth + 1))
+    | 2 -> Ast.Local (pick env env.locals)
+    | _ -> Ast.Local (pick env env.locals)
+  in
+  if depth >= 3 then leaf ()
+  else
+    match Rng.int env.rng 6 with
+    | 0 | 1 -> leaf ()
+    | 2 | 3 ->
+      let op =
+        pick env
+          [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Rem; Ast.Band; Ast.Bor; Ast.Bxor;
+            Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ]
+      in
+      Ast.Binop (op, gen_expr env (depth + 1), gen_expr env (depth + 1))
+    | 4 -> Ast.Not (gen_expr env (depth + 1))
+    | _ -> Ast.Read (gen_lvalue env (depth + 1))
+
+and gen_lvalue env depth =
+  (* Array indices are masked with the (power-of-two) size so they are
+     always in bounds in both executions. *)
+  let masked size = Ast.Binop (Ast.Band, gen_expr env (depth + 1), Ast.Int (size - 1)) in
+  let choices = if env.in_method then 4 else 2 in
+  match Rng.int env.rng choices with
+  | 0 -> Ast.Global (pick env scalars)
+  | 1 ->
+    let name, size = pick env arrays in
+    Ast.Elem (name, masked size)
+  | 2 -> Ast.Field ("self", pick env field_scalars)
+  | _ ->
+    let name, size = pick env field_arrays in
+    Ast.Field_elem ("self", name, masked size)
+
+let gen_fence env =
+  let flavor =
+    pick env [ Ast.FF_full; Ast.FF_store_store; Ast.FF_load_load; Ast.FF_store_load ]
+  in
+  match Rng.int env.rng 3 with
+  | 0 -> Ast.Fence (Ast.F_full, flavor)
+  | 1 when env.in_method -> Ast.Fence (Ast.F_class, flavor)
+  | _ -> Ast.Fence (Ast.F_set [ pick env scalars; fst (pick env arrays) ], flavor)
+
+let rec gen_block env ~depth ~len =
+  let saved = env.locals in
+  let stmts = List.concat (List.init len (fun _ -> gen_stmt env ~depth)) in
+  env.locals <- saved;
+  stmts
+
+and gen_stmt env ~depth =
+  match Rng.int env.rng 12 with
+  | 0 | 1 ->
+    let name = fresh_name env "v" in
+    let e = gen_expr env 0 in
+    env.locals <- name :: env.locals;
+    [ Ast.Let (name, e) ]
+  | 2 when env.locals <> [] -> [ Ast.Assign (pick env env.locals, gen_expr env 0) ]
+  | 3 | 4 -> [ Ast.Store (gen_lvalue env 0, gen_expr env 0) ]
+  | 5 when depth < 2 ->
+    [ Ast.If (gen_expr env 0, gen_block env ~depth:(depth + 1) ~len:2,
+              if Rng.bool env.rng then gen_block env ~depth:(depth + 1) ~len:2 else []) ]
+  | 6 when depth < 2 ->
+    (* A bounded counting loop.  The counter is deliberately NOT added
+       to [env.locals]: generated statements in the body must not be
+       able to reassign it, or the loop could diverge. *)
+    let c = fresh_name env "c" in
+    let n = Rng.int_in env.rng 0 4 in
+    let body = gen_block env ~depth:(depth + 1) ~len:2 in
+    [
+      Ast.Let (c, Ast.Int n);
+      Ast.While
+        ( Ast.Binop (Ast.Gt, Ast.Local c, Ast.Int 0),
+          body @ [ Ast.Assign (c, Ast.Binop (Ast.Sub, Ast.Local c, Ast.Int 1)) ] );
+    ]
+  | 7 -> [ gen_fence env ]
+  | 8 ->
+    let dst = fresh_name env "ok" in
+    env.locals <- dst :: env.locals;
+    [
+      Ast.Let (dst, Ast.Int 0);
+      Ast.Cas { dst; lv = gen_lvalue env 0; expected = gen_expr env 1; desired = gen_expr env 1 };
+    ]
+  | 9 when env.callable <> [] ->
+    let name, returns = pick env env.callable in
+    let args = [ gen_expr env 0 ] in
+    if returns then begin
+      let dst = fresh_name env "r" in
+      env.locals <- dst :: env.locals;
+      [ Ast.Let (dst, Ast.Int 0); Ast.Call_assign (dst, { instance = Some "k"; meth = name; args }) ]
+    end
+    else [ Ast.Call_stmt { instance = Some "k"; meth = name; args } ]
+  | _ -> [ Ast.Store (gen_lvalue env 0, gen_expr env 0) ]
+
+let gen_method rng ~name ~callable ~returns =
+  let env = { rng; locals = [ "p" ]; fresh = 0; in_method = true; callable } in
+  let body = gen_block env ~depth:0 ~len:(Rng.int_in rng 2 5) in
+  let body = if returns then body @ [ Ast.Return (Some (gen_expr env 0)) ] else body in
+  { Ast.mname = name; params = [ "p" ]; returns; body }
+
+(* Multicore variant: [threads] copies of independently generated
+   bodies, each touching only its own globals ("t<i>_ga", ...), so the
+   sequential interpretation and any parallel interleaving must agree
+   on the final memory. *)
+let gen_disjoint_program seed ~threads =
+  let rng = Rng.create seed in
+  let per_thread t =
+    let prefix n = Printf.sprintf "t%d_%s" t n in
+    let rename_lv = function
+      | Ast.Global n -> Ast.Global (prefix n)
+      | Ast.Elem (n, e) -> Ast.Elem (prefix n, e)
+      | (Ast.Field _ | Ast.Field_elem _) as lv -> lv
+    in
+    let rec rename_expr = function
+      | (Ast.Int _ | Ast.Tid | Ast.Local _) as e -> e
+      | Ast.Read lv -> Ast.Read (rename_deep lv)
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, rename_expr a, rename_expr b)
+      | Ast.Not e -> Ast.Not (rename_expr e)
+    and rename_deep lv =
+      match rename_lv lv with
+      | Ast.Elem (n, e) -> Ast.Elem (n, rename_expr e)
+      | Ast.Field_elem (i, f, e) -> Ast.Field_elem (i, f, rename_expr e)
+      | (Ast.Global _ | Ast.Field _) as lv -> lv
+    in
+    let rec rename_stmt = function
+      | Ast.Let (n, e) -> Ast.Let (n, rename_expr e)
+      | Ast.Assign (n, e) -> Ast.Assign (n, rename_expr e)
+      | Ast.Store (lv, e) -> Ast.Store (rename_deep lv, rename_expr e)
+      | Ast.If (c, a, b) -> Ast.If (rename_expr c, List.map rename_stmt a, List.map rename_stmt b)
+      | Ast.While (c, b) -> Ast.While (rename_expr c, List.map rename_stmt b)
+      | Ast.Fence (Ast.F_set vars, fl) -> Ast.Fence (Ast.F_set (List.map prefix vars), fl)
+      | Ast.Fence (spec, fl) -> Ast.Fence (spec, fl)
+      | Ast.Cas { dst; lv; expected; desired } ->
+        Ast.Cas { dst; lv = rename_deep lv;
+                  expected = rename_expr expected; desired = rename_expr desired }
+      | (Ast.Call_stmt _ | Ast.Call_assign _ | Ast.Return _ | Ast.Inlined _) as s -> s
+    in
+    let env =
+      { rng = Rng.split rng; locals = []; fresh = 1000 * (t + 1); in_method = false;
+        callable = [] (* no class: the instance would be shared *) }
+    in
+    List.map rename_stmt (gen_block env ~depth:0 ~len:(Rng.int_in rng 4 8))
+  in
+  let bodies = List.init threads per_thread in
+  {
+    Ast.classes = [];
+    instances = [];
+    globals =
+      List.concat_map
+        (fun t ->
+          let prefix n = Printf.sprintf "t%d_%s" t n in
+          List.map (fun s -> Ast.G_scalar (prefix s, Rng.int rng 100)) scalars
+          @ List.map (fun (a, size) -> Ast.G_array (prefix a, size, None)) arrays)
+        (List.init threads Fun.id);
+    threads = bodies;
+  }
+
+let gen_program seed =
+  let rng = Rng.create seed in
+  let m0 = gen_method (Rng.split rng) ~name:"m0" ~callable:[] ~returns:(Rng.bool rng) in
+  let m1 =
+    gen_method (Rng.split rng) ~name:"m1"
+      ~callable:[ ("m0", m0.Ast.returns) ]
+      ~returns:(Rng.bool rng)
+  in
+  let cls =
+    {
+      Ast.cname = "K";
+      scalars = List.map (fun f -> (f, Rng.int rng 50)) field_scalars;
+      arrays = List.map (fun (f, size) -> (f, size, None)) field_arrays;
+      methods = [ m0; m1 ];
+    }
+  in
+  let env =
+    {
+      rng;
+      locals = [];
+      fresh = 1000;
+      in_method = false;
+      callable = [ ("m0", m0.Ast.returns); ("m1", m1.Ast.returns) ];
+    }
+  in
+  let thread = gen_block env ~depth:0 ~len:(Rng.int_in rng 4 10) in
+  {
+    Ast.classes = [ cls ];
+    instances = [ { Ast.iname = "k"; cls = "K" } ];
+    globals =
+      List.map (fun s -> Ast.G_scalar (s, Rng.int rng 100)) scalars
+      @ List.map (fun (a, size) -> Ast.G_array (a, size, None)) arrays;
+    threads = [ thread ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let configs =
+  [
+    ("scoped", Config.scoped Config.default);
+    ("traditional", Config.traditional Config.default);
+    ("scoped+spec", Config.with_speculation true (Config.scoped Config.default));
+    ("small-rob", Config.with_rob_size 16 (Config.scoped Config.default));
+  ]
+
+let check_seed seed =
+  let program_ast = gen_program seed in
+  let program, info = Compile.compile program_ast in
+  let expected =
+    Interp.run_sequential program_ast ~layout:info.Compile.layout
+  in
+  List.iter
+    (fun (label, config) ->
+      let result = Machine.run config program in
+      if result.Machine.timed_out then
+        Alcotest.failf "seed %d (%s): simulation timed out" seed label;
+      Array.iteri
+        (fun addr v ->
+          if result.Machine.mem.(addr) <> v then
+            Alcotest.failf "seed %d (%s): mem[%d] = %d, interpreter says %d" seed label
+              addr result.Machine.mem.(addr) v)
+        expected)
+    configs
+
+let test_differential_batch lo hi () =
+  for seed = lo to hi do
+    check_seed seed
+  done
+
+(* Multicore: disjoint-data threads; the Tid expressions still differ
+   per thread, but they only flow into thread-private state. *)
+let check_disjoint_seed seed =
+  let program_ast = gen_disjoint_program seed ~threads:4 in
+  let program, info = Compile.compile program_ast in
+  let expected = Interp.run_sequential program_ast ~layout:info.Compile.layout in
+  List.iter
+    (fun (label, config) ->
+      let result = Machine.run config program in
+      if result.Machine.timed_out then
+        Alcotest.failf "seed %d (%s): simulation timed out" seed label;
+      Array.iteri
+        (fun addr v ->
+          if result.Machine.mem.(addr) <> v then
+            Alcotest.failf "seed %d (%s): mem[%d] = %d, interpreter says %d" seed label
+              addr result.Machine.mem.(addr) v)
+        expected)
+    configs
+
+let test_disjoint_batch lo hi () =
+  for seed = lo to hi do
+    check_disjoint_seed seed
+  done
+
+let tests =
+  [
+    Alcotest.test_case "random programs 1-60" `Quick (test_differential_batch 1 60);
+    Alcotest.test_case "random programs 61-120" `Quick (test_differential_batch 61 120);
+    Alcotest.test_case "random programs 121-200" `Slow (test_differential_batch 121 200);
+    Alcotest.test_case "4-core disjoint programs 1-40" `Quick (test_disjoint_batch 1 40);
+    Alcotest.test_case "4-core disjoint programs 41-100" `Slow (test_disjoint_batch 41 100);
+  ]

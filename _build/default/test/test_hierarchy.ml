@@ -1,0 +1,107 @@
+module H = Fscope_mem.Hierarchy
+module Rng = Fscope_util.Rng
+
+let small_config =
+  {
+    H.default_config with
+    H.l1_sets = 4;
+    l1_ways = 2;
+    l2_sets = 16;
+    l2_ways = 4;
+  }
+
+let cfg = H.default_config
+
+let test_cold_miss_then_hit () =
+  let h = H.create ~cores:2 cfg in
+  let miss = H.access h ~core:0 H.Read ~addr:100 in
+  Alcotest.(check int) "cold miss goes to memory"
+    (cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
+    miss;
+  let hit = H.access h ~core:0 H.Read ~addr:101 in
+  Alcotest.(check int) "same line hits L1" cfg.l1_latency hit
+
+let test_l2_hit_after_remote_read () =
+  let h = H.create ~cores:2 cfg in
+  ignore (H.access h ~core:0 H.Read ~addr:100);
+  let lat = H.access h ~core:1 H.Read ~addr:100 in
+  Alcotest.(check int) "second core hits shared L2" (cfg.l1_latency + cfg.l2_latency) lat
+
+let test_write_invalidates_sharers () =
+  let h = H.create ~cores:2 cfg in
+  ignore (H.access h ~core:0 H.Read ~addr:100);
+  ignore (H.access h ~core:1 H.Read ~addr:100);
+  ignore (H.access h ~core:0 H.Write ~addr:100);
+  Alcotest.(check bool) "remote copy invalidated" false (H.l1_resident h ~core:1 ~addr:100);
+  Alcotest.(check bool) "writer keeps it" true (H.l1_resident h ~core:0 ~addr:100);
+  Alcotest.(check int) "invalidation counted" 1 (H.stats h).H.invalidations
+
+let test_dirty_remote_read_costs_c2c () =
+  let h = H.create ~cores:2 cfg in
+  ignore (H.access h ~core:0 H.Write ~addr:100);
+  let lat = H.access h ~core:1 H.Read ~addr:100 in
+  Alcotest.(check int) "c2c charged" (cfg.l1_latency + cfg.l2_latency + cfg.c2c_latency) lat;
+  (* After the downgrade, the writer re-acquiring ownership costs an upgrade. *)
+  let upgrade = H.access h ~core:0 H.Write ~addr:100 in
+  Alcotest.(check int) "upgrade" (cfg.l1_latency + cfg.l2_latency) upgrade
+
+let test_write_hit_modified () =
+  let h = H.create ~cores:1 cfg in
+  ignore (H.access h ~core:0 H.Write ~addr:100);
+  let lat = H.access h ~core:0 H.Write ~addr:100 in
+  Alcotest.(check int) "write hit in M" cfg.l1_latency lat
+
+let test_rmw_behaves_like_write () =
+  let h = H.create ~cores:2 cfg in
+  ignore (H.access h ~core:0 H.Read ~addr:100);
+  ignore (H.access h ~core:1 H.Rmw ~addr:100);
+  Alcotest.(check bool) "reader invalidated" false (H.l1_resident h ~core:0 ~addr:100)
+
+let test_invariants_random_trace () =
+  let h = H.create ~cores:4 small_config in
+  let rng = Rng.create 2024 in
+  for _ = 1 to 20_000 do
+    let core = Rng.int rng 4 in
+    let addr = Rng.int rng 4096 in
+    let kind = match Rng.int rng 3 with 0 -> H.Read | 1 -> H.Write | _ -> H.Rmw in
+    ignore (H.access h ~core kind ~addr)
+  done;
+  match H.check_invariants h with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_stats_counting () =
+  let h = H.create ~cores:1 cfg in
+  ignore (H.access h ~core:0 H.Read ~addr:0);
+  ignore (H.access h ~core:0 H.Read ~addr:1);
+  let s = H.stats h in
+  Alcotest.(check int) "one miss" 1 s.H.l1_misses;
+  Alcotest.(check int) "one hit" 1 s.H.l1_hits;
+  Alcotest.(check int) "one l2 miss" 1 s.H.l2_misses
+
+let test_l1_eviction_keeps_coherence () =
+  (* Tiny L1: walk enough distinct lines to force evictions, then check
+     invariants. *)
+  let h = H.create ~cores:2 small_config in
+  for i = 0 to 63 do
+    ignore (H.access h ~core:0 H.Write ~addr:(i * 8))
+  done;
+  for i = 0 to 63 do
+    ignore (H.access h ~core:1 H.Read ~addr:(i * 8))
+  done;
+  match H.check_invariants h with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let tests =
+  [
+    Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+    Alcotest.test_case "L2 hit after remote read" `Quick test_l2_hit_after_remote_read;
+    Alcotest.test_case "write invalidates sharers" `Quick test_write_invalidates_sharers;
+    Alcotest.test_case "dirty remote read" `Quick test_dirty_remote_read_costs_c2c;
+    Alcotest.test_case "write hit in M" `Quick test_write_hit_modified;
+    Alcotest.test_case "RMW acquires ownership" `Quick test_rmw_behaves_like_write;
+    Alcotest.test_case "invariants under random trace" `Quick test_invariants_random_trace;
+    Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "eviction coherence" `Quick test_l1_eviction_keeps_coherence;
+  ]

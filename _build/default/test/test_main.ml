@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "fence_scoping"
+    [
+      ("util", Test_util.tests);
+      ("isa", Test_isa.tests);
+      ("cache", Test_cache.tests);
+      ("hierarchy", Test_hierarchy.tests);
+      ("cpu", Test_cpu.tests);
+      ("scope_unit", Test_scope_unit.tests);
+      ("scope_semantics", Test_scope_semantics.tests);
+      ("sim", Test_sim.tests);
+      ("slang", Test_slang.tests);
+      ("workloads", Test_workloads.tests);
+      ("differential", Test_differential.tests);
+    ]

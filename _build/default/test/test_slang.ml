@@ -1,0 +1,393 @@
+(* Mini-language compiler tests: typechecking, inlining, flagging, and
+   end-to-end compile-and-simulate runs. *)
+
+module Ast = Fscope_slang.Ast
+module Typecheck = Fscope_slang.Typecheck
+module Inline = Fscope_slang.Inline
+module Alias = Fscope_slang.Alias
+module Compile = Fscope_slang.Compile
+module Instr = Fscope_isa.Instr
+module Program = Fscope_isa.Program
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+
+open Ast
+
+let empty_program = { classes = []; instances = []; globals = []; threads = [] }
+
+let run_program ?(config = Config.default) p =
+  let prog, info = Compile.compile p in
+  (Machine.run config prog, prog, info)
+
+let check_typecheck_error msg p =
+  match Typecheck.check p with
+  | () -> Alcotest.failf "expected typecheck error (%s)" msg
+  | exception Typecheck.Error _ -> ()
+
+let test_reject_unknown_global () =
+  check_typecheck_error "unknown global"
+    { empty_program with threads = [ [ Store (Global "nope", Int 1) ] ] }
+
+let test_reject_undeclared_local () =
+  check_typecheck_error "undeclared local"
+    {
+      empty_program with
+      globals = [ G_scalar ("x", 0) ];
+      threads = [ [ Assign ("i", Int 1) ] ];
+    }
+
+let test_reject_duplicate_let () =
+  check_typecheck_error "duplicate let"
+    { empty_program with threads = [ [ Let ("i", Int 0); Let ("i", Int 1) ] ] }
+
+let test_reject_recursion () =
+  let cls =
+    {
+      cname = "C";
+      scalars = [];
+      arrays = [];
+      methods =
+        [
+          {
+            mname = "f";
+            params = [];
+            returns = false;
+            body = [ Call_stmt { instance = Some "self"; meth = "f"; args = [] } ];
+          };
+        ];
+    }
+  in
+  check_typecheck_error "recursion"
+    {
+      empty_program with
+      classes = [ cls ];
+      instances = [ { iname = "c"; cls = "C" } ];
+      threads = [ [ Call_stmt { instance = Some "c"; meth = "f"; args = [] } ] ];
+    }
+
+let test_reject_arity_mismatch () =
+  let cls =
+    {
+      cname = "C";
+      scalars = [ ("x", 0) ];
+      arrays = [];
+      methods =
+        [ { mname = "set"; params = [ "v" ]; returns = false;
+            body = [ Store (Field ("self", "x"), Local "v") ] } ];
+    }
+  in
+  check_typecheck_error "arity"
+    {
+      empty_program with
+      classes = [ cls ];
+      instances = [ { iname = "c"; cls = "C" } ];
+      threads = [ [ Call_stmt { instance = Some "c"; meth = "set"; args = [] } ] ];
+    }
+
+let test_reject_return_in_thread () =
+  check_typecheck_error "return in thread"
+    { empty_program with threads = [ [ Return None ] ] }
+
+let test_reject_array_used_as_scalar () =
+  check_typecheck_error "array as scalar"
+    {
+      empty_program with
+      globals = [ G_array ("a", 4, None) ];
+      threads = [ [ Store (Global "a", Int 1) ] ];
+    }
+
+(* ------------------------------------------------------------------ *)
+
+let test_compile_and_run_loop () =
+  (* x := sum of 1..10 *)
+  let p =
+    {
+      empty_program with
+      globals = [ G_scalar ("x", 0) ];
+      threads =
+        [
+          [
+            Let ("i", Int 10);
+            Let ("sum", Int 0);
+            While
+              ( Binop (Gt, Local "i", Int 0),
+                [
+                  Assign ("sum", Binop (Add, Local "sum", Local "i"));
+                  Assign ("i", Binop (Sub, Local "i", Int 1));
+                ] );
+            Store (Global "x", Local "sum");
+          ];
+        ];
+    }
+  in
+  let result, prog, _ = run_program p in
+  Alcotest.(check bool) "finished" false result.Machine.timed_out;
+  Alcotest.(check int) "sum" 55 result.Machine.mem.(Program.address_of prog "x")
+
+let test_if_else () =
+  let p =
+    {
+      empty_program with
+      globals = [ G_scalar ("a", 0); G_scalar ("b", 0) ];
+      threads =
+        [
+          [
+            If (Binop (Lt, Int 3, Int 5), [ Store (Global "a", Int 1) ], [ Store (Global "a", Int 2) ]);
+            If (Binop (Eq, Int 3, Int 5), [ Store (Global "b", Int 1) ], [ Store (Global "b", Int 2) ]);
+          ];
+        ];
+    }
+  in
+  let result, prog, _ = run_program p in
+  Alcotest.(check int) "then branch" 1 result.Machine.mem.(Program.address_of prog "a");
+  Alcotest.(check int) "else branch" 2 result.Machine.mem.(Program.address_of prog "b")
+
+let test_arrays_and_tid () =
+  let p =
+    {
+      empty_program with
+      globals = [ G_array ("slots", 8, None) ];
+      threads =
+        [
+          [ Store (Elem ("slots", Tid), Binop (Add, Tid, Int 40)) ];
+          [ Store (Elem ("slots", Tid), Binop (Add, Tid, Int 40)) ];
+        ];
+    }
+  in
+  let result, prog, _ = run_program p in
+  let base = Program.address_of prog "slots" in
+  Alcotest.(check int) "thread 0 slot" 40 result.Machine.mem.(base);
+  Alcotest.(check int) "thread 1 slot" 41 result.Machine.mem.(base + 1)
+
+(* A counter class with a class-scoped fence, exercised end to end. *)
+let counter_class =
+  {
+    cname = "Counter";
+    scalars = [ ("value", 0) ];
+    arrays = [];
+    methods =
+      [
+        {
+          mname = "bump";
+          params = [ "amount" ];
+          returns = true;
+          body =
+            [
+              Let ("old", Read (Field ("self", "value")));
+              Fence (F_class, FF_full);
+              Store (Field ("self", "value"), Binop (Add, Local "old", Local "amount"));
+              Return (Some (Local "old"));
+            ];
+        };
+        {
+          mname = "bump_twice";
+          params = [];
+          returns = false;
+          body =
+            [
+              Let ("ignore", Int 0);
+              Call_assign ("ignore", { instance = Some "self"; meth = "bump"; args = [ Int 1 ] });
+              Call_assign ("ignore", { instance = Some "self"; meth = "bump"; args = [ Int 1 ] });
+            ];
+        };
+      ];
+  }
+
+let counter_program =
+  {
+    classes = [ counter_class ];
+    instances = [ { iname = "ctr"; cls = "Counter" } ];
+    globals = [ G_scalar ("result", 0) ];
+    threads =
+      [
+        [
+          Let ("old", Int 0);
+          Call_assign ("old", { instance = Some "ctr"; meth = "bump"; args = [ Int 5 ] });
+          Call_stmt { instance = Some "ctr"; meth = "bump_twice"; args = [] };
+          Store (Global "result", Local "old");
+        ];
+      ];
+  }
+
+let test_method_call_end_to_end () =
+  let result, prog, _ = run_program counter_program in
+  Alcotest.(check bool) "finished" false result.Machine.timed_out;
+  Alcotest.(check int) "counter" 7 result.Machine.mem.(Program.address_of prog "ctr.value");
+  Alcotest.(check int) "return value" 0 result.Machine.mem.(Program.address_of prog "result")
+
+let count_instr prog pred =
+  Array.fold_left
+    (fun acc code ->
+      Array.fold_left (fun acc instr -> if pred instr then acc + 1 else acc) acc code)
+    0 prog.Program.threads
+
+let test_fs_markers_emitted () =
+  let prog, info = Compile.compile counter_program in
+  let cid = List.assoc "Counter" info.Compile.cids in
+  let starts = count_instr prog (function Instr.Fs_start c -> c = cid | _ -> false) in
+  let ends = count_instr prog (function Instr.Fs_end c -> c = cid | _ -> false) in
+  (* bump (from thread), bump_twice, and two nested bumps = 4 regions *)
+  Alcotest.(check int) "fs_start count" 4 starts;
+  Alcotest.(check int) "fs_end count" 4 ends;
+  let class_fences =
+    count_instr prog (function
+      | Instr.Fence k -> Fscope_isa.Fence_kind.equal k Fscope_isa.Fence_kind.class_scoped
+      | _ -> false)
+  in
+  Alcotest.(check int) "class fences" 3 class_fences
+
+let test_early_return () =
+  (* max(a, b) via early return *)
+  let cls =
+    {
+      cname = "M";
+      scalars = [];
+      arrays = [];
+      methods =
+        [
+          {
+            mname = "max";
+            params = [ "a"; "b" ];
+            returns = true;
+            body =
+              [
+                If (Binop (Gt, Local "a", Local "b"), [ Return (Some (Local "a")) ], []);
+                Return (Some (Local "b"));
+              ];
+          };
+        ];
+    }
+  in
+  let p =
+    {
+      classes = [ cls ];
+      instances = [ { iname = "m"; cls = "M" } ];
+      globals = [ G_scalar ("r1", 0); G_scalar ("r2", 0) ];
+      threads =
+        [
+          [
+            Let ("x", Int 0);
+            Call_assign ("x", { instance = Some "m"; meth = "max"; args = [ Int 7; Int 3 ] });
+            Store (Global "r1", Local "x");
+            Call_assign ("x", { instance = Some "m"; meth = "max"; args = [ Int 2; Int 9 ] });
+            Store (Global "r2", Local "x");
+          ];
+        ];
+    }
+  in
+  let result, prog, _ = run_program p in
+  Alcotest.(check int) "max(7,3)" 7 result.Machine.mem.(Program.address_of prog "r1");
+  Alcotest.(check int) "max(2,9)" 9 result.Machine.mem.(Program.address_of prog "r2")
+
+let test_set_flagging () =
+  let p =
+    {
+      empty_program with
+      globals = [ G_scalar ("flag", 0); G_scalar ("priv", 0) ];
+      threads =
+        [
+          [
+            Store (Global "priv", Int 1);
+            Store (Global "flag", Int 1);
+            Fence (F_set [ "flag" ], FF_full);
+            Let ("v", Read (Global "flag"));
+            Store (Global "priv", Local "v");
+          ];
+        ];
+    }
+  in
+  let prog, info = Compile.compile p in
+  Alcotest.(check (list string)) "flagged symbols" [ "flag" ] info.Compile.flagged_symbols;
+  let flagged_ops =
+    count_instr prog (function
+      | Instr.Load { flagged; _ } | Instr.Store { flagged; _ } -> flagged
+      | _ -> false)
+  in
+  Alcotest.(check int) "flag accesses flagged" 2 flagged_ops
+
+let test_shared_symbols () =
+  let p =
+    {
+      empty_program with
+      globals = [ G_scalar ("shared", 0); G_scalar ("t0_only", 0); G_scalar ("read_only", 7) ];
+      threads =
+        [
+          [ Store (Global "shared", Int 1); Store (Global "t0_only", Int 1);
+            Let ("a", Read (Global "read_only")) ];
+          [ Let ("b", Read (Global "shared")); Let ("c", Read (Global "read_only")) ];
+        ];
+    }
+  in
+  let inlined, _ = Inline.run p in
+  Alcotest.(check (list string)) "conflict-shared only" [ "shared" ]
+    (Alias.shared_symbols inlined)
+
+let test_field_arrays () =
+  let cls =
+    {
+      cname = "Buf";
+      scalars = [ ("n", 0) ];
+      arrays = [ ("items", 16, None) ];
+      methods =
+        [
+          {
+            mname = "push";
+            params = [ "v" ];
+            returns = false;
+            body =
+              [
+                Let ("i", Read (Field ("self", "n")));
+                Store (Field_elem ("self", "items", Local "i"), Local "v");
+                Store (Field ("self", "n"), Binop (Add, Local "i", Int 1));
+              ];
+          };
+        ];
+    }
+  in
+  let p =
+    {
+      empty_program with
+      classes = [ cls ];
+      instances = [ { iname = "buf"; cls = "Buf" } ];
+      threads =
+        [
+          [
+            Call_stmt { instance = Some "buf"; meth = "push"; args = [ Int 11 ] };
+            Call_stmt { instance = Some "buf"; meth = "push"; args = [ Int 22 ] };
+          ];
+        ];
+    }
+  in
+  let result, prog, _ = run_program p in
+  let base = Program.address_of prog "buf.items" in
+  Alcotest.(check int) "items[0]" 11 result.Machine.mem.(base);
+  Alcotest.(check int) "items[1]" 22 result.Machine.mem.(base + 1);
+  Alcotest.(check int) "n" 2 result.Machine.mem.(Program.address_of prog "buf.n")
+
+let test_register_pool_exhaustion () =
+  let many_lets = List.init 30 (fun i -> Let (Printf.sprintf "v%d" i, Int i)) in
+  let p = { empty_program with threads = [ many_lets ] } in
+  match Compile.compile p with
+  | _ -> Alcotest.fail "expected register exhaustion"
+  | exception Fscope_slang.Codegen.Error _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "reject unknown global" `Quick test_reject_unknown_global;
+    Alcotest.test_case "reject undeclared local" `Quick test_reject_undeclared_local;
+    Alcotest.test_case "reject duplicate let" `Quick test_reject_duplicate_let;
+    Alcotest.test_case "reject recursion" `Quick test_reject_recursion;
+    Alcotest.test_case "reject arity mismatch" `Quick test_reject_arity_mismatch;
+    Alcotest.test_case "reject return in thread" `Quick test_reject_return_in_thread;
+    Alcotest.test_case "reject array as scalar" `Quick test_reject_array_used_as_scalar;
+    Alcotest.test_case "compile and run loop" `Quick test_compile_and_run_loop;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "arrays and tid" `Quick test_arrays_and_tid;
+    Alcotest.test_case "method calls end to end" `Quick test_method_call_end_to_end;
+    Alcotest.test_case "fs markers emitted" `Quick test_fs_markers_emitted;
+    Alcotest.test_case "early return" `Quick test_early_return;
+    Alcotest.test_case "set-scope flagging" `Quick test_set_flagging;
+    Alcotest.test_case "shared symbol inference" `Quick test_shared_symbols;
+    Alcotest.test_case "instance array fields" `Quick test_field_arrays;
+    Alcotest.test_case "register pool exhaustion" `Quick test_register_pool_exhaustion;
+  ]

@@ -1,0 +1,111 @@
+module Rng = Fscope_util.Rng
+module Stats = Fscope_util.Stats
+module Table = Fscope_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 3 9 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "different streams" true (Rng.next a <> Rng.next b)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Stats.mean [])
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "single" 3. (Stats.geomean [ 3. ])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "stddev" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  Alcotest.(check (float 1e-9)) "min" 1. lo;
+  Alcotest.(check (float 1e-9)) "max" 3. hi
+
+let test_stats_percentile () =
+  Alcotest.(check (float 1e-9)) "median" 2. (Stats.percentile 0.5 [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "p100" 3. (Stats.percentile 1.0 [ 3.; 1.; 2. ])
+
+let test_stats_ratio () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio ~num:1 ~den:2);
+  Alcotest.(check (float 1e-9)) "zero den" 0. (Stats.ratio ~num:1 ~den:0)
+
+(* A tiny substring check to avoid pulling in a string library. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"totals" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains title" true (contains s "totals");
+  Alcotest.(check bool) "contains 333" true (contains s "333");
+  Alcotest.(check bool) "pads short rows" true (contains s "1    2")
+
+let test_table_too_wide () =
+  let t = Table.create ~title:"t" ~header:[ "a" ] in
+  Alcotest.check_raises "wide row rejected"
+    (Invalid_argument "Table.add_row: row wider than header") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "cell_f" "1.500" (Table.cell_f 1.5);
+  Alcotest.(check string) "cell_pct" "38.8%" (Table.cell_pct 0.388);
+  Alcotest.(check string) "cell_x" "1.23x" (Table.cell_x 1.23)
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats min_max" `Quick test_stats_min_max;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats ratio" `Quick test_stats_ratio;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table rejects wide rows" `Quick test_table_too_wide;
+    Alcotest.test_case "table cell formatting" `Quick test_table_cells;
+  ]
