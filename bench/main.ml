@@ -14,7 +14,10 @@
 
 module Table = Fscope_util.Table
 module Config = Fscope_machine.Config
+module Registry = Fscope_workloads.Registry
 module E = Fscope_experiments
+
+let workload name params = Registry.build ~params name
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -67,36 +70,38 @@ let bechamel_tests () =
     Test.make ~name:"fig12-cell"
       (staged (fun () ->
            let w =
-             Fscope_workloads.Dekker.make
-               ~level:Fscope_workloads.Privwork.fig12_levels.(0)
-               ~attempts:5
+             workload "dekker"
+               { Registry.default_params with
+                 level = Fscope_workloads.Privwork.fig12_levels.(0);
+                 attempts = 5 }
            in
            ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
     Test.make ~name:"fig13-cell"
       (staged (fun () ->
-           let w = Fscope_workloads.Radiosity.make ~patches:32 () in
+           let w = workload "radiosity" { Registry.default_params with size = Some 32 } in
            ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
     Test.make ~name:"fig14-cell"
       (staged (fun () ->
            let w =
-             Fscope_workloads.Harris.make ~scope:`Set
-               ~level:Fscope_workloads.Privwork.fig12_levels.(0)
-               ()
+             workload "harris"
+               { Registry.default_params with
+                 scope = `Set;
+                 level = Fscope_workloads.Privwork.fig12_levels.(0) }
            in
            ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
     Test.make ~name:"fig15-cell"
       (staged (fun () ->
-           let w = Fscope_workloads.Barnes.make ~bodies:64 () in
+           let w = workload "barnes" { Registry.default_params with size = Some 64 } in
            let c = Config.with_mem_latency 200 Config.default in
            ignore (E.Exp_run.measure (E.Exp_run.s_config c) w)));
     Test.make ~name:"fig16-cell"
       (staged (fun () ->
-           let w = Fscope_workloads.Barnes.make ~bodies:64 () in
+           let w = workload "barnes" { Registry.default_params with size = Some 64 } in
            let c = Config.with_rob_size 64 Config.default in
            ignore (E.Exp_run.measure (E.Exp_run.s_config c) w)));
     Test.make ~name:"ablate-cell"
       (staged (fun () ->
-           let w = E.Ablation.nested_scope_workload ~rounds:8 () in
+           let w = workload "nested-scopes" { Registry.default_params with rounds = Some 8 } in
            ignore (E.Exp_run.measure (E.Exp_run.s_config Config.default) w)));
   ]
 

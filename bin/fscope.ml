@@ -3,12 +3,15 @@
      fscope list                      the available workloads
      fscope run wsq --traditional     run one workload on one machine
      fscope compare pst               T vs S vs T+ vs S+ side by side
-     fscope disasm dekker             dump the compiled program
-     fscope bench fig12               regenerate an evaluation artefact *)
+     fscope trace dekker --format=chrome -o trace.json
+                                      run with the observability layer on
+     fscope disasm dekker             dump the compiled program *)
 
 module Config = Fscope_machine.Config
 module Machine = Fscope_machine.Machine
+module Obs = Fscope_obs
 module W = Fscope_workloads
+module Registry = Fscope_workloads.Registry
 module E = Fscope_experiments
 
 let level_of_int n =
@@ -17,30 +20,15 @@ let level_of_int n =
     failwith (Printf.sprintf "workload level must be 1..%d" (Array.length levels))
   else levels.(n - 1)
 
-let workloads ~level ~scope =
-  [
-    ("dekker", fun () -> W.Dekker.make ~level ~attempts:30);
-    ("wsq", fun () -> W.Wsq.make ~scope ~level ());
-    ("wsq-flavored", fun () -> W.Wsq.make ~flavored:true ~scope ~level ());
-    ("msn", fun () -> W.Msn.make ~scope ~level ());
-    ("harris", fun () -> W.Harris.make ~scope ~level ());
-    ("pst", fun () -> W.Pst.make ~scope ());
-    ("ptc", fun () -> W.Ptc.make ~scope ());
-    ("barnes", fun () -> W.Barnes.make ());
-    ("radiosity", fun () -> W.Radiosity.make ());
-    ("nested-scopes", fun () -> E.Ablation.nested_scope_workload ());
-  ]
-
-let find_workload name ~level ~scope =
-  match List.assoc_opt name (workloads ~level ~scope) with
-  | Some make -> make ()
-  | None ->
-    failwith
-      (Printf.sprintf "unknown workload %s (try: %s)" name
-         (String.concat ", " (List.map fst (workloads ~level ~scope))))
+let find_workload name ~level ~set_scope ~rounds ~size =
+  let scope = if set_scope then `Set else `Class in
+  Registry.build
+    ~params:
+      { Registry.default_params with level = level_of_int level; scope; rounds; size }
+    name
 
 let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb =
-  let c = Config.default in
+  let c = Config.make () in
   let c = if traditional then Config.traditional c else Config.scoped c in
   let c = Config.with_speculation speculate c in
   let c = match mem_latency with Some l -> Config.with_mem_latency l c | None -> c in
@@ -53,15 +41,12 @@ let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb =
 
 let cmd_list () =
   List.iter
-    (fun (name, make) ->
-      let w = make () in
-      Printf.printf "%-14s %s\n" name w.W.Workload.description)
-    (workloads ~level:(level_of_int 3) ~scope:`Class);
+    (fun (s : Registry.spec) -> Printf.printf "%-14s %s\n" s.name s.description)
+    Registry.all;
   0
 
 let cmd_run name level set_scope traditional speculate mem_latency rob fsb =
-  let scope = if set_scope then `Set else `Class in
-  let w = find_workload name ~level:(level_of_int level) ~scope in
+  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
   let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
   let result = Machine.run config w.W.Workload.program in
   if result.Machine.timed_out then begin
@@ -85,8 +70,7 @@ let cmd_run name level set_scope traditional speculate mem_latency rob fsb =
   end
 
 let cmd_compare name level set_scope =
-  let scope = if set_scope then `Set else `Class in
-  let w = find_workload name ~level:(level_of_int level) ~scope in
+  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
   let baseline = ref None in
   Printf.printf "%-4s %10s %14s %9s\n" "cfg" "cycles" "fence stalls" "speedup";
   List.iter
@@ -104,9 +88,38 @@ let cmd_compare name level set_scope =
     ];
   0
 
+let cmd_trace name level set_scope traditional speculate mem_latency rob fsb format output
+    ring_capacity rounds size =
+  let w = find_workload name ~level ~set_scope ~rounds ~size in
+  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
+  let trace = Obs.Trace.create ~ring_capacity ~cores () in
+  let result = Machine.run ~obs:trace config w.W.Workload.program in
+  match result.Machine.obs with
+  | None -> Printf.eprintf "internal error: traced run produced no report\n"; 1
+  | Some report ->
+    let text =
+      match format with
+      | `Jsonl -> Obs.Sink.jsonl report
+      | `Chrome -> Obs.Sink.chrome report
+      | `Summary -> Obs.Sink.summary report
+    in
+    (match output with
+    | None -> print_string text
+    | Some file ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "wrote %s (%d events, %d dropped)\n" file
+        (Obs.Report.events_count report) report.Obs.Report.dropped);
+    if result.Machine.timed_out then begin
+      Printf.eprintf "run timed out\n";
+      2
+    end
+    else 0
+
 let cmd_disasm name level set_scope =
-  let scope = if set_scope then `Set else `Class in
-  let w = find_workload name ~level:(level_of_int level) ~scope in
+  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
   Format.printf "%a@." Fscope_isa.Program.pp_disassembly w.W.Workload.program;
   0
 
@@ -140,6 +153,25 @@ let rob_arg =
 let fsb_arg =
   Arg.(value & opt (some int) None & info [ "fsb" ] ~docv:"ENTRIES" ~doc:"Fence scope bit columns (default 4).")
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("summary", `Summary) ]) `Summary
+    & info [ "format"; "f" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,jsonl) (one event per line), $(b,chrome) (trace_event JSON for chrome://tracing / Perfetto), or $(b,summary) (human digest).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the rendered trace to $(docv) instead of stdout.")
+
+let ring_arg =
+  Arg.(value & opt int 65536 & info [ "ring-capacity" ] ~docv:"EVENTS" ~doc:"Per-core event ring capacity; oldest events are dropped beyond it.")
+
+let rounds_arg =
+  Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"N" ~doc:"Rounds for wsq/nested-scopes (workload default otherwise).")
+
+let size_arg =
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc:"Principal size knob (per_producer/keys/nodes/bodies/patches).")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available workloads") Term.(const cmd_list $ const ())
 
@@ -155,6 +187,15 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run a workload under T, S, T+ and S+ and compare")
     Term.(const cmd_compare $ workload_arg $ level_arg $ set_scope_arg)
 
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one workload with the observability layer on and render the event trace")
+    Term.(
+      const cmd_trace $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
+      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ format_arg $ output_arg
+      $ ring_arg $ rounds_arg $ size_arg)
+
 let disasm_cmd =
   Cmd.v
     (Cmd.info "disasm" ~doc:"Print the compiled program of a workload")
@@ -162,6 +203,6 @@ let disasm_cmd =
 
 let main_cmd =
   let doc = "cycle-level simulator for scoped fences (SC '14 'Fence Scoping')" in
-  Cmd.group (Cmd.info "fscope" ~doc) [ list_cmd; run_cmd; compare_cmd; disasm_cmd ]
+  Cmd.group (Cmd.info "fscope" ~doc) [ list_cmd; run_cmd; compare_cmd; trace_cmd; disasm_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -29,9 +29,11 @@ type t = {
   mt : Mapping_table.t;
   outstanding : int array;
   mutable events : event list; (* decode order, oldest first *)
+  trace : Fscope_obs.Trace.t;
+  core : int;
 }
 
-let create config =
+let create ?(trace = Fscope_obs.Trace.null) ?(core = 0) config =
   if config.fsb_entries < 1 then invalid_arg "Scope_unit.create: need >= 1 FSB column";
   if config.fss_entries < 1 then invalid_arg "Scope_unit.create: need >= 1 FSS entry";
   {
@@ -43,6 +45,8 @@ let create config =
         ~class_columns:(config.fsb_entries - 1);
     outstanding = Array.make config.fsb_entries 0;
     events = [];
+    trace;
+    core;
   }
 
 let config t = t.config
@@ -133,11 +137,19 @@ let on_fs_start t ~cid =
         | Some col -> Push (Some col)
         | None -> Push None
     in
+    if Fscope_obs.Trace.on t.trace then
+      Fscope_obs.Trace.emit t.trace ~core:t.core
+        (Fscope_obs.Event.Scope_push
+           { column = (match op with Push col -> col | Pop -> None) });
     record t op
   end
 
 let on_fs_end t ~cid:_ =
-  if t.config.enabled then record t Pop
+  if t.config.enabled then begin
+    if Fscope_obs.Trace.on t.trace then
+      Fscope_obs.Trace.emit t.trace ~core:t.core Fscope_obs.Event.Scope_pop;
+    record t Pop
+  end
 
 (* While the overflow counter is non-zero the FSS under-represents the
    active scopes, so ops decoded now would carry too few bits: a fence

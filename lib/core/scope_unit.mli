@@ -44,7 +44,12 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?trace:Fscope_obs.Trace.t -> ?core:int -> config -> t
+(** [trace]/[core] hook the unit into the observability layer: when the
+    trace is live, every [fs_start]/[fs_end] emits a
+    [Scope_push]/[Scope_pop] event for [core].  Defaults to the
+    disabled {!Fscope_obs.Trace.null} (no events, no overhead). *)
+
 val config : t -> config
 val enabled : t -> bool
 

@@ -41,6 +41,17 @@ let fresh_stats () =
     active_cycles = 0;
   }
 
+(* Observability hooks, present only on a traced run: handles are
+   resolved once at core creation so emission is a guarded write, and
+   [stall_begin] pairs each Fence_stall_begin with its End. *)
+type obs = {
+  trace : Fscope_obs.Trace.t;
+  stall_hist : Fscope_obs.Metrics.histogram;
+  rob_gauge : Fscope_obs.Metrics.gauge;
+  sb_gauge : Fscope_obs.Metrics.gauge;
+  mutable stall_begin : int;  (* cycle the head fence began stalling; -1 = none *)
+}
+
 type t = {
   id : int;
   code : Instr.t array;
@@ -58,19 +69,35 @@ type t = {
   mutable fetch_stopped : bool;
   mutable halted : bool;
   stats : stats;
+  obs : obs option;
 }
 
-let create ~id ~code ~mem ~hierarchy ~scope_config ~exec_config =
+let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~mem ~hierarchy ~scope_config
+    ~exec_config () =
   Exec_config.validate exec_config;
+  let obs =
+    if Fscope_obs.Trace.on trace then
+      let m = Fscope_obs.Trace.metrics trace in
+      let named fmt = Printf.sprintf fmt id in
+      Some
+        {
+          trace;
+          stall_hist = Fscope_obs.Metrics.histogram m "fence/stall_cycles";
+          rob_gauge = Fscope_obs.Metrics.gauge m (named "core%d/rob_occupancy");
+          sb_gauge = Fscope_obs.Metrics.gauge m (named "core%d/sb_occupancy");
+          stall_begin = -1;
+        }
+    else None
+  in
   {
     id;
     code;
     mem;
     hierarchy;
-    scope = Scope_unit.create scope_config;
+    scope = Scope_unit.create ~trace ~core:id scope_config;
     cfg = exec_config;
-    rob = Rob.create ~size:exec_config.rob_size;
-    sb = Store_buffer.create ~capacity:exec_config.sb_size;
+    rob = Rob.create ~trace ~core:id ~size:exec_config.rob_size ();
+    sb = Store_buffer.create ~trace ~core:id ~capacity:exec_config.sb_size ();
     bpred = Branch_pred.create ~entries:exec_config.bpred_entries;
     arf = Array.make Reg.count 0;
     rename = Array.make Reg.count Rob.Arch;
@@ -79,6 +106,7 @@ let create ~id ~code ~mem ~hierarchy ~scope_config ~exec_config =
     fetch_stopped = false;
     halted = false;
     stats = fresh_stats ();
+    obs;
   }
 
 let id t = t.id
@@ -171,7 +199,12 @@ let step_complete_writes t ~cycle =
         if success && in_bounds t e.addr then t.mem.(e.addr) <- e.data;
         e.result <- (if success then 1 else 0);
         e.state <- Rob.Done;
-        Scope_unit.on_bits_cleared t.scope e.scope_mask
+        Scope_unit.on_bits_cleared t.scope e.scope_mask;
+        (match t.obs with
+        | Some o ->
+          Fscope_obs.Trace.emit o.trace ~core:t.id
+            (Fscope_obs.Event.Cas_result { addr = e.addr; success })
+        | None -> ())
       | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ())
 
 let step_complete_reads t ~cycle =
@@ -344,6 +377,14 @@ let commit t ~cycle =
           if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
         in
         if ok then begin
+          (match t.obs with
+          | Some o when o.stall_begin >= 0 ->
+            let stalled = cycle - o.stall_begin in
+            Fscope_obs.Trace.emit o.trace ~core:t.id
+              (Fscope_obs.Event.Fence_stall_end { pc = e.pc; cycles = stalled });
+            Fscope_obs.Metrics.observe o.stall_hist stalled;
+            o.stall_begin <- -1
+          | Some _ | None -> ());
           ignore (Rob.pop_head t.rob);
           commit_effects t e;
           decr budget
@@ -351,6 +392,19 @@ let commit t ~cycle =
         else begin
           t.stats.fence_stall_cycles <- t.stats.fence_stall_cycles + 1;
           classify_fence_stall t e;
+          (match t.obs with
+          | Some o when o.stall_begin < 0 ->
+            o.stall_begin <- cycle;
+            Fscope_obs.Trace.emit o.trace ~core:t.id
+              (Fscope_obs.Event.Fence_stall_begin
+                 {
+                   pc = e.pc;
+                   global =
+                     (match e.fence_wait with
+                     | Some (`Mask _) -> false
+                     | Some `Global | None -> true);
+                 })
+          | Some _ | None -> ());
           blocked := true
         end
       | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Load _ | Instr.Cas _
@@ -673,6 +727,11 @@ let step_pipeline t ~cycle =
   if not t.halted then begin
     t.stats.active_cycles <- t.stats.active_cycles + 1;
     t.stats.rob_occupancy_sum <- t.stats.rob_occupancy_sum + Rob.count t.rob;
+    (match t.obs with
+    | Some o ->
+      Fscope_obs.Metrics.gauge_observe o.rob_gauge (Rob.count t.rob);
+      Fscope_obs.Metrics.gauge_observe o.sb_gauge (Store_buffer.count t.sb)
+    | None -> ());
     finalize t ~cycle;
     commit t ~cycle;
     if not t.halted then begin

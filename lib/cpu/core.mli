@@ -50,13 +50,22 @@ type stats = {
 type t
 
 val create :
+  ?trace:Fscope_obs.Trace.t ->
   id:int ->
   code:Fscope_isa.Instr.t array ->
   mem:int array ->
   hierarchy:Fscope_mem.Hierarchy.t ->
   scope_config:Fscope_core.Scope_unit.config ->
   exec_config:Exec_config.t ->
+  unit ->
   t
+(** [trace] (default: the disabled {!Fscope_obs.Trace.null}) threads
+    the observability collector through the core's ROB, store buffer
+    and scope unit, and makes the core itself emit fence-stall
+    begin/end and CAS success/failure events plus per-cycle ROB /
+    store-buffer occupancy gauges.  Emission never feeds back into
+    pipeline state, so a traced run is cycle-identical to an untraced
+    one. *)
 
 val id : t -> int
 val halted : t -> bool

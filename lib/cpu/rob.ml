@@ -52,11 +52,27 @@ type t = {
   slots : entry option array;
   mutable head_seq : int;
   mutable tail_seq : int;
+  trace : Fscope_obs.Trace.t;
+  core : int;
 }
 
-let create ~size =
+let create ?(trace = Fscope_obs.Trace.null) ?(core = 0) ~size () =
   if size <= 0 then invalid_arg "Rob.create: size must be positive";
-  { size; slots = Array.make size None; head_seq = 0; tail_seq = 0 }
+  { size; slots = Array.make size None; head_seq = 0; tail_seq = 0; trace; core }
+
+let instr_class (i : Fscope_isa.Instr.t) : Fscope_obs.Event.instr_class =
+  match i with
+  | Fscope_isa.Instr.Load _ -> Fscope_obs.Event.Load
+  | Fscope_isa.Instr.Store _ -> Fscope_obs.Event.Store
+  | Fscope_isa.Instr.Cas _ -> Fscope_obs.Event.Cas
+  | Fscope_isa.Instr.Fence _ -> Fscope_obs.Event.Fence
+  | Fscope_isa.Instr.Branch _ -> Fscope_obs.Event.Branch
+  | Fscope_isa.Instr.Jump _ -> Fscope_obs.Event.Jump
+  | Fscope_isa.Instr.Li _ | Fscope_isa.Instr.Alu _ | Fscope_isa.Instr.Tid _ ->
+    Fscope_obs.Event.Alu
+  | Fscope_isa.Instr.Nop | Fscope_isa.Instr.Fs_start _ | Fscope_isa.Instr.Fs_end _
+  | Fscope_isa.Instr.Halt ->
+    Fscope_obs.Event.Other
 
 let size t = t.size
 let count t = t.tail_seq - t.head_seq
@@ -68,7 +84,10 @@ let dispatch t entry =
   if is_full t then invalid_arg "Rob.dispatch: full";
   if entry.seq <> t.tail_seq then invalid_arg "Rob.dispatch: wrong seq";
   t.slots.(entry.seq mod t.size) <- Some entry;
-  t.tail_seq <- t.tail_seq + 1
+  t.tail_seq <- t.tail_seq + 1;
+  if Fscope_obs.Trace.on t.trace then
+    Fscope_obs.Trace.emit t.trace ~core:t.core
+      (Fscope_obs.Event.Rob_dispatch { pc = entry.pc; cls = instr_class entry.instr })
 
 let contains t seq = seq >= t.head_seq && seq < t.tail_seq
 
@@ -85,6 +104,9 @@ let pop_head t =
   let e = get t t.head_seq in
   t.slots.(t.head_seq mod t.size) <- None;
   t.head_seq <- t.head_seq + 1;
+  if Fscope_obs.Trace.on t.trace then
+    Fscope_obs.Trace.emit t.trace ~core:t.core
+      (Fscope_obs.Event.Rob_commit { pc = e.pc; cls = instr_class e.instr });
   e
 
 let squash_after t seq =

@@ -45,7 +45,11 @@ val make_entry : seq:int -> pc:int -> instr:Fscope_isa.Instr.t -> srcs:src array
 
 type t
 
-val create : size:int -> t
+val create : ?trace:Fscope_obs.Trace.t -> ?core:int -> size:int -> unit -> t
+(** When [trace] is live, [dispatch] and [pop_head] emit
+    [Rob_dispatch] / [Rob_commit] events for [core].  Defaults to the
+    disabled {!Fscope_obs.Trace.null}. *)
+
 val size : t -> int
 val count : t -> int
 val is_full : t -> bool

@@ -10,11 +10,13 @@ type entry = {
 type t = {
   capacity : int;
   mutable entries : entry list; (* oldest first *)
+  trace : Fscope_obs.Trace.t;
+  core : int;
 }
 
-let create ~capacity =
+let create ?(trace = Fscope_obs.Trace.null) ?(core = 0) ~capacity () =
   if capacity <= 0 then invalid_arg "Store_buffer.create: capacity must be positive";
-  { capacity; entries = [] }
+  { capacity; entries = []; trace; core }
 
 let capacity t = t.capacity
 let count t = List.length t.entries
@@ -23,11 +25,20 @@ let is_empty t = t.entries = []
 
 let push t entry =
   if is_full t then invalid_arg "Store_buffer.push: full";
-  t.entries <- t.entries @ [ entry ]
+  t.entries <- t.entries @ [ entry ];
+  if Fscope_obs.Trace.on t.trace then
+    Fscope_obs.Trace.emit t.trace ~core:t.core
+      (Fscope_obs.Event.Sb_insert { addr = entry.addr })
 
 let take_completed t ~cycle =
   let done_, waiting = List.partition (fun e -> e.done_at <= cycle) t.entries in
   t.entries <- waiting;
+  if Fscope_obs.Trace.on t.trace then
+    List.iter
+      (fun e ->
+        Fscope_obs.Trace.emit t.trace ~core:t.core
+          (Fscope_obs.Event.Sb_drain { addr = e.addr }))
+      done_;
   done_
 
 let forward t ~addr =

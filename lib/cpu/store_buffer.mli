@@ -20,7 +20,11 @@ type entry = {
 
 type t
 
-val create : capacity:int -> t
+val create : ?trace:Fscope_obs.Trace.t -> ?core:int -> capacity:int -> unit -> t
+(** When [trace] is live, [push] emits [Sb_insert] and
+    [take_completed] emits one [Sb_drain] per completed entry for
+    [core].  Defaults to the disabled {!Fscope_obs.Trace.null}. *)
+
 val capacity : t -> int
 val is_full : t -> bool
 val is_empty : t -> bool

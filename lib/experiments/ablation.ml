@@ -1,5 +1,4 @@
 module W = Fscope_workloads
-module Ast = Fscope_slang.Ast
 module Config = Fscope_machine.Config
 module Table = Fscope_util.Table
 
@@ -90,78 +89,7 @@ let flavor_table rows =
     rows;
   t
 
-let nested_scope_workload ?(depth = 6) ?(rounds = 24) () =
-  let open W.Dsl in
-  (* Each thread owns its own chain of instances (t0: a0..a5, t1:
-     b0..b5) so the in-scope stores are fast private hits; the cold
-     private store between calls is the out-of-scope work every one of
-     the [depth] nested fences can skip — when the FSS is deep enough
-     to track them. *)
-  let inst t k = Printf.sprintf "%c%d" (Char.chr (Stdlib.( + ) 97 t)) k in
-  (* Each class Ct_k calls the thread-specific instance of Ct_(k+1):
-     [depth] truly nested scopes per outer call — the FSS pressure
-     this ablation is about. *)
-  let cls_chain t k =
-    let inner_call =
-      if Stdlib.( < ) k (Stdlib.( - ) depth 1) then
-        [ call (inst t (Stdlib.( + ) k 1)) "m" [] ]
-      else []
-    in
-    {
-      Ast.cname = Printf.sprintf "C%d_%d" t k;
-      scalars = [ scalar "x" 0 ];
-      arrays = [];
-      methods =
-        [
-          meth "m" []
-            ([ sfld "self" "x" (fld "self" "x" + i 1) ]
-            @ inner_call
-            @ [ fence_class; sfld "self" "x" (fld "self" "x" + i 1) ]);
-        ];
-    }
-  in
-  let thread me =
-    W.Privwork.warmup ~thread:me ~level:(W.Privwork.cold ~arith:8 ~stores:1)
-    @ [
-        let_ "r" (i 0);
-        while_
-          (l "r" < i rounds)
-          ([ call (inst me 0) "m" [] ]
-          @ W.Privwork.block ~thread:me
-              ~level:(W.Privwork.cold ~arith:8 ~stores:1)
-              ~unique:"w" ()
-          @ [ set "r" (l "r" + i 1) ]);
-      ]
-  in
-  let program_ast =
-    {
-      Ast.classes = List.concat_map (fun t -> List.init depth (cls_chain t)) [ 0; 1 ];
-      instances =
-        List.concat_map
-          (fun t ->
-            List.init depth (fun k ->
-                { Ast.iname = inst t k; cls = Printf.sprintf "C%d_%d" t k }))
-          [ 0; 1 ];
-      globals = W.Privwork.globals ~threads:2 ();
-      threads = [ thread 0; thread 1 ];
-    }
-  in
-  let program = Fscope_slang.Compile.compile_program program_ast in
-  let validate (result : Fscope_machine.Machine.result) =
-    let x0 =
-      result.Fscope_machine.Machine.mem.(Fscope_isa.Program.address_of program "a0.x")
-    in
-    let expected = Stdlib.( * ) 2 rounds in
-    if Stdlib.( <> ) x0 expected then
-      Error (Printf.sprintf "a0.x = %d, expected %d" x0 expected)
-    else Ok ()
-  in
-  {
-    W.Workload.name = "nested-scopes";
-    description = Printf.sprintf "%d-deep class-scope nesting chain" depth;
-    program;
-    validate;
-  }
+let nested_scope_workload ?depth ?rounds () = W.Nested.make ?depth ?rounds ()
 
 type fss_cell = {
   fss_entries : int;
@@ -177,12 +105,8 @@ let fss_sweep ?(entries = [ 1; 2; 4; 5; 6; 8 ]) () =
       (* Hold the MT and FSB generous so only the FSS depth binds:
          the two threads' chains use 12 distinct cids. *)
       let config =
-        { Config.default with
-          Config.scope =
-            { Config.default.Config.scope with
-              Fscope_core.Scope_unit.fss_entries = fss;
-              mt_entries = 16;
-              fsb_entries = 8 } }
+        Config.default |> Config.with_fss_entries fss |> Config.with_mt_entries 16
+        |> Config.with_fsb_entries 8
       in
       let s = Exp_run.measure (Exp_run.s_config config) workload in
       {

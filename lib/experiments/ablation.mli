@@ -49,7 +49,6 @@ val fss_sweep : ?entries:int list -> unit -> fss_cell list
 val fss_table : fss_cell list -> Fscope_util.Table.t
 
 val nested_scope_workload : ?depth:int -> ?rounds:int -> unit -> Fscope_workloads.Workload.t
-(** The synthetic deep-nesting workload used by [fss_sweep]: a chain
-    of [depth] classes, each wrapping a class-scoped fence around a
-    call into the next, driven by two threads with cold private
-    stores between calls. *)
+(** The synthetic deep-nesting workload used by [fss_sweep].  Now an
+    alias for {!Fscope_workloads.Nested.make}, kept so existing
+    callers and notebooks keep working. *)

@@ -18,11 +18,16 @@ let benches ~quick =
   let attempts = if quick then 10 else 30 in
   let rounds = if quick then 6 else 12 in
   let per_producer = if quick then 8 else 16 in
+  let cell ?rounds ?size name level =
+    W.Registry.build
+      ~params:{ W.Registry.default_params with level; attempts; rounds; size }
+      name
+  in
   [
-    ("dekker", fun level -> W.Dekker.make ~level ~attempts);
-    ("wsq", fun level -> W.Wsq.make ~rounds ~scope:`Class ~level ());
-    ("msn", fun level -> W.Msn.make ~per_producer ~scope:`Class ~level ());
-    ("harris", fun level -> W.Harris.make ~scope:`Class ~level ());
+    ("dekker", cell "dekker");
+    ("wsq", cell ~rounds "wsq");
+    ("msn", cell ~size:per_producer "msn");
+    ("harris", cell "harris");
   ]
 
 let run ?(quick = false) () =

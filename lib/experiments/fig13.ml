@@ -10,15 +10,17 @@ type bar = {
 }
 
 let apps ?(quick = false) () =
-  let nodes = if quick then 256 else 768 in
-  let ptc_nodes = if quick then 128 else 256 in
-  let bodies = if quick then 64 else 192 in
-  let patches = if quick then 64 else 160 in
+  let app name size =
+    ( name,
+      W.Registry.build
+        ~params:{ W.Registry.default_params with size = Some size }
+        name )
+  in
   [
-    ("pst", W.Pst.make ~nodes ~scope:`Class ());
-    ("ptc", W.Ptc.make ~nodes:ptc_nodes ~scope:`Class ());
-    ("barnes", W.Barnes.make ~bodies ());
-    ("radiosity", W.Radiosity.make ~patches ());
+    app "pst" (if quick then 256 else 768);
+    app "ptc" (if quick then 128 else 256);
+    app "barnes" (if quick then 64 else 192);
+    app "radiosity" (if quick then 64 else 160);
   ]
 
 let variants =

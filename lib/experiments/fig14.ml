@@ -11,17 +11,19 @@ type row = {
 }
 
 let benches ~quick =
-  let level = W.Privwork.fig12_levels.(2) in
-  let nodes = if quick then 256 else 768 in
-  let ptc_nodes = if quick then 128 else 256 in
   let rounds = if quick then 6 else 12 in
   let per_producer = if quick then 8 else 16 in
+  let nodes = if quick then 256 else 768 in
+  let ptc_nodes = if quick then 128 else 256 in
+  let cell ?rounds ?size name scope =
+    W.Registry.build ~params:{ W.Registry.default_params with scope; rounds; size } name
+  in
   [
-    ("wsq", fun scope -> W.Wsq.make ~rounds ~scope ~level ());
-    ("msn", fun scope -> W.Msn.make ~per_producer ~scope ~level ());
-    ("harris", fun scope -> W.Harris.make ~scope ~level ());
-    ("pst", fun scope -> W.Pst.make ~nodes ~scope ());
-    ("ptc", fun scope -> W.Ptc.make ~nodes:ptc_nodes ~scope ());
+    ("wsq", cell ~rounds "wsq");
+    ("msn", cell ~size:per_producer "msn");
+    ("harris", cell "harris");
+    ("pst", cell ~size:nodes "pst");
+    ("ptc", cell ~size:ptc_nodes "ptc");
   ]
 
 let run ?(quick = false) () =

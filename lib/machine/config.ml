@@ -5,17 +5,18 @@ type t = {
   max_cycles : int;
 }
 
-let default =
-  {
-    exec = Fscope_cpu.Exec_config.default;
-    mem = Fscope_mem.Hierarchy.default_config;
-    scope = Fscope_core.Scope_unit.default_config;
-    max_cycles = 30_000_000;
-  }
+let make ?(exec = Fscope_cpu.Exec_config.default)
+    ?(mem = Fscope_mem.Hierarchy.default_config)
+    ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000) () =
+  { exec; mem; scope; max_cycles }
 
+let default = make ()
 let traditional t = { t with scope = { t.scope with enabled = false } }
 let scoped t = { t with scope = { t.scope with enabled = true } }
 let with_speculation on t = { t with exec = { t.exec with in_window_speculation = on } }
 let with_mem_latency latency t = { t with mem = { t.mem with mem_latency = latency } }
 let with_rob_size size t = { t with exec = { t.exec with rob_size = size } }
 let with_fsb_entries n t = { t with scope = { t.scope with fsb_entries = n } }
+let with_fss_entries n t = { t with scope = { t.scope with fss_entries = n } }
+let with_mt_entries n t = { t with scope = { t.scope with mt_entries = n } }
+let with_max_cycles n t = { t with max_cycles = n }

@@ -1,5 +1,11 @@
 (** Whole-machine configuration: pipeline, memory system, S-Fence
-    hardware, and the run's safety limit. *)
+    hardware, and the run's safety limit.
+
+    Build configurations with {!make} (or start from {!default}) and
+    refine them with the [with_*] combinators.  The record type stays
+    exposed for pattern matching, but prefer the builders over direct
+    record construction or record-update syntax — new fields then
+    never break call sites. *)
 
 type t = {
   exec : Fscope_cpu.Exec_config.t;
@@ -7,6 +13,16 @@ type t = {
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;  (** runaway guard; a run reaching it is reported as timed out *)
 }
+
+val make :
+  ?exec:Fscope_cpu.Exec_config.t ->
+  ?mem:Fscope_mem.Hierarchy.config ->
+  ?scope:Fscope_core.Scope_unit.config ->
+  ?max_cycles:int ->
+  unit ->
+  t
+(** Every omitted section takes its Table III default; [make ()] is
+    {!default}. *)
 
 val default : t
 (** The paper's Table III machine: 8-core runs use this per-core
@@ -32,3 +48,12 @@ val with_rob_size : int -> t -> t
 
 val with_fsb_entries : int -> t -> t
 (** Set the number of FSB columns — ablation. *)
+
+val with_fss_entries : int -> t -> t
+(** Set the FSS depth — ablation. *)
+
+val with_mt_entries : int -> t -> t
+(** Set the mapping-table capacity — ablation. *)
+
+val with_max_cycles : int -> t -> t
+(** Set the runaway guard. *)

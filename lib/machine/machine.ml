@@ -1,6 +1,7 @@
 module Core = Fscope_cpu.Core
 module Hierarchy = Fscope_mem.Hierarchy
 module Program = Fscope_isa.Program
+module Obs = Fscope_obs
 
 type result = {
   cycles : int;
@@ -8,33 +9,8 @@ type result = {
   core_stats : Core.stats array;
   mem : int array;
   cache : Hierarchy.stats;
+  obs : Obs.Report.t option;
 }
-
-let run (config : Config.t) program =
-  let cores_n = Program.thread_count program in
-  let mem = Program.initial_memory program in
-  let hierarchy = Hierarchy.create ~cores:cores_n config.mem in
-  let cores =
-    Array.init cores_n (fun id ->
-        Core.create ~id ~code:program.Program.threads.(id) ~mem ~hierarchy
-          ~scope_config:config.scope ~exec_config:config.exec)
-  in
-  let all_done () = Array.for_all Core.drained cores in
-  let cycle = ref 0 in
-  while (not (all_done ())) && !cycle < config.max_cycles do
-    let c = !cycle in
-    Array.iter (fun core -> Core.step_complete_writes core ~cycle:c) cores;
-    Array.iter (fun core -> Core.step_complete_reads core ~cycle:c) cores;
-    Array.iter (fun core -> Core.step_pipeline core ~cycle:c) cores;
-    incr cycle
-  done;
-  {
-    cycles = !cycle;
-    timed_out = not (all_done ());
-    core_stats = Array.map Core.stats cores;
-    mem;
-    cache = Hierarchy.stats hierarchy;
-  }
 
 let fence_stall_cycles r =
   Array.fold_left (fun acc (s : Core.stats) -> acc + s.fence_stall_cycles) 0 r.core_stats
@@ -53,3 +29,78 @@ let avg_rob_occupancy r =
     Array.fold_left (fun acc (s : Core.stats) -> acc + s.rob_occupancy_sum) 0 r.core_stats
   in
   Fscope_util.Stats.ratio ~num:sum ~den:(total_active_cycles r)
+
+(* Snapshot every legacy stats record into the trace's metrics registry
+   under stable names, so the registry subsumes the scattered
+   [Core.stats] / [Hierarchy.stats] fields (and the summary sink's
+   totals match the legacy accessors exactly). *)
+let snapshot_stats trace r =
+  let m = Obs.Trace.metrics trace in
+  let set name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  Array.iteri
+    (fun i (s : Core.stats) ->
+      let set_c field v = set (Printf.sprintf "core%d/%s" i field) v in
+      set_c "committed" s.committed;
+      set_c "committed_mem" s.committed_mem;
+      set_c "committed_fences" s.committed_fences;
+      set_c "fence_stall_cycles" s.fence_stall_cycles;
+      set_c "stall_rob_load" s.stall_rob_load;
+      set_c "stall_rob_store" s.stall_rob_store;
+      set_c "stall_sb" s.stall_sb;
+      set_c "sb_stall_cycles" s.sb_stall_cycles;
+      set_c "branches" s.branches;
+      set_c "mispredicts" s.mispredicts;
+      set_c "loads" s.loads;
+      set_c "stores" s.stores;
+      set_c "cas_ops" s.cas_ops;
+      set_c "rob_occupancy_sum" s.rob_occupancy_sum;
+      set_c "active_cycles" s.active_cycles)
+    r.core_stats;
+  set "total/fence_stall_cycles" (fence_stall_cycles r);
+  set "total/active_cycles" (total_active_cycles r);
+  set "total/committed" (committed_instrs r);
+  set "mem/l1_hits" r.cache.Hierarchy.l1_hits;
+  set "mem/l1_misses" r.cache.Hierarchy.l1_misses;
+  set "mem/l2_hits" r.cache.Hierarchy.l2_hits;
+  set "mem/l2_misses" r.cache.Hierarchy.l2_misses;
+  set "mem/invalidations" r.cache.Hierarchy.invalidations;
+  set "mem/c2c_transfers" r.cache.Hierarchy.c2c_transfers;
+  set "machine/cycles" r.cycles
+
+let run ?(obs = Obs.Trace.null) (config : Config.t) program =
+  let cores_n = Program.thread_count program in
+  let mem = Program.initial_memory program in
+  let hierarchy = Hierarchy.create ~trace:obs ~cores:cores_n config.mem in
+  let cores =
+    Array.init cores_n (fun id ->
+        Core.create ~trace:obs ~id ~code:program.Program.threads.(id) ~mem ~hierarchy
+          ~scope_config:config.scope ~exec_config:config.exec ())
+  in
+  let all_done () = Array.for_all Core.drained cores in
+  let cycle = ref 0 in
+  while (not (all_done ())) && !cycle < config.max_cycles do
+    let c = !cycle in
+    Obs.Trace.set_now obs c;
+    Array.iter (fun core -> Core.step_complete_writes core ~cycle:c) cores;
+    Array.iter (fun core -> Core.step_complete_reads core ~cycle:c) cores;
+    Array.iter (fun core -> Core.step_pipeline core ~cycle:c) cores;
+    incr cycle
+  done;
+  let result =
+    {
+      cycles = !cycle;
+      timed_out = not (all_done ());
+      core_stats = Array.map Core.stats cores;
+      mem;
+      cache = Hierarchy.stats hierarchy;
+      obs = None;
+    }
+  in
+  if Obs.Trace.on obs then begin
+    snapshot_stats obs result;
+    {
+      result with
+      obs = Some (Obs.Report.of_trace ~cycles:result.cycles ~timed_out:result.timed_out obs);
+    }
+  end
+  else result

@@ -13,9 +13,18 @@ type result = {
   core_stats : Fscope_cpu.Core.stats array;
   mem : int array;  (** final shared memory, for functional self-checks *)
   cache : Fscope_mem.Hierarchy.stats;
+  obs : Fscope_obs.Report.t option;
+      (** present iff the run was traced; carries the event stream and
+          the metrics registry (which includes a snapshot of every
+          legacy stat under [core<i>/...], [mem/...], [total/...]) *)
 }
 
-val run : Config.t -> Fscope_isa.Program.t -> result
+val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result
+(** [obs] (default: the disabled {!Fscope_obs.Trace.null}) collects
+    the typed event stream and metrics of the run; pass a live
+    {!Fscope_obs.Trace.create} to get [result.obs].  Tracing is
+    timing-neutral: the cycle count of a traced run is bit-identical
+    to an untraced one. *)
 
 val fence_stall_cycles : result -> int
 (** Sum of per-core commit-head fence stalls. *)

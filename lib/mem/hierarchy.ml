@@ -54,9 +54,10 @@ type t = {
   l1 : l1_state Cache.t array;
   l2 : dir_entry Cache.t;
   stats : stats;
+  trace : Fscope_obs.Trace.t;
 }
 
-let create ~cores config =
+let create ?(trace = Fscope_obs.Trace.null) ~cores config =
   if cores <= 0 || cores > 62 then invalid_arg "Hierarchy.create: bad core count";
   {
     config;
@@ -69,7 +70,13 @@ let create ~cores config =
     stats =
       { l1_hits = 0; l1_misses = 0; l2_hits = 0; l2_misses = 0; invalidations = 0;
         c2c_transfers = 0 };
+    trace;
   }
+
+let emit_access t ~core ~addr ~write outcome =
+  if Fscope_obs.Trace.on t.trace then
+    Fscope_obs.Trace.emit t.trace ~core
+      (Fscope_obs.Event.Mem_access { addr; write; outcome })
 
 let stats t = t.stats
 let line_words t = t.config.line_words
@@ -123,12 +130,14 @@ let read t ~core addr =
   match Cache.find t.l1.(core) addr with
   | Some (Shared | Modified) ->
     t.stats.l1_hits <- t.stats.l1_hits + 1;
+    emit_access t ~core ~addr ~write:false Fscope_obs.Event.L1_hit;
     cfg.l1_latency
   | None ->
     t.stats.l1_misses <- t.stats.l1_misses + 1;
     (match Cache.find t.l2 addr with
     | Some dir ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
+      emit_access t ~core ~addr ~write:false Fscope_obs.Event.L2_hit;
       let c2c =
         if dir.owner >= 0 && dir.owner <> core then begin
           (* Remote dirty copy: downgrade the owner to Shared. *)
@@ -144,6 +153,7 @@ let read t ~core addr =
       cfg.l1_latency + cfg.l2_latency + c2c
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
+      emit_access t ~core ~addr ~write:false Fscope_obs.Event.L2_miss;
       insert_l2 t line { sharers = 1 lsl core; owner = -1 };
       insert_l1 t ~core line Shared;
       cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
@@ -154,10 +164,12 @@ let write t ~core addr =
   match Cache.find t.l1.(core) addr with
   | Some Modified ->
     t.stats.l1_hits <- t.stats.l1_hits + 1;
+    emit_access t ~core ~addr ~write:true Fscope_obs.Event.L1_hit;
     cfg.l1_latency
   | Some Shared ->
     (* Upgrade: a directory round trip to invalidate other sharers. *)
     t.stats.l1_hits <- t.stats.l1_hits + 1;
+    emit_access t ~core ~addr ~write:true Fscope_obs.Event.L1_hit;
     (match Cache.peek t.l2 addr with
     | Some dir -> ignore (invalidate_remotes t ~core dir line)
     | None -> () (* inclusivity violation is impossible; defensive *));
@@ -171,6 +183,7 @@ let write t ~core addr =
     (match Cache.find t.l2 addr with
     | Some dir ->
       t.stats.l2_hits <- t.stats.l2_hits + 1;
+      emit_access t ~core ~addr ~write:true Fscope_obs.Event.L2_hit;
       let dirty_remote = invalidate_remotes t ~core dir line in
       dir.sharers <- 1 lsl core;
       dir.owner <- core;
@@ -178,6 +191,7 @@ let write t ~core addr =
       cfg.l1_latency + cfg.l2_latency + (if dirty_remote then cfg.c2c_latency else 0)
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
+      emit_access t ~core ~addr ~write:true Fscope_obs.Event.L2_miss;
       insert_l2 t line { sharers = 1 lsl core; owner = core };
       insert_l1 t ~core line Modified;
       cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)

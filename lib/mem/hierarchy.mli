@@ -45,7 +45,10 @@ type stats = {
 
 type t
 
-val create : cores:int -> config -> t
+val create : ?trace:Fscope_obs.Trace.t -> cores:int -> config -> t
+(** When [trace] is live, every [access] emits a [Mem_access] event
+    (L1 hit / L2 hit / L2 miss) for the accessing core.  Defaults to
+    the disabled {!Fscope_obs.Trace.null}. *)
 
 val access : t -> core:int -> kind -> addr:int -> int
 (** [access t ~core kind ~addr] simulates one access and returns its

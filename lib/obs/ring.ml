@@ -1,0 +1,38 @@
+type 'a t = {
+  capacity : int;
+  data : 'a option array;
+  mutable start : int;  (* index of the oldest entry *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { capacity; data = Array.make capacity None; start = 0; len = 0; dropped = 0 }
+
+let push t x =
+  if t.len = t.capacity then begin
+    t.data.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.data.((t.start + t.len) mod t.capacity) <- Some x;
+    t.len <- t.len + 1
+  end
+
+let length t = t.len
+let capacity t = t.capacity
+let dropped t = t.dropped
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.data.((t.start + i) mod t.capacity) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

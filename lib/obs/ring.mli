@@ -1,0 +1,24 @@
+(** A fixed-capacity ring buffer.
+
+    Each core owns one; pushing into a full ring overwrites the oldest
+    entry and counts the loss, so a long run degrades to "the most
+    recent [capacity] events" instead of unbounded memory — the usual
+    flight-recorder behaviour. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val dropped : 'a t -> int
+(** How many entries have been overwritten so far. *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)

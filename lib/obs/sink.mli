@@ -1,0 +1,19 @@
+(** Render a {!Report} for consumption.
+
+    Three formats:
+
+    - {!jsonl}: one JSON object per line — a header line, every
+      retained event, then every metric.  Grep/jq-friendly; the golden
+      format the test suite pins down.
+    - {!chrome}: a valid Chrome [trace_event] JSON array (the
+      "JSON Array Format"), loadable in [chrome://tracing] and
+      Perfetto.  Fence stalls render as duration slices (ph B/E) per
+      core; everything else as instant events; cycle = microsecond.
+    - {!summary}: a compact human-readable stall/metrics digest whose
+      fence-stall totals are taken from the snapshotted legacy stats,
+      so they match [Machine.fence_stall_cycles] exactly even when the
+      ring buffers dropped events. *)
+
+val jsonl : Report.t -> string
+val chrome : Report.t -> string
+val summary : Report.t -> string

@@ -1,0 +1,46 @@
+type t = {
+  live : bool;
+  mutable current : int;
+  rings : Event.timed Ring.t array;
+  registry : Metrics.t;
+}
+
+let default_ring_capacity = 65536
+
+let create ?(ring_capacity = default_ring_capacity) ~cores () =
+  if cores <= 0 then invalid_arg "Trace.create: need at least one core";
+  {
+    live = true;
+    current = 0;
+    rings = Array.init cores (fun _ -> Ring.create ~capacity:ring_capacity);
+    registry = Metrics.create ();
+  }
+
+let null = { live = false; current = 0; rings = [||]; registry = Metrics.create () }
+
+let on t = t.live
+let set_now t n = if t.live then t.current <- n
+let now t = t.current
+let cores t = Array.length t.rings
+let metrics t = t.registry
+
+let emit t ~core ev =
+  if t.live then begin
+    if core < 0 || core >= Array.length t.rings then
+      invalid_arg "Trace.emit: core out of range";
+    Ring.push t.rings.(core) { Event.cycle = t.current; core; event = ev }
+  end
+
+let events t =
+  let per_core =
+    Array.to_list (Array.map Ring.to_list t.rings) |> List.concat
+  in
+  (* Per-core lists are cycle-ordered and concatenated core-major, so a
+     stable sort by (cycle, core) leaves same-key events in per-core
+     emission order. *)
+  List.stable_sort
+    (fun (a : Event.timed) (b : Event.timed) ->
+      match compare a.cycle b.cycle with 0 -> compare a.core b.core | c -> c)
+    per_core
+
+let dropped t = Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings

@@ -1,0 +1,45 @@
+(** The trace collector handed to a machine run.
+
+    A trace is either live (created with {!create}) or the shared
+    disabled collector {!null}.  Emission sites are expected to guard
+    with {!on} before building an event, so a run without tracing pays
+    one boolean load per potential event and allocates nothing —
+    observability is strictly timing- and result-neutral either way,
+    because emission never feeds back into simulation state.
+
+    Events land in per-core ring buffers (see {!Ring}); the collector
+    also owns the run's {!Metrics} registry and the current cycle
+    ([now]), which the machine advances once per simulated cycle so
+    emission sites don't need a cycle parameter threaded through. *)
+
+type t
+
+val create : ?ring_capacity:int -> cores:int -> unit -> t
+(** A live collector with one ring per core.  [ring_capacity] is per
+    core and defaults to 65536 events. *)
+
+val null : t
+(** The disabled collector: [on null = false]; [emit]/[set_now] on it
+    are no-ops.  Safe to share — it holds no per-run state. *)
+
+val on : t -> bool
+
+val set_now : t -> int -> unit
+(** Advance the trace clock; called by the machine at the top of every
+    simulated cycle. *)
+
+val now : t -> int
+val cores : t -> int
+
+val emit : t -> core:int -> Event.t -> unit
+(** Record an event at the current cycle.  No-op when disabled; raises
+    [Invalid_argument] if [core] is out of range on a live trace. *)
+
+val metrics : t -> Metrics.t
+
+val events : t -> Event.timed list
+(** All retained events merged across cores, sorted by cycle, then
+    core, then per-core emission order (deterministic). *)
+
+val dropped : t -> int
+(** Total ring-buffer overwrites across cores. *)

@@ -1,0 +1,74 @@
+module Ast = Fscope_slang.Ast
+
+let make ?(depth = 6) ?(rounds = 24) () =
+  let open Dsl in
+  (* Each thread owns its own chain of instances (t0: a0..a5, t1:
+     b0..b5) so the in-scope stores are fast private hits; the cold
+     private store between calls is the out-of-scope work every one of
+     the [depth] nested fences can skip — when the FSS is deep enough
+     to track them. *)
+  let inst t k = Printf.sprintf "%c%d" (Char.chr (Stdlib.( + ) 97 t)) k in
+  (* Each class Ct_k calls the thread-specific instance of Ct_(k+1):
+     [depth] truly nested scopes per outer call — the FSS pressure
+     the ablation sweep is about. *)
+  let cls_chain t k =
+    let inner_call =
+      if Stdlib.( < ) k (Stdlib.( - ) depth 1) then
+        [ call (inst t (Stdlib.( + ) k 1)) "m" [] ]
+      else []
+    in
+    {
+      Ast.cname = Printf.sprintf "C%d_%d" t k;
+      scalars = [ scalar "x" 0 ];
+      arrays = [];
+      methods =
+        [
+          meth "m" []
+            ([ sfld "self" "x" (fld "self" "x" + i 1) ]
+            @ inner_call
+            @ [ fence_class; sfld "self" "x" (fld "self" "x" + i 1) ]);
+        ];
+    }
+  in
+  let thread me =
+    Privwork.warmup ~thread:me ~level:(Privwork.cold ~arith:8 ~stores:1)
+    @ [
+        let_ "r" (i 0);
+        while_
+          (l "r" < i rounds)
+          ([ call (inst me 0) "m" [] ]
+          @ Privwork.block ~thread:me
+              ~level:(Privwork.cold ~arith:8 ~stores:1)
+              ~unique:"w" ()
+          @ [ set "r" (l "r" + i 1) ]);
+      ]
+  in
+  let program_ast =
+    {
+      Ast.classes = List.concat_map (fun t -> List.init depth (cls_chain t)) [ 0; 1 ];
+      instances =
+        List.concat_map
+          (fun t ->
+            List.init depth (fun k ->
+                { Ast.iname = inst t k; cls = Printf.sprintf "C%d_%d" t k }))
+          [ 0; 1 ];
+      globals = Privwork.globals ~threads:2 ();
+      threads = [ thread 0; thread 1 ];
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Fscope_machine.Machine.result) =
+    let x0 =
+      result.Fscope_machine.Machine.mem.(Fscope_isa.Program.address_of program "a0.x")
+    in
+    let expected = Stdlib.( * ) 2 rounds in
+    if Stdlib.( <> ) x0 expected then
+      Error (Printf.sprintf "a0.x = %d, expected %d" x0 expected)
+    else Ok ()
+  in
+  {
+    Workload.name = "nested-scopes";
+    description = Printf.sprintf "%d-deep class-scope nesting chain" depth;
+    program;
+    validate;
+  }

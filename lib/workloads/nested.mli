@@ -1,0 +1,11 @@
+(** A synthetic deep-nesting workload: a chain of [depth] classes,
+    each wrapping a class-scoped fence around a call into the next,
+    driven by two threads with cold private stores between calls.
+
+    Built for the FSS-depth ablation ({!Fscope_experiments.Ablation}):
+    one overflowing scope makes the innermost fence a full fence,
+    whose stall drains everything the outer scoped fences would have
+    skipped. *)
+
+val make : ?depth:int -> ?rounds:int -> unit -> Workload.t
+(** Defaults: 6-deep chain, 24 rounds per thread. *)

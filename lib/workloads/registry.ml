@@ -1,0 +1,90 @@
+type params = {
+  level : Privwork.level;
+  scope : [ `Class | `Set ];
+  attempts : int;
+  rounds : int option;
+  size : int option;
+}
+
+let default_params =
+  {
+    level = Privwork.fig12_levels.(2);
+    scope = `Class;
+    attempts = 30;
+    rounds = None;
+    size = None;
+  }
+
+type spec = {
+  name : string;
+  description : string;
+  make : params -> Workload.t;
+}
+
+let all =
+  [
+    {
+      name = "dekker";
+      description = "Dekker try-lock, set-scoped fences over {flag0,flag1,counter}";
+      make = (fun p -> Dekker.make ~level:p.level ~attempts:p.attempts);
+    };
+    {
+      name = "wsq";
+      description = "Chase-Lev work-stealing deque under the Fig. 12 harness";
+      make = (fun p -> Wsq.make ?rounds:p.rounds ~scope:p.scope ~level:p.level ());
+    };
+    {
+      name = "wsq-flavored";
+      description = "wsq with directional (store-store/store-load) fence flavours";
+      make =
+        (fun p ->
+          Wsq.make ?rounds:p.rounds ~flavored:true ~scope:p.scope ~level:p.level ());
+    };
+    {
+      name = "msn";
+      description = "Michael-Scott non-blocking queue under the Fig. 12 harness";
+      make = (fun p -> Msn.make ?per_producer:p.size ~scope:p.scope ~level:p.level ());
+    };
+    {
+      name = "harris";
+      description = "Harris lock-free sorted-list set under the Fig. 12 harness";
+      make = (fun p -> Harris.make ?keys_per_thread:p.size ~scope:p.scope ~level:p.level ());
+    };
+    {
+      name = "pst";
+      description = "parallel spanning tree over work-stealing deques (Fig. 3)";
+      make = (fun p -> Pst.make ?nodes:p.size ~scope:p.scope ());
+    };
+    {
+      name = "ptc";
+      description = "parallel transitive closure over work-stealing deques";
+      make = (fun p -> Ptc.make ?nodes:p.size ~scope:p.scope ());
+    };
+    {
+      name = "barnes";
+      description = "Barnes-Hut-style force kernel, SC enforced by set-scoped fences";
+      make = (fun p -> Barnes.make ?bodies:p.size ());
+    };
+    {
+      name = "radiosity";
+      description = "radiosity-style patch interactions, SC enforced by set-scoped fences";
+      make = (fun p -> Radiosity.make ?patches:p.size ());
+    };
+    {
+      name = "nested-scopes";
+      description = "6-deep class-scope nesting chain";
+      make = (fun p -> Nested.make ?rounds:p.rounds ());
+    };
+  ]
+
+let names = List.map (fun s -> s.name) all
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let get name =
+  match find name with
+  | Some s -> s
+  | None ->
+    failwith
+      (Printf.sprintf "unknown workload %s (try: %s)" name (String.concat ", " names))
+
+let build ?(params = default_params) name = (get name).make params

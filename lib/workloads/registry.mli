@@ -1,0 +1,47 @@
+(** The workload registry: one uniform construction surface for every
+    benchmark in the repo.
+
+    The CLI, the bench harness and the experiment modules all
+    enumerate workloads through this table instead of carrying their
+    own assoc lists; [spec.description] is static, so listing the
+    registry never compiles a program. *)
+
+type params = {
+  level : Privwork.level;
+      (** Fig. 12 private-workload level for the harness benchmarks
+          (dekker/wsq/msn/harris); ignored by the applications. *)
+  scope : [ `Class | `Set ];
+      (** scope flavour where the workload supports both; ignored by
+          dekker/barnes/radiosity (whose scopes are fixed by the
+          paper) and nested-scopes. *)
+  attempts : int;  (** dekker try-lock attempts. *)
+  rounds : int option;
+      (** rounds for wsq / wsq-flavored / nested-scopes; [None] =
+          the workload's own default. *)
+  size : int option;
+      (** the workload's principal size knob: per_producer (msn),
+          keys_per_thread (harris), nodes (pst/ptc), bodies (barnes),
+          patches (radiosity); [None] = the workload's default. *)
+}
+
+val default_params : params
+(** Level 3 of {!Privwork.fig12_levels}, class scope, 30 attempts,
+    default rounds and sizes. *)
+
+type spec = {
+  name : string;
+  description : string;  (** static — printing it builds nothing *)
+  make : params -> Workload.t;
+}
+
+val all : spec list
+(** Every registered workload, in presentation order. *)
+
+val names : string list
+
+val find : string -> spec option
+val get : string -> spec
+(** Raises [Failure] with the list of valid names. *)
+
+val build : ?params:params -> string -> Workload.t
+(** [get] + [make]; [params] defaults to {!default_params}. *)

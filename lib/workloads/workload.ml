@@ -5,14 +5,14 @@ type t = {
   validate : Fscope_machine.Machine.result -> (unit, string) result;
 }
 
-let run config t =
-  let result = Fscope_machine.Machine.run config t.program in
+let run ?obs config t =
+  let result = Fscope_machine.Machine.run ?obs config t.program in
   if result.Fscope_machine.Machine.timed_out then
     failwith (Printf.sprintf "workload %s: timed out" t.name);
   result
 
-let run_validated config t =
-  let result = run config t in
+let run_validated ?obs config t =
+  let result = run ?obs config t in
   match t.validate result with
   | Ok () -> result
   | Error msg -> failwith (Printf.sprintf "workload %s: validation failed: %s" t.name msg)

@@ -13,11 +13,13 @@ type t = {
   validate : Fscope_machine.Machine.result -> (unit, string) result;
 }
 
-val run : Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
+val run :
+  ?obs:Fscope_obs.Trace.t -> Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
 (** Run on the given machine configuration.  Raises [Failure] if the
-    run times out. *)
+    run times out.  [obs] is passed through to {!Fscope_machine.Machine.run}. *)
 
-val run_validated : Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
+val run_validated :
+  ?obs:Fscope_obs.Trace.t -> Fscope_machine.Config.t -> t -> Fscope_machine.Machine.result
 (** [run] followed by [validate]; raises [Failure] on a validation
     error.  Use this in tests and in non-speculative experiment runs
     (in-window speculation is modelled without replay, so validation

@@ -12,7 +12,7 @@ module Fk = Fscope_isa.Fence_kind
 let entry seq = Rob.make_entry ~seq ~pc:seq ~instr:Instr.Nop ~srcs:[||]
 
 let test_rob_fifo () =
-  let rob = Rob.create ~size:4 in
+  let rob = Rob.create ~size:4 () in
   Alcotest.(check bool) "empty" true (Rob.is_empty rob);
   for s = 0 to 3 do
     Rob.dispatch rob (entry s)
@@ -24,12 +24,12 @@ let test_rob_fifo () =
   Alcotest.(check int) "head is 1" 1 (Rob.pop_head rob).Rob.seq
 
 let test_rob_wrong_seq () =
-  let rob = Rob.create ~size:4 in
+  let rob = Rob.create ~size:4 () in
   Alcotest.check_raises "wrong seq" (Invalid_argument "Rob.dispatch: wrong seq") (fun () ->
       Rob.dispatch rob (entry 5))
 
 let test_rob_squash () =
-  let rob = Rob.create ~size:8 in
+  let rob = Rob.create ~size:8 () in
   for s = 0 to 5 do
     Rob.dispatch rob (entry s)
   done;
@@ -42,7 +42,7 @@ let test_rob_squash () =
   Alcotest.(check bool) "re-dispatch ok" true (Rob.contains rob 3)
 
 let test_rob_iteration_helpers () =
-  let rob = Rob.create ~size:8 in
+  let rob = Rob.create ~size:8 () in
   for s = 0 to 4 do
     Rob.dispatch rob (entry s)
   done;
@@ -57,7 +57,7 @@ let sb_entry ?(mask = Fsb.empty) ~addr ~done_at () =
   { Sb.addr; value = 7; mask; done_at }
 
 let test_sb_fifo_and_completion () =
-  let sb = Sb.create ~capacity:4 in
+  let sb = Sb.create ~capacity:4 () in
   Sb.push sb (sb_entry ~addr:0 ~done_at:10 ());
   Sb.push sb (sb_entry ~addr:8 ~done_at:5 ());
   Alcotest.(check int) "count" 2 (Sb.count sb);
@@ -67,20 +67,20 @@ let test_sb_fifo_and_completion () =
   Alcotest.(check int) "one left" 1 (Sb.count sb)
 
 let test_sb_forward_youngest () =
-  let sb = Sb.create ~capacity:4 in
+  let sb = Sb.create ~capacity:4 () in
   Sb.push sb { Sb.addr = 3; value = 1; mask = Fsb.empty; done_at = 100 };
   Sb.push sb { Sb.addr = 3; value = 2; mask = Fsb.empty; done_at = 100 };
   Alcotest.(check (option int)) "youngest wins" (Some 2) (Sb.forward sb ~addr:3);
   Alcotest.(check (option int)) "miss" None (Sb.forward sb ~addr:4)
 
 let test_sb_mask_overlap () =
-  let sb = Sb.create ~capacity:4 in
+  let sb = Sb.create ~capacity:4 () in
   Sb.push sb (sb_entry ~mask:(Fsb.column 1) ~addr:0 ~done_at:10 ());
   Alcotest.(check bool) "overlap" true (Sb.mask_overlaps sb (Fsb.column 1));
   Alcotest.(check bool) "no overlap" false (Sb.mask_overlaps sb (Fsb.column 2))
 
 let test_sb_capacity () =
-  let sb = Sb.create ~capacity:1 in
+  let sb = Sb.create ~capacity:1 () in
   Sb.push sb (sb_entry ~addr:0 ~done_at:1 ());
   Alcotest.(check bool) "full" true (Sb.is_full sb);
   Alcotest.check_raises "push full" (Invalid_argument "Store_buffer.push: full") (fun () ->

@@ -11,5 +11,6 @@ let () =
       ("sim", Test_sim.tests);
       ("slang", Test_slang.tests);
       ("workloads", Test_workloads.tests);
+      ("obs", Test_obs.tests);
       ("differential", Test_differential.tests);
     ]
