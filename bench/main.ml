@@ -4,22 +4,31 @@
      dune exec bench/main.exe              -- everything
      dune exec bench/main.exe -- fig12     -- one artefact
      dune exec bench/main.exe -- quick     -- reduced sizes (CI)
+     dune exec bench/main.exe -- --jobs 4  -- fan experiment points
+                                              across 4 domains
+     dune exec bench/main.exe -- engine    -- fast-forward engine vs
+                                              the naive cycle loop
      dune exec bench/main.exe -- bechamel  -- wall-clock cost of the
                                               simulator itself, one
                                               Bechamel test per artefact
 
    The simulator is deterministic, so every table below reproduces
-   bit-for-bit; EXPERIMENTS.md records these outputs against the
-   paper's claims. *)
+   bit-for-bit regardless of --jobs; EXPERIMENTS.md records these
+   outputs against the paper's claims.  Each non-bechamel invocation
+   also drops BENCH_engine.json (wall-clock per artefact plus the
+   engine-vs-naive comparison) for CI to archive. *)
 
 module Table = Fscope_util.Table
 module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
 module Registry = Fscope_workloads.Registry
+module W = Fscope_workloads
 module E = Fscope_experiments
 
 let workload name params = Registry.build ~params name
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
+let now_s () = Unix.gettimeofday ()
 
 let run_table3 () = Table.print (E.Tables.table3 Config.default)
 let run_table4 () = Table.print (E.Tables.table4 ())
@@ -53,6 +62,140 @@ let run_ablate ~quick () =
   Table.print (E.Ablation.fsb_table (E.Ablation.fsb_sweep ~quick ()));
   Table.print (E.Ablation.fss_table (E.Ablation.fss_sweep ()));
   Table.print (E.Ablation.flavor_table (E.Ablation.flavor_sweep ~quick ()))
+
+(* ------------------------------------------------------------------ *)
+(* Engine benchmark: the event-horizon fast-forward loop against the
+   retained naive per-cycle loop, on the fig13 full-app set (default
+   latency and the fig15 500-cycle point).  Both loops produce
+   bit-identical results; this artefact quotes the wall-clock win and
+   simulation throughput of each.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type engine_row = {
+  er_workload : string;
+  er_config : string;
+  er_cycles : int;
+  er_engine_s : float;
+  er_naive_s : float;
+}
+
+let timed f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)
+
+let engine_rows = ref ([] : engine_row list)
+
+let run_engine ~quick () =
+  let points =
+    List.concat_map
+      (fun (app, w) ->
+        [
+          (app, "T", E.Exp_run.t_config Config.default, w);
+          (app, "S", E.Exp_run.s_config Config.default, w);
+          ( app,
+            "T lat500",
+            E.Exp_run.t_config (Config.with_mem_latency 500 Config.default),
+            w );
+        ])
+      (E.Fig13.apps ~quick ())
+  in
+  let rows =
+    List.map
+      (fun (app, cname, config, w) ->
+        let engine_r, engine_s =
+          timed (fun () -> Machine.run config w.W.Workload.program)
+        in
+        let naive_r, naive_s =
+          timed (fun () -> Machine.run_reference config w.W.Workload.program)
+        in
+        if engine_r <> naive_r then
+          failwith
+            (Printf.sprintf "engine/naive mismatch on %s (%s)" app cname);
+        {
+          er_workload = app;
+          er_config = cname;
+          er_cycles = engine_r.Machine.cycles;
+          er_engine_s = engine_s;
+          er_naive_s = naive_s;
+        })
+      points
+  in
+  engine_rows := rows;
+  let t =
+    Table.create ~title:"Engine — fast-forward vs naive cycle loop"
+      ~header:
+        [ "app"; "config"; "cycles"; "engine s"; "naive s"; "speedup"; "Mcyc/s" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.er_workload;
+          r.er_config;
+          string_of_int r.er_cycles;
+          Printf.sprintf "%.3f" r.er_engine_s;
+          Printf.sprintf "%.3f" r.er_naive_s;
+          Table.cell_x (r.er_naive_s /. r.er_engine_s);
+          Printf.sprintf "%.2f" (float_of_int r.er_cycles /. r.er_engine_s /. 1e6);
+        ])
+    rows;
+  Table.print t;
+  let tot f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  say "engine total %.2fs, naive total %.2fs — %.2fx overall"
+    (tot (fun r -> r.er_engine_s))
+    (tot (fun r -> r.er_naive_s))
+    (tot (fun r -> r.er_naive_s) /. tot (fun r -> r.er_engine_s))
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_engine.json: machine-readable record of the invocation —
+   wall-clock per artefact, simulation throughput, and the
+   engine-vs-naive rows when the [engine] artefact ran.                *)
+(* ------------------------------------------------------------------ *)
+
+let artefact_times = ref ([] : (string * float) list)
+
+let write_bench_json ~quick ~jobs path =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fence-scoping/bench-engine/v1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"artefacts\": [";
+  List.iteri
+    (fun i (name, s) ->
+      add "%s\n    {\"name\": %S, \"seconds\": %.3f}" (if i = 0 then "" else ",") name s)
+    (List.rev !artefact_times);
+  add "\n  ],\n";
+  add "  \"engine_vs_naive\": [";
+  List.iteri
+    (fun i r ->
+      add
+        "%s\n    {\"workload\": %S, \"config\": %S, \"sim_cycles\": %d, \
+         \"engine_seconds\": %.3f, \"naive_seconds\": %.3f, \"speedup\": %.2f, \
+         \"engine_cycles_per_sec\": %.0f, \"naive_cycles_per_sec\": %.0f}"
+        (if i = 0 then "" else ",")
+        r.er_workload r.er_config r.er_cycles r.er_engine_s r.er_naive_s
+        (r.er_naive_s /. r.er_engine_s)
+        (float_of_int r.er_cycles /. r.er_engine_s)
+        (float_of_int r.er_cycles /. r.er_naive_s))
+    !engine_rows;
+  add "\n  ]";
+  (match !engine_rows with
+  | [] -> add "\n"
+  | rows ->
+    let tot f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+    let e = tot (fun r -> r.er_engine_s) and nv = tot (fun r -> r.er_naive_s) in
+    add ",\n";
+    add "  \"engine_total_seconds\": %.3f,\n" e;
+    add "  \"naive_total_seconds\": %.3f,\n" nv;
+    add "  \"overall_speedup\": %.2f\n" (nv /. e));
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote %s" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of regenerating each artefact, measured
@@ -134,12 +277,29 @@ let artefacts ~quick =
     ("fig15", run_fig15 ~quick);
     ("fig16", run_fig16 ~quick);
     ("ablate", run_ablate ~quick);
+    ("engine", run_engine ~quick);
   ]
 
+let run_artefact (name, f) =
+  let (), s = timed f in
+  artefact_times := (name, s) :: !artefact_times
+
+(* "quick" and "--jobs N" / "--jobs=N" are modifiers; everything else
+   names an artefact. *)
+let parse_args args =
+  let rec go quick jobs wanted = function
+    | [] -> (quick, jobs, List.rev wanted)
+    | "quick" :: rest -> go true jobs wanted rest
+    | "--jobs" :: n :: rest -> go quick (int_of_string n) wanted rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      go quick (int_of_string (String.sub arg 7 (String.length arg - 7))) wanted rest
+    | arg :: rest -> go quick jobs (arg :: wanted) rest
+  in
+  go false 1 [] args
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "quick" args in
-  let wanted = List.filter (fun a -> a <> "quick") args in
+  let quick, jobs, wanted = parse_args (Array.to_list Sys.argv |> List.tl) in
+  E.Exp_run.set_jobs jobs;
   match wanted with
   | [ "bechamel" ] -> run_bechamel ()
   | [] ->
@@ -147,14 +307,16 @@ let () =
       (fun (name, f) ->
         say "";
         say "### %s" name;
-        f ())
-      (artefacts ~quick)
+        run_artefact (name, f))
+      (artefacts ~quick);
+    write_bench_json ~quick ~jobs "BENCH_engine.json"
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name (artefacts ~quick) with
-        | Some f -> f ()
+        | Some f -> run_artefact (name, f)
         | None ->
           say "unknown artefact %s (have: %s, bechamel)" name
             (String.concat ", " (List.map fst (artefacts ~quick))))
-      names
+      names;
+    write_bench_json ~quick ~jobs "BENCH_engine.json"

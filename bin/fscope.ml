@@ -69,23 +69,31 @@ let cmd_run name level set_scope traditional speculate mem_latency rob fsb =
     0
   end
 
-let cmd_compare name level set_scope =
+let cmd_compare name level set_scope jobs =
+  E.Exp_run.set_jobs jobs;
   let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
-  let baseline = ref None in
-  Printf.printf "%-4s %10s %14s %9s\n" "cfg" "cycles" "fence stalls" "speedup";
-  List.iter
-    (fun (label, mk) ->
-      let m = E.Exp_run.measure (mk Config.default) w in
-      let base = match !baseline with None -> baseline := Some m; m | Some b -> b in
-      Printf.printf "%-4s %10d %13.1f%% %8.2fx\n" label m.E.Exp_run.cycles
-        (100. *. m.E.Exp_run.fence_stall_fraction)
-        (E.Exp_run.speedup ~baseline:base m))
+  let variants =
     [
       ("T", E.Exp_run.t_config);
       ("S", E.Exp_run.s_config);
       ("T+", E.Exp_run.t_plus);
       ("S+", E.Exp_run.s_plus);
-    ];
+    ]
+  in
+  let ms =
+    E.Exp_run.measure_all
+      (List.map
+         (fun (_, mk) -> { E.Exp_run.config = mk Config.default; workload = w })
+         variants)
+  in
+  let base = List.hd ms in
+  Printf.printf "%-4s %10s %14s %9s\n" "cfg" "cycles" "fence stalls" "speedup";
+  List.iter2
+    (fun (label, _) m ->
+      Printf.printf "%-4s %10d %13.1f%% %8.2fx\n" label m.E.Exp_run.cycles
+        (100. *. m.E.Exp_run.fence_stall_fraction)
+        (E.Exp_run.speedup ~baseline:base m))
+    variants ms;
   0
 
 let cmd_trace name level set_scope traditional speculate mem_latency rob fsb format output
@@ -166,6 +174,15 @@ let output_arg =
 let ring_arg =
   Arg.(value & opt int 65536 & info [ "ring-capacity" ] ~docv:"EVENTS" ~doc:"Per-core event ring capacity; oldest events are dropped beyond it.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Fan the four machine variants across $(docv) OCaml domains.  Runs are \
+           deterministic and results keep their order, so the output is \
+           byte-identical for any job count.")
+
 let rounds_arg =
   Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"N" ~doc:"Rounds for wsq/nested-scopes (workload default otherwise).")
 
@@ -185,7 +202,7 @@ let run_cmd =
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Run a workload under T, S, T+ and S+ and compare")
-    Term.(const cmd_compare $ workload_arg $ level_arg $ set_scope_arg)
+    Term.(const cmd_compare $ workload_arg $ level_arg $ set_scope_arg $ jobs_arg)
 
 let trace_cmd =
   Cmd.v

@@ -1,14 +1,18 @@
-module Instr = Fscope_isa.Instr
-module Reg = Fscope_isa.Reg
-module Fsb = Fscope_core.Fsb
-module Scope_unit = Fscope_core.Scope_unit
-module Hierarchy = Fscope_mem.Hierarchy
+(* Public facade over the pipeline-stage submodules: Core_state (the
+   record and operand plumbing), Core_exec (completions, branch
+   resolution), Core_commit, Core_issue and Core_frontend.  This
+   module owns creation, the per-cycle step protocol, and the two
+   engine hooks ([next_wake], [account_stall_span]) the fast-forward
+   scheduler uses to skip pure-stall spans. *)
 
-type stats = {
+module Reg = Fscope_isa.Reg
+module Scope_unit = Fscope_core.Scope_unit
+
+type stats = Core_state.stats = {
   mutable committed : int;
-  mutable stall_rob_load : int;  (* fence waited on an in-ROB load/CAS *)
-  mutable stall_rob_store : int;  (* fence waited on an uncommitted store *)
-  mutable stall_sb : int;  (* fence waited on the store buffer *)
+  mutable stall_rob_load : int;
+  mutable stall_rob_store : int;
+  mutable stall_sb : int;
   mutable committed_mem : int;
   mutable committed_fences : int;
   mutable fence_stall_cycles : int;
@@ -22,58 +26,10 @@ type stats = {
   mutable active_cycles : int;
 }
 
-let fresh_stats () =
-  {
-    committed = 0;
-    stall_rob_load = 0;
-    stall_rob_store = 0;
-    stall_sb = 0;
-    committed_mem = 0;
-    committed_fences = 0;
-    fence_stall_cycles = 0;
-    sb_stall_cycles = 0;
-    branches = 0;
-    mispredicts = 0;
-    loads = 0;
-    stores = 0;
-    cas_ops = 0;
-    rob_occupancy_sum = 0;
-    active_cycles = 0;
-  }
+type t = Core_state.t
 
-(* Observability hooks, present only on a traced run: handles are
-   resolved once at core creation so emission is a guarded write, and
-   [stall_begin] pairs each Fence_stall_begin with its End. *)
-type obs = {
-  trace : Fscope_obs.Trace.t;
-  stall_hist : Fscope_obs.Metrics.histogram;
-  rob_gauge : Fscope_obs.Metrics.gauge;
-  sb_gauge : Fscope_obs.Metrics.gauge;
-  mutable stall_begin : int;  (* cycle the head fence began stalling; -1 = none *)
-}
-
-type t = {
-  id : int;
-  code : Instr.t array;
-  mem : int array;
-  hierarchy : Hierarchy.t;
-  scope : Scope_unit.t;
-  cfg : Exec_config.t;
-  rob : Rob.t;
-  sb : Store_buffer.t;
-  bpred : Branch_pred.t;
-  arf : int array;
-  rename : Rob.producer array;
-  mutable fetch_pc : int;
-  mutable fetch_resume : int;
-  mutable fetch_stopped : bool;
-  mutable halted : bool;
-  stats : stats;
-  obs : obs option;
-}
-
-let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~mem ~hierarchy ~scope_config
-    ~exec_config () =
+let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~port ~scope_config ~exec_config ()
+    =
   Exec_config.validate exec_config;
   let obs =
     if Fscope_obs.Trace.on trace then
@@ -81,7 +37,7 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~mem ~hierarchy ~scope_con
       let named fmt = Printf.sprintf fmt id in
       Some
         {
-          trace;
+          Core_state.trace;
           stall_hist = Fscope_obs.Metrics.histogram m "fence/stall_cycles";
           rob_gauge = Fscope_obs.Metrics.gauge m (named "core%d/rob_occupancy");
           sb_gauge = Fscope_obs.Metrics.gauge m (named "core%d/sb_occupancy");
@@ -90,10 +46,9 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~mem ~hierarchy ~scope_con
     else None
   in
   {
-    id;
+    Core_state.id;
     code;
-    mem;
-    hierarchy;
+    port;
     scope = Scope_unit.create ~trace ~core:id scope_config;
     cfg = exec_config;
     rob = Rob.create ~trace ~core:id ~size:exec_config.rob_size ();
@@ -105,626 +60,22 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~mem ~hierarchy ~scope_con
     fetch_resume = 0;
     fetch_stopped = false;
     halted = false;
-    stats = fresh_stats ();
+    stats = Core_state.fresh_stats ();
     obs;
   }
 
-let id t = t.id
-let halted t = t.halted
-let drained t = t.halted && Store_buffer.is_empty t.sb
-let stats t = t.stats
-let scope_unit t = t.scope
+let id (t : t) = t.id
+let halted (t : t) = t.halted
+let drained (t : t) = t.halted && Store_buffer.is_empty t.sb
+let stats (t : t) = t.stats
+let scope_unit (t : t) = t.scope
 
-(* Positional source registers, matching how execution consumes them. *)
-let explicit_srcs = function
-  | Instr.Nop | Instr.Li _ | Instr.Tid _ | Instr.Jump _ | Instr.Fence _
-  | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
-    []
-  | Instr.Alu (_, _, a, Instr.Reg b) -> [ a; b ]
-  | Instr.Alu (_, _, a, Instr.Imm _) -> [ a ]
-  | Instr.Load { base; _ } -> [ base ]
-  | Instr.Store { src; base; _ } -> [ src; base ]
-  | Instr.Cas { base; expected; desired; _ } -> [ base; expected; desired ]
-  | Instr.Branch { src; _ } -> [ src ]
+let step_complete_writes = Core_exec.step_complete_writes
+let step_complete_reads = Core_exec.step_complete_reads
 
-(* A source value is available if its producer has left the ROB (then
-   the architectural file holds it: in-order commit guarantees no
-   younger same-register producer has overwritten it yet) or has
-   finished executing. *)
-let src_value t cycle (s : Rob.src) =
-  if Reg.equal s.reg Reg.zero then Some 0
-  else
-    match s.producer with
-    | Rob.Arch -> Some t.arf.(Reg.index s.reg)
-    | Rob.Rob seq ->
-      if not (Rob.contains t.rob seq) then Some t.arf.(Reg.index s.reg)
-      else (
-        let p = Rob.get t.rob seq in
-        match p.state with
-        | Rob.Done -> Some p.result
-        | Rob.Executing d when d <= cycle -> Some p.result
-        | Rob.Executing _ | Rob.Waiting -> None)
-
-let srcs_values t cycle (e : Rob.entry) =
-  let n = Array.length e.srcs in
-  let vals = Array.make n 0 in
-  let rec go i =
-    if i >= n then Some vals
-    else
-      match src_value t cycle e.srcs.(i) with
-      | Some v ->
-        vals.(i) <- v;
-        go (i + 1)
-      | None -> None
-  in
-  go 0
-
-let eval_alu op a b =
-  match op with
-  | Instr.Add -> a + b
-  | Instr.Sub -> a - b
-  | Instr.Mul -> a * b
-  | Instr.Div -> if b = 0 then 0 else a / b
-  | Instr.Rem -> if b = 0 then 0 else a mod b
-  | Instr.And -> a land b
-  | Instr.Or -> a lor b
-  | Instr.Xor -> a lxor b
-  | Instr.Shl -> a lsl (b land 63)
-  | Instr.Shr -> a asr (b land 63)
-  | Instr.Slt -> if a < b then 1 else 0
-  | Instr.Sle -> if a <= b then 1 else 0
-  | Instr.Seq -> if a = b then 1 else 0
-  | Instr.Sne -> if a <> b then 1 else 0
-
-let in_bounds t addr = addr >= 0 && addr < Array.length t.mem
-
-let read_mem t addr = if in_bounds t addr then t.mem.(addr) else 0
-
-(* ------------------------------------------------------------------ *)
-(* Completion phases                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let step_complete_writes t ~cycle =
-  List.iter
-    (fun (en : Store_buffer.entry) ->
-      t.mem.(en.addr) <- en.value;
-      Scope_unit.on_bits_cleared t.scope en.mask)
-    (Store_buffer.take_completed t.sb ~cycle);
-  Rob.iter t.rob (fun e ->
-      match (e.instr, e.state) with
-      | Instr.Cas _, Rob.Executing d when d <= cycle ->
-        (* The RMW performs atomically at its completion point. *)
-        let old = read_mem t e.addr in
-        let success = old = e.data2 in
-        if success && in_bounds t e.addr then t.mem.(e.addr) <- e.data;
-        e.result <- (if success then 1 else 0);
-        e.state <- Rob.Done;
-        Scope_unit.on_bits_cleared t.scope e.scope_mask;
-        (match t.obs with
-        | Some o ->
-          Fscope_obs.Trace.emit o.trace ~core:t.id
-            (Fscope_obs.Event.Cas_result { addr = e.addr; success })
-        | None -> ())
-      | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ())
-
-let step_complete_reads t ~cycle =
-  Rob.iter t.rob (fun e ->
-      match (e.instr, e.state) with
-      | Instr.Load _, Rob.Executing d when d <= cycle ->
-        (* data2 = 1 marks a forwarded load whose value was captured at
-           issue; otherwise the value is sampled from memory now, at
-           the access's completion point. *)
-        if e.data2 = 0 then e.result <- read_mem t e.addr;
-        e.state <- Rob.Done;
-        Scope_unit.on_bits_cleared t.scope e.scope_mask
-      | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ())
-
-(* ------------------------------------------------------------------ *)
-(* Branch resolution and squash                                        *)
-(* ------------------------------------------------------------------ *)
-
-let release_squashed t (e : Rob.entry) =
-  match e.instr with
-  | Instr.Load _ | Instr.Cas _ ->
-    if e.state <> Rob.Done then Scope_unit.on_bits_cleared t.scope e.scope_mask
-  | Instr.Store _ -> Scope_unit.on_bits_cleared t.scope e.scope_mask
-  | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
-  | Instr.Fence _ | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
-    ()
-
-let squash t (e : Rob.entry) ~actual_target ~cycle =
-  let removed = Rob.squash_after t.rob e.seq in
-  List.iter (release_squashed t) removed;
-  (match e.checkpoint with
-  | Some cp -> Array.blit cp 0 t.rename 0 (Array.length cp)
-  | None -> assert false);
-  Scope_unit.on_branch_mispredict t.scope ~id:e.seq;
-  t.fetch_pc <- actual_target;
-  t.fetch_resume <- cycle + t.cfg.mispredict_penalty;
-  t.fetch_stopped <- false;
-  t.stats.mispredicts <- t.stats.mispredicts + 1
-
-let resolve_branch t (e : Rob.entry) ~cycle =
-  let taken = e.result <> 0 in
-  let target =
-    match e.instr with
-    | Instr.Branch { target; _ } -> if taken then target else e.pc + 1
-    | _ -> assert false
-  in
-  Branch_pred.update t.bpred ~pc:e.pc ~taken;
-  if taken = e.predicted_taken then Scope_unit.on_branch_correct t.scope ~id:e.seq
-  else squash t e ~actual_target:target ~cycle
-
-(* Convert due executions to Done and resolve branches, oldest first
-   (a misprediction squashes the younger ones before they resolve). *)
-let finalize t ~cycle =
-  let rec go seq =
-    if Rob.contains t.rob seq then begin
-      let e = Rob.get t.rob seq in
-      (match (e.instr, e.state) with
-      | (Instr.Load _ | Instr.Cas _), _ -> () (* completion phases own these *)
-      | Instr.Branch _, Rob.Executing d when d <= cycle ->
-        e.state <- Rob.Done;
-        resolve_branch t e ~cycle
-      | _, Rob.Executing d when d <= cycle -> e.state <- Rob.Done
-      | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ());
-      go (seq + 1)
-    end
-  in
-  match Rob.head t.rob with
-  | Some e -> go e.seq
-  | None -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Commit                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let fence_commit_ok t (e : Rob.entry) =
-  (* In-window speculation: the fence retires when the in-scope part of
-     the store buffer has drained (older ROB entries are gone by
-     definition at the commit head); flavours that do not order prior
-     stores retire immediately. *)
-  let k = match e.instr with Instr.Fence k -> k | _ -> assert false in
-  (not k.Fscope_isa.Fence_kind.wait_stores)
-  ||
-  match e.fence_wait with
-  | None -> assert false
-  | Some `Global -> Store_buffer.is_empty t.sb
-  | Some (`Mask m) -> not (Store_buffer.mask_overlaps t.sb m)
-
-let commit_effects t (e : Rob.entry) =
-  (match Instr.writes_reg e.instr with
-  | Some r -> t.arf.(Reg.index r) <- e.result
-  | None -> ());
-  t.stats.committed <- t.stats.committed + 1;
-  match e.instr with
-  | Instr.Load _ ->
-    t.stats.loads <- t.stats.loads + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
-  | Instr.Store _ ->
-    t.stats.stores <- t.stats.stores + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
-  | Instr.Cas _ ->
-    t.stats.cas_ops <- t.stats.cas_ops + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
-  | Instr.Fence _ -> t.stats.committed_fences <- t.stats.committed_fences + 1
-  | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
-  | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
-    ()
-
-(* Why is the head fence stalled?  Charged once per stalled cycle to
-   the first matching bucket (ROB loads, then ROB stores, then SB). *)
-let classify_fence_stall t (e : Rob.entry) =
-  let covered o =
-    match e.fence_wait with
-    | Some `Global | None -> true
-    | Some (`Mask m) -> not (Fsb.is_empty (Fsb.inter o.Rob.scope_mask m))
-  in
-  let rob_load = ref false and rob_store = ref false in
-  Rob.iter t.rob (fun o ->
-      if o.seq < e.seq && covered o then
-        match o.instr with
-        | Instr.Load _ | Instr.Cas _ -> if o.state <> Rob.Done then rob_load := true
-        | Instr.Store _ -> rob_store := true
-        | _ -> ());
-  if !rob_load then t.stats.stall_rob_load <- t.stats.stall_rob_load + 1
-  else if !rob_store then t.stats.stall_rob_store <- t.stats.stall_rob_store + 1
-  else t.stats.stall_sb <- t.stats.stall_sb + 1
-
-let commit t ~cycle =
-  let budget = ref t.cfg.commit_width in
-  let blocked = ref false in
-  while (not !blocked) && !budget > 0 && not t.halted do
-    match Rob.head t.rob with
-    | None -> blocked := true
-    | Some e -> (
-      match e.instr with
-      | Instr.Halt ->
-        ignore (Rob.pop_head t.rob);
-        commit_effects t e;
-        t.halted <- true
-      | Instr.Store _ ->
-        if e.state <> Rob.Done then blocked := true
-        else if Store_buffer.is_full t.sb then begin
-          t.stats.sb_stall_cycles <- t.stats.sb_stall_cycles + 1;
-          blocked := true
-        end
-        else begin
-          if not (in_bounds t e.addr) then
-            invalid_arg
-              (Printf.sprintf "core %d: store to out-of-bounds address %d (pc %d)" t.id
-                 e.addr e.pc);
-          let lat = Hierarchy.access t.hierarchy ~core:t.id Hierarchy.Write ~addr:e.addr in
-          (* Same-address stores must become visible in program order
-             (per-location coherence), so a later store may not
-             overtake an in-flight one to the same address. *)
-          let floor = ref 0 in
-          Store_buffer.iter t.sb (fun en ->
-              if en.addr = e.addr then floor := max !floor en.done_at);
-          Store_buffer.push t.sb
-            {
-              Store_buffer.addr = e.addr;
-              value = e.data;
-              mask = e.scope_mask;
-              done_at = max (cycle + lat) (!floor + 1);
-            };
-          ignore (Rob.pop_head t.rob);
-          commit_effects t e;
-          decr budget
-        end
-      | Instr.Fence _ ->
-        let ok =
-          if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
-        in
-        if ok then begin
-          (match t.obs with
-          | Some o when o.stall_begin >= 0 ->
-            let stalled = cycle - o.stall_begin in
-            Fscope_obs.Trace.emit o.trace ~core:t.id
-              (Fscope_obs.Event.Fence_stall_end { pc = e.pc; cycles = stalled });
-            Fscope_obs.Metrics.observe o.stall_hist stalled;
-            o.stall_begin <- -1
-          | Some _ | None -> ());
-          ignore (Rob.pop_head t.rob);
-          commit_effects t e;
-          decr budget
-        end
-        else begin
-          t.stats.fence_stall_cycles <- t.stats.fence_stall_cycles + 1;
-          classify_fence_stall t e;
-          (match t.obs with
-          | Some o when o.stall_begin < 0 ->
-            o.stall_begin <- cycle;
-            Fscope_obs.Trace.emit o.trace ~core:t.id
-              (Fscope_obs.Event.Fence_stall_begin
-                 {
-                   pc = e.pc;
-                   global =
-                     (match e.fence_wait with
-                     | Some (`Mask _) -> false
-                     | Some `Global | None -> true);
-                 })
-          | Some _ | None -> ());
-          blocked := true
-        end
-      | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Load _ | Instr.Cas _
-      | Instr.Branch _ | Instr.Jump _ | Instr.Fs_start _ | Instr.Fs_end _ ->
-        if e.state = Rob.Done then begin
-          ignore (Rob.pop_head t.rob);
-          commit_effects t e;
-          decr budget
-        end
-        else blocked := true)
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Issue                                                               *)
-(* ------------------------------------------------------------------ *)
-
-(* Is an older entry something the fence's flavour must still wait
-   for?  Loads and CAS: until their value is bound (CAS also writes, so
-   it is in both classes).  Stores: as long as they are in the ROB they
-   have not even reached the store buffer. *)
-let mem_incomplete (k : Fscope_isa.Fence_kind.t) (o : Rob.entry) =
-  match o.instr with
-  | Instr.Load _ -> k.Fscope_isa.Fence_kind.wait_loads && o.state <> Rob.Done
-  | Instr.Cas _ ->
-    (k.Fscope_isa.Fence_kind.wait_loads || k.Fscope_isa.Fence_kind.wait_stores)
-    && o.state <> Rob.Done
-  | Instr.Store _ -> k.Fscope_isa.Fence_kind.wait_stores
-  | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
-  | Instr.Fence _ | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
-    false
-
-let fence_kind (e : Rob.entry) =
-  match e.instr with
-  | Instr.Fence k -> k
-  | _ -> assert false
-
-let fence_issue_ok t (e : Rob.entry) =
-  let k = fence_kind e in
-  let sb_ok mask_opt =
-    (not k.Fscope_isa.Fence_kind.wait_stores)
-    ||
-    match mask_opt with
-    | None -> Store_buffer.is_empty t.sb
-    | Some m -> not (Store_buffer.mask_overlaps t.sb m)
-  in
-  match e.fence_wait with
-  | None -> assert false
-  | Some `Global ->
-    (not (Rob.exists_older t.rob e.seq (mem_incomplete k))) && sb_ok None
-  | Some (`Mask m) ->
-    (not
-       (Rob.exists_older t.rob e.seq (fun o ->
-            (not (Fsb.is_empty (Fsb.inter o.scope_mask m))) && mem_incomplete k o)))
-    && sb_ok (Some m)
-
-(* What should an issuing load do about the youngest older same-address
-   memory operation? *)
-type load_source =
-  | From_memory
-  | Forward of int
-  | Must_wait
-
-let load_disambiguate t (e : Rob.entry) =
-  (* Any older store/CAS with an unknown address, or older same-address
-     load still in flight, blocks the load (conservative
-     disambiguation; same-address load-load order is coherence). *)
-  if
-    Rob.exists_older t.rob e.seq (fun o ->
-        match o.instr with
-        | Instr.Store _ | Instr.Cas _ -> o.addr < 0
-        | Instr.Load _ -> o.addr = e.addr && o.state <> Rob.Done
-        | _ -> false)
-  then Must_wait
+let step_pipeline (t : t) ~cycle =
+  if t.halted then false
   else begin
-    (* Youngest older same-address writer in the ROB decides. *)
-    let matching =
-      Rob.fold_older t.rob e.seq
-        (fun acc o ->
-          match o.instr with
-          | (Instr.Store _ | Instr.Cas _) when o.addr = e.addr -> Some o
-          | _ -> acc)
-        None
-    in
-    match matching with
-    | Some ({ instr = Instr.Store _; _ } as o) ->
-      if o.state = Rob.Done then Forward o.data else Must_wait
-    | Some ({ instr = Instr.Cas _; _ } as o) ->
-      (* A completed CAS has already written memory; the load can read
-         it there.  (No younger committed store can sit in the store
-         buffer while the CAS is still in the ROB: commit is in
-         order, and the CAS's own issue condition drained older
-         same-address entries.) *)
-      if o.state = Rob.Done then From_memory else Must_wait
-    | Some _ | None -> (
-      match Store_buffer.forward t.sb ~addr:e.addr with
-      | Some v -> Forward v
-      | None -> From_memory)
-  end
-
-let try_issue_load t (e : Rob.entry) ~cycle =
-  match load_disambiguate t e with
-  | Must_wait -> false
-  | Forward v ->
-    e.result <- v;
-    e.data2 <- 1;
-    e.state <- Rob.Executing (cycle + 1);
-    true
-  | From_memory ->
-    if in_bounds t e.addr then begin
-      let lat = Hierarchy.access t.hierarchy ~core:t.id Hierarchy.Read ~addr:e.addr in
-      e.data2 <- 0;
-      e.state <- Rob.Executing (cycle + lat)
-    end
-    else begin
-      (* Wrong-path access to a garbage address: complete immediately
-         with 0 and leave the caches untouched. *)
-      e.result <- 0;
-      e.data2 <- 1;
-      e.state <- Rob.Executing (cycle + 1)
-    end;
-    true
-
-let cas_issue_ok t (e : Rob.entry) =
-  (* CAS performs a memory write at completion, which cannot be undone:
-     it must be non-speculative (no unresolved older branch, no older
-     uncommitted fence) and ordered after every older same-address
-     access. *)
-  (not
-     (Rob.exists_older t.rob e.seq (fun o ->
-          match o.instr with
-          | Instr.Branch _ -> o.state <> Rob.Done
-          | Instr.Fence _ -> true
-          | Instr.Store _ -> o.addr < 0 || o.addr = e.addr
-          | Instr.Cas _ -> o.addr < 0 || (o.addr = e.addr && o.state <> Rob.Done)
-          | Instr.Load _ -> o.addr = e.addr && o.state <> Rob.Done
-          | _ -> false)))
-  && not (Store_buffer.has_addr t.sb ~addr:e.addr)
-
-let issue t ~cycle =
-  let budget = ref t.cfg.issue_width in
-  (* In the non-speculative pipeline, an unissued fence whose flavour
-     has [block_loads] blocks the issue of every younger load; any
-     unissued fence blocks younger CAS and keeps younger fences from
-     issuing (fences issue oldest-first). *)
-  let pending_fence = ref false in
-  let pending_blocking_fence = ref false in
-  Rob.iter t.rob (fun e ->
-      if !budget > 0 then begin
-        match (e.instr, e.state) with
-        | Instr.Fence k, _ when not e.fence_issued ->
-          if (not t.cfg.in_window_speculation) && not !pending_fence then begin
-            if fence_issue_ok t e then begin
-              e.fence_issued <- true;
-              e.state <- Rob.Done;
-              decr budget
-            end
-            else begin
-              pending_fence := true;
-              if k.Fscope_isa.Fence_kind.block_loads then pending_blocking_fence := true
-            end
-          end
-          else begin
-            pending_fence := true;
-            if k.Fscope_isa.Fence_kind.block_loads then pending_blocking_fence := true
-          end
-        | Instr.Li (_, v), Rob.Waiting ->
-          e.result <- v;
-          e.state <- Rob.Executing (cycle + 1);
-          decr budget
-        | Instr.Tid _, Rob.Waiting ->
-          e.result <- t.id;
-          e.state <- Rob.Executing (cycle + 1);
-          decr budget
-        | Instr.Alu (op, _, _, operand), Rob.Waiting -> (
-          match srcs_values t cycle e with
-          | None -> ()
-          | Some vals ->
-            let a = vals.(0) in
-            let b = match operand with Instr.Reg _ -> vals.(1) | Instr.Imm i -> i in
-            e.result <- eval_alu op a b;
-            e.state <- Rob.Executing (cycle + 1);
-            decr budget)
-        | Instr.Branch { cond; _ }, Rob.Waiting -> (
-          match srcs_values t cycle e with
-          | None -> ()
-          | Some vals ->
-            let v = vals.(0) in
-            let taken =
-              match cond with Instr.Eqz -> v = 0 | Instr.Nez -> v <> 0
-            in
-            e.result <- (if taken then 1 else 0);
-            e.state <- Rob.Executing (cycle + 1);
-            decr budget)
-        | Instr.Store { off; _ }, Rob.Waiting ->
-          (* Address generation does not wait for the data: younger
-             loads disambiguate against the address as soon as the
-             base register is ready. *)
-          if e.addr < 0 then begin
-            match src_value t cycle e.srcs.(1) with
-            | Some base -> e.addr <- base + off
-            | None -> ()
-          end;
-          (match src_value t cycle e.srcs.(0) with
-          | Some data when e.addr >= 0 ->
-            e.data <- data;
-            e.state <- Rob.Executing (cycle + 1);
-            decr budget
-          | Some _ | None -> ())
-        | Instr.Load { off; _ }, Rob.Waiting ->
-          (* Address generation is free as soon as the base is ready;
-             the issue slot is only spent on the actual access. *)
-          if e.addr < 0 then begin
-            match src_value t cycle e.srcs.(0) with
-            | Some base -> e.addr <- base + off
-            | None -> ()
-          end;
-          if e.addr >= 0
-             && ((not !pending_blocking_fence) || t.cfg.in_window_speculation)
-             && try_issue_load t e ~cycle
-          then decr budget
-        | Instr.Cas { off; _ }, Rob.Waiting ->
-          if e.addr < 0 then begin
-            match srcs_values t cycle e with
-            | Some vals ->
-              e.addr <- vals.(0) + off;
-              e.data2 <- vals.(1);
-              e.data <- vals.(2)
-            | None -> ()
-          end;
-          if e.addr >= 0
-             && (not !pending_fence) (* CAS never passes a fence speculatively *)
-             && cas_issue_ok t e
-          then begin
-            if not (in_bounds t e.addr) then
-              invalid_arg
-                (Printf.sprintf "core %d: CAS on out-of-bounds address %d (pc %d)" t.id
-                   e.addr e.pc);
-            let lat = Hierarchy.access t.hierarchy ~core:t.id Hierarchy.Rmw ~addr:e.addr in
-            e.state <- Rob.Executing (cycle + lat);
-            decr budget
-          end
-        | ( ( Instr.Nop | Instr.Jump _ | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt
-            | Instr.Fence _ ),
-            _ )
-        | _, (Rob.Executing _ | Rob.Done) ->
-          ()
-      end)
-
-(* ------------------------------------------------------------------ *)
-(* Fetch / dispatch                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let dispatch t ~cycle =
-  if cycle >= t.fetch_resume && not t.fetch_stopped then begin
-    let budget = ref t.cfg.fetch_width in
-    let halt_fetch = ref false in
-    while
-      (not !halt_fetch)
-      && !budget > 0
-      && (not (Rob.is_full t.rob))
-      && t.fetch_pc >= 0
-      && t.fetch_pc < Array.length t.code
-    do
-      let pc = t.fetch_pc in
-      let instr = t.code.(pc) in
-      let seq = Rob.next_seq t.rob in
-      let srcs =
-        Array.of_list
-          (List.map
-             (fun r -> { Rob.producer = t.rename.(Reg.index r); reg = r })
-             (explicit_srcs instr))
-      in
-      let e = Rob.make_entry ~seq ~pc ~instr ~srcs in
-      (match instr with
-      | Instr.Nop -> e.state <- Rob.Done
-      | Instr.Fs_start cid ->
-        Scope_unit.on_fs_start t.scope ~cid;
-        e.state <- Rob.Done
-      | Instr.Fs_end cid ->
-        Scope_unit.on_fs_end t.scope ~cid;
-        e.state <- Rob.Done
-      | Instr.Jump target ->
-        e.state <- Rob.Done;
-        t.fetch_pc <- target
-      | Instr.Halt ->
-        e.state <- Rob.Done;
-        t.fetch_stopped <- true;
-        halt_fetch := true
-      | Instr.Fence kind ->
-        e.fence_wait <- Some (Scope_unit.fence_scope t.scope kind);
-        if t.cfg.in_window_speculation then begin
-          e.fence_issued <- true;
-          e.state <- Rob.Done
-        end
-      | Instr.Load { flagged; _ } | Instr.Store { flagged; _ } | Instr.Cas { flagged; _ }
-        ->
-        let mask = Scope_unit.decode_mask t.scope ~flagged in
-        e.scope_mask <- mask;
-        Scope_unit.on_bits_set t.scope mask
-      | Instr.Branch { target; _ } ->
-        let predicted = Branch_pred.predict t.bpred ~pc in
-        e.predicted_taken <- predicted;
-        e.checkpoint <- Some (Array.copy t.rename);
-        Scope_unit.on_branch t.scope ~id:seq;
-        t.stats.branches <- t.stats.branches + 1;
-        t.fetch_pc <- (if predicted then target else pc + 1)
-      | Instr.Li _ | Instr.Alu _ | Instr.Tid _ -> ());
-      (match instr with
-      | Instr.Jump _ | Instr.Branch _ | Instr.Halt -> ()
-      | _ -> t.fetch_pc <- pc + 1);
-      (match Instr.writes_reg instr with
-      | Some r -> t.rename.(Reg.index r) <- Rob.Rob seq
-      | None -> ());
-      Rob.dispatch t.rob e;
-      decr budget
-    done
-  end
-
-let step_pipeline t ~cycle =
-  if not t.halted then begin
     t.stats.active_cycles <- t.stats.active_cycles + 1;
     t.stats.rob_occupancy_sum <- t.stats.rob_occupancy_sum + Rob.count t.rob;
     (match t.obs with
@@ -732,10 +83,32 @@ let step_pipeline t ~cycle =
       Fscope_obs.Metrics.gauge_observe o.rob_gauge (Rob.count t.rob);
       Fscope_obs.Metrics.gauge_observe o.sb_gauge (Store_buffer.count t.sb)
     | None -> ());
-    finalize t ~cycle;
-    commit t ~cycle;
-    if not t.halted then begin
-      issue t ~cycle;
-      dispatch t ~cycle
-    end
+    let p_final = Core_exec.finalize t ~cycle in
+    let p_commit = Core_commit.commit t ~cycle in
+    let p_back =
+      if not t.halted then begin
+        let p_issue = Core_issue.issue t ~cycle in
+        let p_dispatch = Core_frontend.dispatch t ~cycle in
+        p_issue || p_dispatch
+      end
+      else false
+    in
+    p_final || p_commit || p_back
   end
+
+let account_stall_span = Core_commit.account_stall_span
+
+let next_wake (t : t) ~cycle =
+  let m = ref max_int in
+  let consider d = if d > cycle && d < !m then m := d in
+  if not t.halted then begin
+    Rob.iter t.rob (fun e ->
+        match e.state with
+        | Rob.Executing d -> consider d
+        | Rob.Waiting | Rob.Done -> ());
+    if (not t.fetch_stopped) && t.fetch_resume > cycle then consider t.fetch_resume
+  end;
+  (* Even a halted core's store buffer keeps draining — those
+     completions write memory and gate [drained]. *)
+  Store_buffer.iter t.sb (fun en -> consider en.done_at);
+  if !m = max_int then None else Some !m

@@ -10,6 +10,14 @@
     visible when their store-buffer entry completes — together this
     yields an RMO-like machine in which fences are meaningful.
 
+    Memory is reached exclusively through a {!Mem_port}: the core
+    issues typed transactions (read / write / rmw) and receives
+    absolute completion cycles; it never sees the cache hierarchy or
+    the flat memory image directly.  The stages themselves live in the
+    [Core_frontend] / [Core_issue] / [Core_commit] / [Core_exec]
+    submodules over a shared [Core_state] record; this module is the
+    facade the machine layer drives.
+
     Fence handling follows the paper:
     - without in-window speculation, a dispatched fence blocks the
       issue of younger loads and CAS operations until every older
@@ -23,7 +31,12 @@
     this order across all cores: [step_complete_writes] (stores and
     CAS results become visible), [step_complete_reads] (loads sample
     memory), [step_pipeline] (commit, issue, resolve, fetch).  That
-    phase split makes same-cycle visibility deterministic. *)
+    phase split makes same-cycle cross-core interactions
+    deterministic.  Each sub-step returns whether it changed pipeline
+    state beyond per-cycle stall accounting; the {!Fscope_machine}
+    engine uses that, together with {!next_wake} and
+    {!account_stall_span}, to fast-forward over spans in which no core
+    can make progress. *)
 
 type stats = {
   mutable committed : int;
@@ -53,19 +66,20 @@ val create :
   ?trace:Fscope_obs.Trace.t ->
   id:int ->
   code:Fscope_isa.Instr.t array ->
-  mem:int array ->
-  hierarchy:Fscope_mem.Hierarchy.t ->
+  port:Mem_port.t ->
   scope_config:Fscope_core.Scope_unit.config ->
   exec_config:Exec_config.t ->
   unit ->
   t
-(** [trace] (default: the disabled {!Fscope_obs.Trace.null}) threads
-    the observability collector through the core's ROB, store buffer
-    and scope unit, and makes the core itself emit fence-stall
-    begin/end and CAS success/failure events plus per-cycle ROB /
-    store-buffer occupancy gauges.  Emission never feeds back into
-    pipeline state, so a traced run is cycle-identical to an untraced
-    one. *)
+(** [port] is the core's only window onto the memory system (timing
+    and data); the machine layer builds it from the concrete
+    hierarchy.  [trace] (default: the disabled
+    {!Fscope_obs.Trace.null}) threads the observability collector
+    through the core's ROB, store buffer and scope unit, and makes the
+    core itself emit fence-stall begin/end and CAS success/failure
+    events plus per-cycle ROB / store-buffer occupancy gauges.
+    Emission never feeds back into pipeline state, so a traced run is
+    cycle-identical to an untraced one. *)
 
 val id : t -> int
 val halted : t -> bool
@@ -78,13 +92,37 @@ val drained : t -> bool
 val stats : t -> stats
 val scope_unit : t -> Fscope_core.Scope_unit.t
 
-val step_complete_writes : t -> cycle:int -> unit
+val step_complete_writes : t -> cycle:int -> bool
 (** Apply store-buffer drains and CAS read-modify-writes due this
-    cycle to shared memory. *)
+    cycle to shared memory.  Returns whether anything completed. *)
 
-val step_complete_reads : t -> cycle:int -> unit
+val step_complete_reads : t -> cycle:int -> bool
 (** Complete loads due this cycle: sample shared memory (or keep the
-    forwarded value) and mark them done. *)
+    forwarded value) and mark them done.  Returns whether anything
+    completed. *)
 
-val step_pipeline : t -> cycle:int -> unit
-(** Resolve branches, commit, issue, fetch/dispatch. *)
+val step_pipeline : t -> cycle:int -> bool
+(** Resolve branches, commit, issue, fetch/dispatch; also performs the
+    per-cycle activity accounting (active cycles, occupancy sums and
+    gauges, stall attribution).  Returns whether any pipeline state
+    changed beyond that accounting — [false] means the cycle was a
+    pure stall and the core is frozen until {!next_wake}. *)
+
+val next_wake : t -> cycle:int -> int option
+(** The earliest cycle strictly after [cycle] at which this core's
+    state can change: the minimum over in-flight execution completion
+    cycles, store-buffer completion times and a pending
+    mispredict-resume point.  [None] means nothing is scheduled — the
+    core cannot change state again on its own (it is drained, or stuck
+    until [max_cycles]).  Sound for fast-forwarding only from a frozen
+    state, i.e. after a cycle in which every step reported no
+    progress. *)
+
+val account_stall_span : t -> cycles:int -> unit
+(** Replay the per-cycle accounting of [cycles] consecutive
+    no-progress cycles in O(1): active cycles, ROB-occupancy sum,
+    occupancy gauges, and the blocked-commit-head attribution (fence
+    stall bucket or store-buffer-full stall), exactly as if
+    [step_pipeline] had run that many more pure-stall cycles.  The
+    engine calls this for the span it skips between a frozen cycle and
+    the next wake-up. *)

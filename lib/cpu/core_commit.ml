@@ -1,0 +1,189 @@
+(* In-order commit, plus the per-cycle stall accounting the
+   fast-forwarding engine replays in closed form over skipped spans
+   (see [account_stall_span] at the bottom). *)
+
+module Instr = Fscope_isa.Instr
+module Reg = Fscope_isa.Reg
+module Fsb = Fscope_core.Fsb
+open Core_state
+
+let fence_commit_ok t (e : Rob.entry) =
+  (* In-window speculation: the fence retires when the in-scope part of
+     the store buffer has drained (older ROB entries are gone by
+     definition at the commit head); flavours that do not order prior
+     stores retire immediately. *)
+  let k = match e.instr with Instr.Fence k -> k | _ -> assert false in
+  (not k.Fscope_isa.Fence_kind.wait_stores)
+  ||
+  match e.fence_wait with
+  | None -> assert false
+  | Some `Global -> Store_buffer.is_empty t.sb
+  | Some (`Mask m) -> not (Store_buffer.mask_overlaps t.sb m)
+
+let commit_effects t (e : Rob.entry) =
+  (match Instr.writes_reg e.instr with
+  | Some r -> t.arf.(Reg.index r) <- e.result
+  | None -> ());
+  t.stats.committed <- t.stats.committed + 1;
+  match e.instr with
+  | Instr.Load _ ->
+    t.stats.loads <- t.stats.loads + 1;
+    t.stats.committed_mem <- t.stats.committed_mem + 1
+  | Instr.Store _ ->
+    t.stats.stores <- t.stats.stores + 1;
+    t.stats.committed_mem <- t.stats.committed_mem + 1
+  | Instr.Cas _ ->
+    t.stats.cas_ops <- t.stats.cas_ops + 1;
+    t.stats.committed_mem <- t.stats.committed_mem + 1
+  | Instr.Fence _ -> t.stats.committed_fences <- t.stats.committed_fences + 1
+  | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
+  | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
+    ()
+
+(* Why is the head fence stalled?  Charged once per stalled cycle to
+   the first matching bucket (ROB loads, then ROB stores, then SB).
+   [times] lets the engine charge a whole frozen span at once — the
+   classification only reads state that cannot change while the core
+   makes no progress, so every cycle of the span lands in the same
+   bucket. *)
+let charge_fence_stall t (e : Rob.entry) ~times =
+  t.stats.fence_stall_cycles <- t.stats.fence_stall_cycles + times;
+  let covered o =
+    match e.fence_wait with
+    | Some `Global | None -> true
+    | Some (`Mask m) -> not (Fsb.is_empty (Fsb.inter o.Rob.scope_mask m))
+  in
+  let rob_load = ref false and rob_store = ref false in
+  Rob.iter t.rob (fun o ->
+      if o.seq < e.seq && covered o then
+        match o.instr with
+        | Instr.Load _ | Instr.Cas _ -> if o.state <> Rob.Done then rob_load := true
+        | Instr.Store _ -> rob_store := true
+        | _ -> ());
+  if !rob_load then t.stats.stall_rob_load <- t.stats.stall_rob_load + times
+  else if !rob_store then t.stats.stall_rob_store <- t.stats.stall_rob_store + times
+  else t.stats.stall_sb <- t.stats.stall_sb + times
+
+let commit t ~cycle =
+  let progress = ref false in
+  let budget = ref t.cfg.commit_width in
+  let blocked = ref false in
+  while (not !blocked) && !budget > 0 && not t.halted do
+    match Rob.head t.rob with
+    | None -> blocked := true
+    | Some e -> (
+      match e.instr with
+      | Instr.Halt ->
+        ignore (Rob.pop_head t.rob);
+        commit_effects t e;
+        t.halted <- true;
+        progress := true
+      | Instr.Store _ ->
+        if e.state <> Rob.Done then blocked := true
+        else if Store_buffer.is_full t.sb then begin
+          t.stats.sb_stall_cycles <- t.stats.sb_stall_cycles + 1;
+          blocked := true
+        end
+        else begin
+          if not (in_bounds t e.addr) then
+            invalid_arg
+              (Printf.sprintf "core %d: store to out-of-bounds address %d (pc %d)" t.id
+                 e.addr e.pc);
+          let completes =
+            Mem_port.issue t.port ~core:t.id Mem_port.Write ~addr:e.addr ~now:cycle
+          in
+          (* Same-address stores must become visible in program order
+             (per-location coherence), so a later store may not
+             overtake an in-flight one to the same address. *)
+          let floor = ref 0 in
+          Store_buffer.iter t.sb (fun en ->
+              if en.addr = e.addr then floor := max !floor en.done_at);
+          Store_buffer.push t.sb
+            {
+              Store_buffer.addr = e.addr;
+              value = e.data;
+              mask = e.scope_mask;
+              done_at = max completes (!floor + 1);
+            };
+          ignore (Rob.pop_head t.rob);
+          commit_effects t e;
+          progress := true;
+          decr budget
+        end
+      | Instr.Fence _ ->
+        let ok =
+          if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
+        in
+        if ok then begin
+          (match t.obs with
+          | Some o when o.stall_begin >= 0 ->
+            let stalled = cycle - o.stall_begin in
+            Fscope_obs.Trace.emit o.trace ~core:t.id
+              (Fscope_obs.Event.Fence_stall_end { pc = e.pc; cycles = stalled });
+            Fscope_obs.Metrics.observe o.stall_hist stalled;
+            o.stall_begin <- -1
+          | Some _ | None -> ());
+          ignore (Rob.pop_head t.rob);
+          commit_effects t e;
+          progress := true;
+          decr budget
+        end
+        else begin
+          charge_fence_stall t e ~times:1;
+          (match t.obs with
+          | Some o when o.stall_begin < 0 ->
+            o.stall_begin <- cycle;
+            Fscope_obs.Trace.emit o.trace ~core:t.id
+              (Fscope_obs.Event.Fence_stall_begin
+                 {
+                   pc = e.pc;
+                   global =
+                     (match e.fence_wait with
+                     | Some (`Mask _) -> false
+                     | Some `Global | None -> true);
+                 })
+          | Some _ | None -> ());
+          blocked := true
+        end
+      | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Load _ | Instr.Cas _
+      | Instr.Branch _ | Instr.Jump _ | Instr.Fs_start _ | Instr.Fs_end _ ->
+        if e.state = Rob.Done then begin
+          ignore (Rob.pop_head t.rob);
+          commit_effects t e;
+          progress := true;
+          decr budget
+        end
+        else blocked := true)
+  done;
+  !progress
+
+(* Replay the per-cycle accounting of [n] pure-stall cycles in O(1).
+
+   Preconditions (established by the engine): the core reported no
+   progress this cycle, so until its next wake-up every cycle is
+   identical — the pipeline steps would only (a) bump the activity
+   counters, (b) re-observe the unchanged occupancy gauges, and
+   (c) re-charge the same blocked-commit-head bucket.  Exactly that,
+   [n] times, is what this function applies. *)
+let account_stall_span t ~cycles:n =
+  if n > 0 && not t.halted then begin
+    t.stats.active_cycles <- t.stats.active_cycles + n;
+    t.stats.rob_occupancy_sum <- t.stats.rob_occupancy_sum + (n * Rob.count t.rob);
+    (match t.obs with
+    | Some o ->
+      Fscope_obs.Metrics.gauge_observe_n o.rob_gauge (Rob.count t.rob) ~times:n;
+      Fscope_obs.Metrics.gauge_observe_n o.sb_gauge (Store_buffer.count t.sb) ~times:n
+    | None -> ());
+    match Rob.head t.rob with
+    | Some e -> (
+      match e.instr with
+      | Instr.Store _ when e.state = Rob.Done && Store_buffer.is_full t.sb ->
+        t.stats.sb_stall_cycles <- t.stats.sb_stall_cycles + n
+      | Instr.Fence _ ->
+        let ok =
+          if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
+        in
+        if not ok then charge_fence_stall t e ~times:n
+      | _ -> ())
+    | None -> ()
+  end

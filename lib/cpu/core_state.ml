@@ -1,0 +1,129 @@
+(* The shared state record of one out-of-order core, plus the small
+   helpers every pipeline stage needs (operand lookup, ALU evaluation,
+   data-plane access through the memory port).  The stages themselves
+   live in Core_exec (completions, branch resolution), Core_commit,
+   Core_issue and Core_frontend; Core is the public facade. *)
+
+module Instr = Fscope_isa.Instr
+module Reg = Fscope_isa.Reg
+module Scope_unit = Fscope_core.Scope_unit
+
+type stats = {
+  mutable committed : int;
+  mutable stall_rob_load : int;  (* fence waited on an in-ROB load/CAS *)
+  mutable stall_rob_store : int;  (* fence waited on an uncommitted store *)
+  mutable stall_sb : int;  (* fence waited on the store buffer *)
+  mutable committed_mem : int;
+  mutable committed_fences : int;
+  mutable fence_stall_cycles : int;
+  mutable sb_stall_cycles : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable cas_ops : int;
+  mutable rob_occupancy_sum : int;
+  mutable active_cycles : int;
+}
+
+let fresh_stats () =
+  {
+    committed = 0;
+    stall_rob_load = 0;
+    stall_rob_store = 0;
+    stall_sb = 0;
+    committed_mem = 0;
+    committed_fences = 0;
+    fence_stall_cycles = 0;
+    sb_stall_cycles = 0;
+    branches = 0;
+    mispredicts = 0;
+    loads = 0;
+    stores = 0;
+    cas_ops = 0;
+    rob_occupancy_sum = 0;
+    active_cycles = 0;
+  }
+
+(* Observability hooks, present only on a traced run: handles are
+   resolved once at core creation so emission is a guarded write, and
+   [stall_begin] pairs each Fence_stall_begin with its End. *)
+type obs = {
+  trace : Fscope_obs.Trace.t;
+  stall_hist : Fscope_obs.Metrics.histogram;
+  rob_gauge : Fscope_obs.Metrics.gauge;
+  sb_gauge : Fscope_obs.Metrics.gauge;
+  mutable stall_begin : int;  (* cycle the head fence began stalling; -1 = none *)
+}
+
+type t = {
+  id : int;
+  code : Instr.t array;
+  port : Mem_port.t;
+  scope : Scope_unit.t;
+  cfg : Exec_config.t;
+  rob : Rob.t;
+  sb : Store_buffer.t;
+  bpred : Branch_pred.t;
+  arf : int array;
+  rename : Rob.producer array;
+  mutable fetch_pc : int;
+  mutable fetch_resume : int;
+  mutable fetch_stopped : bool;
+  mutable halted : bool;
+  stats : stats;
+  obs : obs option;
+}
+
+(* A source value is available if its producer has left the ROB (then
+   the architectural file holds it: in-order commit guarantees no
+   younger same-register producer has overwritten it yet) or has
+   finished executing. *)
+let src_value t cycle (s : Rob.src) =
+  if Reg.equal s.reg Reg.zero then Some 0
+  else
+    match s.producer with
+    | Rob.Arch -> Some t.arf.(Reg.index s.reg)
+    | Rob.Rob seq ->
+      if not (Rob.contains t.rob seq) then Some t.arf.(Reg.index s.reg)
+      else (
+        let p = Rob.get t.rob seq in
+        match p.state with
+        | Rob.Done -> Some p.result
+        | Rob.Executing d when d <= cycle -> Some p.result
+        | Rob.Executing _ | Rob.Waiting -> None)
+
+let srcs_values t cycle (e : Rob.entry) =
+  let n = Array.length e.srcs in
+  let vals = Array.make n 0 in
+  let rec go i =
+    if i >= n then Some vals
+    else
+      match src_value t cycle e.srcs.(i) with
+      | Some v ->
+        vals.(i) <- v;
+        go (i + 1)
+      | None -> None
+  in
+  go 0
+
+let eval_alu op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then 0 else a / b
+  | Instr.Rem -> if b = 0 then 0 else a mod b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 63)
+  | Instr.Shr -> a asr (b land 63)
+  | Instr.Slt -> if a < b then 1 else 0
+  | Instr.Sle -> if a <= b then 1 else 0
+  | Instr.Seq -> if a = b then 1 else 0
+  | Instr.Sne -> if a <> b then 1 else 0
+
+let in_bounds t addr = Mem_port.in_bounds t.port ~addr
+
+let read_mem t addr = if in_bounds t addr then Mem_port.load t.port ~addr else 0

@@ -1,0 +1,19 @@
+type kind =
+  | Read
+  | Write
+  | Rmw
+
+type t = {
+  size : int;
+  issue : core:int -> kind -> addr:int -> now:int -> int;
+  load : addr:int -> int;
+  store : addr:int -> value:int -> unit;
+}
+
+let make ~size ~issue ~load ~store = { size; issue; load; store }
+
+let issue t ~core kind ~addr ~now = t.issue ~core kind ~addr ~now
+let load t ~addr = t.load ~addr
+let store t ~addr ~value = t.store ~addr ~value
+let size t = t.size
+let in_bounds t ~addr = addr >= 0 && addr < t.size

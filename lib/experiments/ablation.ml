@@ -18,21 +18,36 @@ let fsb_sweep ?(quick = false) ?(entries = [ 1; 2; 4; 8 ]) () =
       ("dekker", W.Dekker.make ~level ~attempts:(if quick then 10 else 30));
     ]
   in
-  List.concat_map
-    (fun (bench, workload) ->
-      let t = Exp_run.measure (Exp_run.t_config Config.default) workload in
-      List.map
-        (fun fsb ->
-          let config = Config.with_fsb_entries fsb Config.default in
-          let s = Exp_run.measure (Exp_run.s_config config) workload in
-          {
-            bench;
-            fsb_entries = fsb;
-            s_cycles = s.Exp_run.cycles;
-            speedup_vs_t = Exp_run.speedup ~baseline:t s;
-          })
-        entries)
-    benches
+  let stride = 1 + List.length entries in
+  let specs =
+    List.concat_map
+      (fun (_, workload) ->
+        { Exp_run.config = Exp_run.t_config Config.default; workload }
+        :: List.map
+             (fun fsb ->
+               {
+                 Exp_run.config = Exp_run.s_config (Config.with_fsb_entries fsb Config.default);
+                 workload;
+               })
+             entries)
+      benches
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  List.concat
+    (List.mapi
+       (fun i (bench, _) ->
+         let t = ms.(stride * i) in
+         List.mapi
+           (fun k fsb ->
+             let s = ms.((stride * i) + 1 + k) in
+             {
+               bench;
+               fsb_entries = fsb;
+               s_cycles = s.Exp_run.cycles;
+               speedup_vs_t = Exp_run.speedup ~baseline:t s;
+             })
+           entries)
+       benches)
 
 let fsb_table cells =
   let t =
@@ -64,19 +79,26 @@ let flavor_sweep ?(quick = false) () =
   let rounds = if quick then 6 else 12 in
   let plain = W.Wsq.make ~rounds ~scope:`Class ~level () in
   let flavored = W.Wsq.make ~rounds ~flavored:true ~scope:`Class ~level () in
-  let t = Exp_run.measure (Exp_run.t_config Config.default) plain in
-  let rows =
+  let named =
     [
-      ("T (full fences)", Exp_run.measure (Exp_run.t_config Config.default) plain);
-      ("T + direction", Exp_run.measure (Exp_run.t_config Config.default) flavored);
-      ("S (class scope)", Exp_run.measure (Exp_run.s_config Config.default) plain);
-      ("S + direction", Exp_run.measure (Exp_run.s_config Config.default) flavored);
+      ("T (full fences)", Exp_run.t_config Config.default, plain);
+      ("T + direction", Exp_run.t_config Config.default, flavored);
+      ("S (class scope)", Exp_run.s_config Config.default, plain);
+      ("S + direction", Exp_run.s_config Config.default, flavored);
     ]
   in
-  List.map
-    (fun (variant, m) ->
+  let ms =
+    Exp_run.measure_all
+      (List.map (fun (_, config, workload) -> { Exp_run.config; workload }) named)
+  in
+  (* The first row (T on the plain harness) is the baseline; runs are
+     deterministic, so reusing its measurement is identical to a
+     dedicated baseline run. *)
+  let t = List.hd ms in
+  List.map2
+    (fun (variant, _, _) m ->
       { variant; cycles = m.Exp_run.cycles; speedup_vs_t = Exp_run.speedup ~baseline:t m })
-    rows
+    named ms
 
 let flavor_table rows =
   let t =
@@ -99,16 +121,24 @@ type fss_cell = {
 
 let fss_sweep ?(entries = [ 1; 2; 4; 5; 6; 8 ]) () =
   let workload = nested_scope_workload () in
-  let t = Exp_run.measure (Exp_run.t_config Config.default) workload in
-  List.map
-    (fun fss ->
-      (* Hold the MT and FSB generous so only the FSS depth binds:
-         the two threads' chains use 12 distinct cids. *)
-      let config =
-        Config.default |> Config.with_fss_entries fss |> Config.with_mt_entries 16
-        |> Config.with_fsb_entries 8
-      in
-      let s = Exp_run.measure (Exp_run.s_config config) workload in
+  let specs =
+    { Exp_run.config = Exp_run.t_config Config.default; workload }
+    :: List.map
+         (fun fss ->
+           (* Hold the MT and FSB generous so only the FSS depth binds:
+              the two threads' chains use 12 distinct cids. *)
+           let config =
+             Config.default |> Config.with_fss_entries fss |> Config.with_mt_entries 16
+             |> Config.with_fsb_entries 8
+           in
+           { Exp_run.config = Exp_run.s_config config; workload })
+         entries
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  let t = ms.(0) in
+  List.mapi
+    (fun i fss ->
+      let s = ms.(i + 1) in
       {
         fss_entries = fss;
         s_cycles = s.Exp_run.cycles;

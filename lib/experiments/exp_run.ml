@@ -30,3 +30,63 @@ let measure (config : Config.t) workload =
   }
 
 let speedup ~baseline m = float_of_int baseline.cycles /. float_of_int m.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel point runner.
+
+   Every experiment point is an independent (config, workload) pair: a
+   simulation run shares nothing mutable with any other run (the
+   machine builds fresh memory, caches and cores per run, and
+   workloads / configs are read-only descriptions), so points can fan
+   out across OCaml 5 domains freely.  Results come back in input
+   order regardless of completion order, and each run itself is
+   deterministic, so the tables rendered from a parallel sweep are
+   byte-identical to a sequential one. *)
+
+let jobs_ref = ref 1
+let set_jobs n = jobs_ref := max 1 n
+let jobs () = !jobs_ref
+
+type outcome = Ok_v of measurement | Raised of exn * Printexc.raw_backtrace
+
+let parmap ~jobs f (inputs : _ array) =
+  let n = Array.length inputs in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  (* Each slot has exactly one writer (the domain that claimed its
+     index from [next]), so plain stores into [out] are race-free. *)
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Ok_v (f inputs.(i))
+          with e -> Raised (e, Printexc.get_raw_backtrace ())
+        in
+        out.(i) <- Some r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  Array.map
+    (function
+      | Some (Ok_v v) -> v
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+    out
+
+type spec = {
+  config : Config.t;
+  workload : Workload.t;
+}
+
+let measure_all specs =
+  let j = jobs () in
+  if j <= 1 then List.map (fun s -> measure s.config s.workload) specs
+  else
+    Array.to_list
+      (parmap ~jobs:j (fun s -> measure s.config s.workload) (Array.of_list specs))

@@ -29,3 +29,27 @@ val measure : Fscope_machine.Config.t -> Fscope_workloads.Workload.t -> measurem
     see DESIGN.md). *)
 
 val speedup : baseline:measurement -> measurement -> float
+
+val set_jobs : int -> unit
+(** Number of domains {!measure_all} fans experiment points across
+    (clamped to at least 1; default 1 = sequential).  Process-global:
+    the CLI's [--jobs] flag sets it once at startup. *)
+
+val jobs : unit -> int
+
+type spec = {
+  config : Fscope_machine.Config.t;
+  workload : Fscope_workloads.Workload.t;
+}
+(** One experiment point.  Points are independent: a run shares no
+    mutable state with any other run, which is what makes the fan-out
+    below sound. *)
+
+val measure_all : spec list -> measurement list
+(** [measure_all specs] measures every point and returns the results
+    in input order.  With [jobs () > 1] the points are distributed
+    over that many OCaml domains (work-stealing by atomic index);
+    ordering and values are independent of the schedule, so rendered
+    tables are byte-identical for any job count.  If a point raises,
+    the first (lowest-index) exception is re-raised after all domains
+    have joined. *)

@@ -33,24 +33,42 @@ let benches ~quick =
 let run ?(quick = false) () =
   let levels = W.Privwork.fig12_levels in
   let levels = if quick then Array.sub levels 0 3 else levels in
+  let series = benches ~quick in
+  (* Flatten to independent (bench, level) points — two runs each —
+     so the sweep fans out across domains via [Exp_run.measure_all]. *)
+  let keyed =
+    List.concat_map
+      (fun (bench, make) ->
+        List.mapi (fun idx level -> (bench, idx + 1, make level)) (Array.to_list levels))
+      series
+  in
+  let specs =
+    List.concat_map
+      (fun (_, _, w) ->
+        [
+          { Exp_run.config = Exp_run.t_config Config.default; workload = w };
+          { Exp_run.config = Exp_run.s_config Config.default; workload = w };
+        ])
+      keyed
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  let points =
+    List.mapi
+      (fun i (bench, level, _) ->
+        let t = ms.(2 * i) and s = ms.((2 * i) + 1) in
+        ( bench,
+          {
+            level;
+            t_cycles = t.Exp_run.cycles;
+            s_cycles = s.Exp_run.cycles;
+            speedup = Exp_run.speedup ~baseline:t s;
+          } ))
+      keyed
+  in
   List.map
-    (fun (bench, make) ->
-      let points =
-        List.mapi
-          (fun idx level ->
-            let w = make level in
-            let t = Exp_run.measure (Exp_run.t_config Config.default) w in
-            let s = Exp_run.measure (Exp_run.s_config Config.default) w in
-            {
-              level = idx + 1;
-              t_cycles = t.Exp_run.cycles;
-              s_cycles = s.Exp_run.cycles;
-              speedup = Exp_run.speedup ~baseline:t s;
-            })
-          (Array.to_list levels)
-      in
-      { bench; points })
-    (benches ~quick)
+    (fun (bench, _) ->
+      { bench; points = List.filter_map (fun (b, p) -> if b = bench then Some p else None) points })
+    series
 
 let peak series =
   List.fold_left (fun acc p -> Float.max acc p.speedup) 0. series.points

@@ -27,18 +27,28 @@ let benches ~quick =
   ]
 
 let run ?(quick = false) () =
-  List.map
-    (fun (bench, make) ->
-      let mc = Exp_run.measure (Exp_run.s_config Config.default) (make `Class) in
-      let ms = Exp_run.measure (Exp_run.s_config Config.default) (make `Set) in
+  let keyed = benches ~quick in
+  let specs =
+    List.concat_map
+      (fun (_, make) ->
+        [
+          { Exp_run.config = Exp_run.s_config Config.default; workload = make `Class };
+          { Exp_run.config = Exp_run.s_config Config.default; workload = make `Set };
+        ])
+      keyed
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  List.mapi
+    (fun i (bench, _) ->
+      let mc = ms.(2 * i) and mset = ms.((2 * i) + 1) in
       {
         bench;
         class_cycles = mc.Exp_run.cycles;
-        set_cycles = ms.Exp_run.cycles;
+        set_cycles = mset.Exp_run.cycles;
         class_fence_share = mc.Exp_run.fence_stall_fraction;
-        set_fence_share = ms.Exp_run.fence_stall_fraction;
+        set_fence_share = mset.Exp_run.fence_stall_fraction;
       })
-    (benches ~quick)
+    keyed
 
 let table rows =
   let t =

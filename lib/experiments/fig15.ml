@@ -12,24 +12,36 @@ type cell = {
 }
 
 let run ?quick ?(latencies = [ 200; 300; 500 ]) () =
-  List.concat_map
-    (fun (app, workload) ->
-      List.map
-        (fun latency ->
-          let config = Config.with_mem_latency latency Config.default in
-          let t = Exp_run.measure (Exp_run.t_config config) workload in
-          let s = Exp_run.measure (Exp_run.s_config config) workload in
-          {
-            app;
-            latency;
-            t_cycles = t.Exp_run.cycles;
-            s_cycles = s.Exp_run.cycles;
-            speedup = Exp_run.speedup ~baseline:t s;
-            t_fence_share = t.Exp_run.fence_stall_fraction;
-            s_fence_share = s.Exp_run.fence_stall_fraction;
-          })
-        latencies)
-    (Fig13.apps ?quick ())
+  let keyed =
+    List.concat_map
+      (fun (app, workload) ->
+        List.map (fun latency -> (app, latency, workload)) latencies)
+      (Fig13.apps ?quick ())
+  in
+  let specs =
+    List.concat_map
+      (fun (_, latency, w) ->
+        let config = Config.with_mem_latency latency Config.default in
+        [
+          { Exp_run.config = Exp_run.t_config config; workload = w };
+          { Exp_run.config = Exp_run.s_config config; workload = w };
+        ])
+      keyed
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  List.mapi
+    (fun i (app, latency, _) ->
+      let t = ms.(2 * i) and s = ms.((2 * i) + 1) in
+      {
+        app;
+        latency;
+        t_cycles = t.Exp_run.cycles;
+        s_cycles = s.Exp_run.cycles;
+        speedup = Exp_run.speedup ~baseline:t s;
+        t_fence_share = t.Exp_run.fence_stall_fraction;
+        s_fence_share = s.Exp_run.fence_stall_fraction;
+      })
+    keyed
 
 let table cells =
   let t =

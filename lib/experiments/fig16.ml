@@ -11,23 +11,34 @@ type cell = {
 }
 
 let run ?quick ?(sizes = [ 64; 128; 256 ]) () =
-  List.concat_map
-    (fun (app, workload) ->
-      List.map
-        (fun rob ->
-          let config = Config.with_rob_size rob Config.default in
-          let t = Exp_run.measure (Exp_run.t_config config) workload in
-          let s = Exp_run.measure (Exp_run.s_config config) workload in
-          {
-            app;
-            rob;
-            t_cycles = t.Exp_run.cycles;
-            s_cycles = s.Exp_run.cycles;
-            speedup = Exp_run.speedup ~baseline:t s;
-            s_avg_occupancy = s.Exp_run.avg_rob_occupancy;
-          })
-        sizes)
-    (Fig13.apps ?quick ())
+  let keyed =
+    List.concat_map
+      (fun (app, workload) -> List.map (fun rob -> (app, rob, workload)) sizes)
+      (Fig13.apps ?quick ())
+  in
+  let specs =
+    List.concat_map
+      (fun (_, rob, w) ->
+        let config = Config.with_rob_size rob Config.default in
+        [
+          { Exp_run.config = Exp_run.t_config config; workload = w };
+          { Exp_run.config = Exp_run.s_config config; workload = w };
+        ])
+      keyed
+  in
+  let ms = Array.of_list (Exp_run.measure_all specs) in
+  List.mapi
+    (fun i (app, rob, _) ->
+      let t = ms.(2 * i) and s = ms.((2 * i) + 1) in
+      {
+        app;
+        rob;
+        t_cycles = t.Exp_run.cycles;
+        s_cycles = s.Exp_run.cycles;
+        speedup = Exp_run.speedup ~baseline:t s;
+        s_avg_occupancy = s.Exp_run.avg_rob_occupancy;
+      })
+    keyed
 
 let table cells =
   let t =

@@ -1,6 +1,5 @@
 module Core = Fscope_cpu.Core
 module Hierarchy = Fscope_mem.Hierarchy
-module Program = Fscope_isa.Program
 module Obs = Fscope_obs
 
 type result = {
@@ -67,32 +66,14 @@ let snapshot_stats trace r =
   set "mem/c2c_transfers" r.cache.Hierarchy.c2c_transfers;
   set "machine/cycles" r.cycles
 
-let run ?(obs = Obs.Trace.null) (config : Config.t) program =
-  let cores_n = Program.thread_count program in
-  let mem = Program.initial_memory program in
-  let hierarchy = Hierarchy.create ~trace:obs ~cores:cores_n config.mem in
-  let cores =
-    Array.init cores_n (fun id ->
-        Core.create ~trace:obs ~id ~code:program.Program.threads.(id) ~mem ~hierarchy
-          ~scope_config:config.scope ~exec_config:config.exec ())
-  in
-  let all_done () = Array.for_all Core.drained cores in
-  let cycle = ref 0 in
-  while (not (all_done ())) && !cycle < config.max_cycles do
-    let c = !cycle in
-    Obs.Trace.set_now obs c;
-    Array.iter (fun core -> Core.step_complete_writes core ~cycle:c) cores;
-    Array.iter (fun core -> Core.step_complete_reads core ~cycle:c) cores;
-    Array.iter (fun core -> Core.step_pipeline core ~cycle:c) cores;
-    incr cycle
-  done;
+let finish ~obs (raw : Sim_engine.raw) =
   let result =
     {
-      cycles = !cycle;
-      timed_out = not (all_done ());
-      core_stats = Array.map Core.stats cores;
-      mem;
-      cache = Hierarchy.stats hierarchy;
+      cycles = raw.Sim_engine.cycles;
+      timed_out = raw.Sim_engine.timed_out;
+      core_stats = Array.map Core.stats raw.Sim_engine.cores;
+      mem = raw.Sim_engine.mem;
+      cache = Hierarchy.stats raw.Sim_engine.hierarchy;
       obs = None;
     }
   in
@@ -104,3 +85,9 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
     }
   end
   else result
+
+let run ?(obs = Obs.Trace.null) (config : Config.t) program =
+  finish ~obs (Sim_engine.run ~obs config program)
+
+let run_reference ?(obs = Obs.Trace.null) (config : Config.t) program =
+  finish ~obs (Sim_engine.run_naive ~obs config program)

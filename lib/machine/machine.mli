@@ -1,11 +1,18 @@
 (** The multicore machine: one core per program thread, private L1s,
-    a shared L2, flat shared memory, and a global cycle loop.
+    a shared L2, flat shared memory, and a global cycle scheduler.
 
     Per cycle the machine advances every core through three phases in
     a fixed order — store/CAS completions become visible, then load
     completions sample memory, then the pipelines step — which makes
     same-cycle cross-core interactions deterministic.  The whole run
-    is therefore a pure function of (program, config). *)
+    is therefore a pure function of (program, config).
+
+    The default {!run} drives the {!Sim_engine} event-horizon
+    fast-forward loop, which skips stepping any core over a span in
+    which it is provably frozen and jumps the clock when every core
+    is; {!run_reference} retains the naive one-cycle-at-a-time loop.
+    The two are bit-identical in every [result] field — the
+    differential test suite enforces this. *)
 
 type result = {
   cycles : int;  (** cycle at which every core had halted and drained *)
@@ -25,6 +32,12 @@ val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result
     {!Fscope_obs.Trace.create} to get [result.obs].  Tracing is
     timing-neutral: the cycle count of a traced run is bit-identical
     to an untraced one. *)
+
+val run_reference : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result
+(** Same machine, driven by the retained naive per-cycle loop instead
+    of the fast-forward engine.  Exists as the differential-testing
+    reference and the bench baseline; results are bit-identical to
+    {!run}. *)
 
 val fence_stall_cycles : result -> int
 (** Sum of per-core commit-head fence stalls. *)

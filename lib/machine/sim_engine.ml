@@ -1,0 +1,159 @@
+module Core = Fscope_cpu.Core
+module Mem_port = Fscope_cpu.Mem_port
+module Hierarchy = Fscope_mem.Hierarchy
+module Program = Fscope_isa.Program
+module Obs = Fscope_obs
+
+type raw = {
+  cycles : int;
+  timed_out : bool;
+  cores : Core.t array;
+  mem : int array;
+  hierarchy : Hierarchy.t;
+}
+
+let hierarchy_kind = function
+  | Mem_port.Read -> Hierarchy.Read
+  | Mem_port.Write -> Hierarchy.Write
+  | Mem_port.Rmw -> Hierarchy.Rmw
+
+(* One machine instance: cores wired to a shared hierarchy and flat
+   memory image through a Mem_port. *)
+let build ~obs (config : Config.t) program =
+  let cores_n = Program.thread_count program in
+  let mem = Program.initial_memory program in
+  let hierarchy = Hierarchy.create ~trace:obs ~cores:cores_n config.Config.mem in
+  let port =
+    Mem_port.make ~size:(Array.length mem)
+      ~issue:(fun ~core kind ~addr ~now ->
+        now + Hierarchy.access hierarchy ~core (hierarchy_kind kind) ~addr)
+      ~load:(fun ~addr -> mem.(addr))
+      ~store:(fun ~addr ~value -> mem.(addr) <- value)
+  in
+  let cores =
+    Array.init cores_n (fun id ->
+        Core.create ~trace:obs ~id ~code:program.Program.threads.(id) ~port
+          ~scope_config:config.Config.scope ~exec_config:config.Config.exec ())
+  in
+  (cores, mem, hierarchy)
+
+(* The three-phase step protocol shared by both loops; see Core's
+   interface for why the order matters.  Returns whether any core
+   changed state beyond per-cycle stall accounting. *)
+let step_all cores ~cycle =
+  let progress = ref false in
+  Array.iter
+    (fun core -> if Core.step_complete_writes core ~cycle then progress := true)
+    cores;
+  Array.iter
+    (fun core -> if Core.step_complete_reads core ~cycle then progress := true)
+    cores;
+  Array.iter (fun core -> if Core.step_pipeline core ~cycle then progress := true) cores;
+  !progress
+
+let run ?(obs = Obs.Trace.null) (config : Config.t) program =
+  let cores, mem, hierarchy = build ~obs config program in
+  let n = Array.length cores in
+  let traced = Obs.Trace.on obs in
+  let max_cycles = config.Config.max_cycles in
+  (* Per-core event-horizon scheduling.  A core whose three sub-steps
+     all report no progress is frozen: every cycle-dependence of its
+     step functions is a threshold already scheduled in its own state
+     (execution completions, store-buffer drain times, a fetch-resume
+     point), and other cores cannot change any of that — they only
+     write shared memory, which a frozen core samples exactly at those
+     thresholds, and the cache directory, which only affects the
+     latency of accesses it has not issued yet.  So the core sleeps
+     until its {!Core.next_wake} horizon: the engine pre-charges the
+     skipped span's stall/occupancy accounting in O(1) and stops
+     stepping it, while awake cores keep executing cycle by cycle.
+     When every core sleeps, the clock jumps straight to the earliest
+     wake-up.  Results are bit-identical to the naive loop.
+
+     Draining is monotonic (a halted core stays halted, its emptied
+     store buffer stays empty), so a per-core flag plus a counter
+     replaces the naive loop's per-cycle every-core [drained] scan. *)
+  let wake = Array.make n 0 in
+  let progress = Array.make n false in
+  let drained = Array.make n false in
+  let drained_count = ref 0 in
+  let cycle = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !cycle < max_cycles do
+    let c = !cycle in
+    if traced then Obs.Trace.set_now obs c;
+    for i = 0 to n - 1 do
+      progress.(i) <-
+        wake.(i) <= c && Core.step_complete_writes cores.(i) ~cycle:c
+    done;
+    for i = 0 to n - 1 do
+      if wake.(i) <= c && Core.step_complete_reads cores.(i) ~cycle:c then
+        progress.(i) <- true
+    done;
+    for i = 0 to n - 1 do
+      if wake.(i) <= c then begin
+        if Core.step_pipeline cores.(i) ~cycle:c then progress.(i) <- true;
+        if progress.(i) then begin
+          wake.(i) <- c + 1;
+          if (not drained.(i)) && Core.drained cores.(i) then begin
+            drained.(i) <- true;
+            incr drained_count;
+            wake.(i) <- max_cycles
+          end
+        end
+        else begin
+          (* Frozen: sleep until the horizon (or, with nothing
+             scheduled at all, until the run's cycle limit — the core
+             is stuck and can only wait out a timeout), charging the
+             skipped span's per-cycle accounting up front.  The charge
+             is exact: the simulation cannot end before this core's
+             wake-up, because a sleeping core is never drained. *)
+          let d =
+            match Core.next_wake cores.(i) ~cycle:c with
+            | Some d -> min d max_cycles
+            | None -> max_cycles
+          in
+          Core.account_stall_span cores.(i) ~cycles:(d - c - 1);
+          wake.(i) <- d
+        end
+      end
+    done;
+    if !drained_count = n then begin
+      cycle := c + 1;
+      finished := true
+    end
+    else begin
+      (* Next cycle at which anything can happen: awake cores have
+         wake = c+1; if everyone sleeps this jumps the clock. *)
+      let target = Array.fold_left min max_int wake in
+      cycle := max target (c + 1)
+    end
+  done;
+  {
+    cycles = !cycle;
+    timed_out = !drained_count < n;
+    cores;
+    mem;
+    hierarchy;
+  }
+
+(* The retained naive loop: one cycle at a time, no fast-forward.  The
+   differential suite holds [run] to bit-identical results against
+   this, and the bench harness quotes the wall-clock win over it. *)
+let run_naive ?(obs = Obs.Trace.null) (config : Config.t) program =
+  let cores, mem, hierarchy = build ~obs config program in
+  let all_done () = Array.for_all Core.drained cores in
+  let cycle = ref 0 in
+  while (not (all_done ())) && !cycle < config.Config.max_cycles do
+    let c = !cycle in
+    Obs.Trace.set_now obs c;
+    ignore (step_all cores ~cycle:c);
+    incr cycle
+  done;
+  {
+    cycles = !cycle;
+    timed_out = not (all_done ());
+    cores;
+    mem;
+    hierarchy;
+  }

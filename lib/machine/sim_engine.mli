@@ -1,0 +1,32 @@
+(** The cycle scheduler: builds a machine instance (cores wired to the
+    cache hierarchy and flat memory through a {!Fscope_cpu.Mem_port})
+    and drives the three-phase step protocol.
+
+    Two loops share that setup.  {!run} is the event-horizon
+    fast-forward engine: each sub-step reports whether it changed
+    pipeline state, and a core whose whole cycle made no progress is
+    frozen — nothing can change its state before its earliest
+    scheduled completion ({!Fscope_cpu.Core.next_wake}), no matter
+    what other cores do meanwhile.  The engine puts such a core to
+    sleep until that horizon, replaying the skipped span's
+    stall/occupancy accounting in O(1), and steps only awake cores;
+    when every core sleeps, the clock jumps straight to the earliest
+    wake-up.  Results (cycle counts, every stats field, final memory,
+    metrics) are bit-identical to stepping each core every cycle.
+    {!run_naive} is the retained reference loop, kept for differential
+    testing and as the baseline the bench harness quotes speedups
+    against. *)
+
+type raw = {
+  cycles : int;
+  timed_out : bool;
+  cores : Fscope_cpu.Core.t array;
+  mem : int array;
+  hierarchy : Fscope_mem.Hierarchy.t;
+}
+
+val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
+(** Event-horizon fast-forward loop. *)
+
+val run_naive : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
+(** The naive one-cycle-at-a-time reference loop. *)

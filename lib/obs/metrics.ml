@@ -89,6 +89,15 @@ let gauge_observe g v =
   if v > g.g_max then g.g_max <- v;
   g.g_last <- v
 
+let gauge_observe_n g v ~times =
+  if times > 0 then begin
+    g.g_count <- g.g_count + times;
+    g.g_sum <- g.g_sum + (times * v);
+    if v < g.g_min then g.g_min <- v;
+    if v > g.g_max then g.g_max <- v;
+    g.g_last <- v
+  end
+
 type snapshot =
   | Counter_v of int
   | Histogram_v of {

@@ -42,6 +42,12 @@ val gauge : t -> string -> gauge
 
 val gauge_observe : gauge -> int -> unit
 
+val gauge_observe_n : gauge -> int -> times:int -> unit
+(** [gauge_observe_n g v ~times] is observationally identical to
+    calling [gauge_observe g v] [times] times: the fast-forwarding
+    engine uses it to account a frozen gauge over a skipped span of
+    cycles in O(1).  No-op when [times <= 0]. *)
+
 type snapshot =
   | Counter_v of int
   | Histogram_v of {

@@ -288,6 +288,74 @@ let test_disjoint_batch lo hi () =
     check_disjoint_seed seed
   done
 
+(* ------------------------------------------------------------------ *)
+(* Engine differential: the event-horizon fast-forward loop
+   (Machine.run) against the retained naive per-cycle loop
+   (Machine.run_reference).  Every result field must agree exactly —
+   cycle count, timeout flag, each per-core stats field, the final
+   memory image and the cache stats — on random programs under random
+   configurations, including runs truncated by a small cycle limit.   *)
+
+let explain_mismatch label seed (a : Machine.result) (b : Machine.result) =
+  let check name va vb acc =
+    if va = vb then acc else Printf.sprintf "%s%s: engine %d, reference %d; " acc name va vb
+  in
+  let acc = "" in
+  let acc = check "cycles" a.Machine.cycles b.Machine.cycles acc in
+  let acc =
+    check "timed_out" (Bool.to_int a.Machine.timed_out) (Bool.to_int b.Machine.timed_out)
+      acc
+  in
+  let acc = ref acc in
+  Array.iteri
+    (fun i (sa : Fscope_cpu.Core.stats) ->
+      let sb = b.Machine.core_stats.(i) in
+      let c name va vb = acc := check (Printf.sprintf "core%d/%s" i name) va vb !acc in
+      c "committed" sa.committed sb.committed;
+      c "fence_stall_cycles" sa.fence_stall_cycles sb.fence_stall_cycles;
+      c "stall_rob_load" sa.stall_rob_load sb.stall_rob_load;
+      c "stall_rob_store" sa.stall_rob_store sb.stall_rob_store;
+      c "stall_sb" sa.stall_sb sb.stall_sb;
+      c "sb_stall_cycles" sa.sb_stall_cycles sb.sb_stall_cycles;
+      c "active_cycles" sa.active_cycles sb.active_cycles;
+      c "rob_occupancy_sum" sa.rob_occupancy_sum sb.rob_occupancy_sum)
+    a.Machine.core_stats;
+  if a.Machine.mem <> b.Machine.mem then acc := !acc ^ "final memory differs; ";
+  if a.Machine.cache <> b.Machine.cache then acc := !acc ^ "cache stats differ; ";
+  Printf.sprintf "seed %d (%s): %s" seed label !acc
+
+let engine_case_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 500 in
+  let* multicore = bool in
+  let* cfg_i = int_range 0 (List.length configs - 1) in
+  (* Small limits force mid-flight truncation, exercising the engine's
+     timeout clamping and pre-charged stall accounting. *)
+  let* max_c = oneofl [ None; Some 50; Some 400; Some 3000 ] in
+  return (seed, multicore, cfg_i, max_c)
+
+let print_engine_case (seed, multicore, cfg_i, max_c) =
+  Printf.sprintf "seed=%d multicore=%b config=%s max_cycles=%s" seed multicore
+    (fst (List.nth configs cfg_i))
+    (match max_c with None -> "default" | Some n -> string_of_int n)
+
+let prop_engine_matches_reference =
+  QCheck2.Test.make ~count:120 ~name:"fast-forward engine == naive reference loop"
+    ~print:print_engine_case engine_case_gen
+    (fun (seed, multicore, cfg_i, max_c) ->
+      let program_ast =
+        if multicore then gen_disjoint_program seed ~threads:4 else gen_program seed
+      in
+      let program, _info = Compile.compile program_ast in
+      let label, config = List.nth configs cfg_i in
+      let config =
+        match max_c with None -> config | Some n -> Config.with_max_cycles n config
+      in
+      let engine = Machine.run config program in
+      let reference = Machine.run_reference config program in
+      if engine = reference then true
+      else QCheck2.Test.fail_report (explain_mismatch label seed engine reference))
+
 let tests =
   [
     Alcotest.test_case "random programs 1-60" `Quick (test_differential_batch 1 60);
@@ -295,4 +363,5 @@ let tests =
     Alcotest.test_case "random programs 121-200" `Slow (test_differential_batch 121 200);
     Alcotest.test_case "4-core disjoint programs 1-40" `Quick (test_disjoint_batch 1 40);
     Alcotest.test_case "4-core disjoint programs 41-100" `Slow (test_disjoint_batch 41 100);
+    QCheck_alcotest.to_alcotest prop_engine_matches_reference;
   ]

@@ -1,0 +1,60 @@
+(* Engine-level end-to-end properties:
+
+   - the domain-parallel experiment runner must not change any
+     rendered artefact: fig12/fig13 tables are byte-identical whether
+     the points run sequentially or fanned across 4 domains;
+   - a traced fast-forward run must match a traced reference run
+     event-for-event and metric-for-metric, not just in its result
+     record (the engine skips frozen spans, so this pins down that no
+     observable is emitted or timed differently across a jump). *)
+
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module Table = Fscope_util.Table
+module Obs = Fscope_obs
+module Registry = Fscope_workloads.Registry
+module E = Fscope_experiments
+
+let with_jobs n f =
+  E.Exp_run.set_jobs n;
+  Fun.protect ~finally:(fun () -> E.Exp_run.set_jobs 1) f
+
+let render_fig12 () = Table.render (E.Fig12.table (E.Fig12.run ~quick:true ()))
+let render_fig13 () = Table.render (E.Fig13.table (E.Fig13.run ~quick:true ()))
+
+let test_jobs_identical name render () =
+  let seq = with_jobs 1 render in
+  let par = with_jobs 4 render in
+  Alcotest.(check string) (name ^ ": --jobs 1 and --jobs 4 render identically") seq par
+
+let test_traced_identical () =
+  let w = Registry.build ~params:{ Registry.default_params with rounds = Some 4 } "wsq" in
+  let program = w.Fscope_workloads.Workload.program in
+  let cores = Fscope_isa.Program.thread_count program in
+  let config = E.Exp_run.s_config Config.default in
+  let traced runner =
+    let trace = Obs.Trace.create ~ring_capacity:65536 ~cores () in
+    let result = runner ~obs:trace config program in
+    match result.Machine.obs with
+    | Some report -> (result, report)
+    | None -> Alcotest.fail "traced run produced no report"
+  in
+  let engine_r, engine_rep = traced (fun ~obs c p -> Machine.run ~obs c p) in
+  let ref_r, ref_rep = traced (fun ~obs c p -> Machine.run_reference ~obs c p) in
+  Alcotest.(check int) "cycles" ref_r.Machine.cycles engine_r.Machine.cycles;
+  Alcotest.(check int) "events" (Obs.Report.events_count ref_rep)
+    (Obs.Report.events_count engine_rep);
+  Alcotest.(check string) "event stream (jsonl)" (Obs.Sink.jsonl ref_rep)
+    (Obs.Sink.jsonl engine_rep);
+  Alcotest.(check string) "metrics summary" (Obs.Sink.summary ref_rep)
+    (Obs.Sink.summary engine_rep)
+
+let tests =
+  [
+    Alcotest.test_case "fig12 parallel fan-out is deterministic" `Quick
+      (test_jobs_identical "fig12" render_fig12);
+    Alcotest.test_case "fig13 parallel fan-out is deterministic" `Quick
+      (test_jobs_identical "fig13" render_fig13);
+    Alcotest.test_case "traced engine run matches traced reference" `Quick
+      test_traced_identical;
+  ]

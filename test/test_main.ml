@@ -13,4 +13,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("obs", Test_obs.tests);
       ("differential", Test_differential.tests);
+      ("engine", Test_engine.tests);
     ]
