@@ -148,6 +148,164 @@ let run_engine ~quick () =
     (tot (fun r -> r.er_naive_s) /. tot (fun r -> r.er_engine_s))
 
 (* ------------------------------------------------------------------ *)
+(* Profile artefact: cycle-accounting profiles of the eight paper
+   workloads under sfence / traditional / no-fence, rendered into
+   BENCH_profile.json for CI to archive.  Each profile carries the
+   full CPI stack, per-fence-site tables and spin candidates; the
+   table printed here is just the headline shares.                     *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Fscope_obs
+
+let profile_inputs = ref ([] : Obs.Profile.input list)
+
+(* The no-fence ablation can break a workload's termination protocol
+   (pst livelocks in its steal loop without ordering), so profile runs
+   carry a cycle cap several times above any terminating run's count;
+   a capped run is reported with its [timed_out] flag set rather than
+   spinning out the 30M-cycle default budget at traced-run speed. *)
+let profile_configs ~quick =
+  let base =
+    Config.with_max_cycles (if quick then 100_000 else 300_000) Config.default
+  in
+  [ E.Exp_run.s_config base; E.Exp_run.t_config base; E.Exp_run.nf_config base ]
+
+let run_profile ~quick () =
+  let build name size =
+    workload name
+      {
+        Registry.default_params with
+        size;
+        attempts = (if quick then 10 else Registry.default_params.Registry.attempts);
+      }
+  in
+  let apps =
+    [
+      build "dekker" None;
+      build "wsq" None;
+      build "msn" (if quick then Some 8 else None);
+      build "harris" (if quick then Some 4 else None);
+      build "pst" (Some (if quick then 256 else 768));
+      build "ptc" (Some (if quick then 128 else 256));
+      build "barnes" (Some (if quick then 64 else 192));
+      build "radiosity" (Some (if quick then 64 else 160));
+    ]
+  in
+  let inputs =
+    List.concat_map
+      (fun w ->
+        List.map (fun config -> E.Profiling.profile config w) (profile_configs ~quick))
+      apps
+  in
+  profile_inputs := inputs;
+  let t =
+    Table.create ~title:"Profile — CPI-stack headline shares"
+      ~header:[ "app"; "config"; "cycles"; "active"; "fence%"; "spin%"; "mem%" ]
+  in
+  List.iter
+    (fun (p : Obs.Profile.input) ->
+      let active = Array.fold_left ( + ) 0 p.Obs.Profile.core_active in
+      let sum f = Array.fold_left (fun acc c -> acc + f c) 0 p.Obs.Profile.cpi in
+      let leaf_sum = sum Obs.Cpi.total in
+      if leaf_sum <> active then
+        failwith
+          (Printf.sprintf "profile %s [%s]: CPI leaves sum %d <> active cycles %d"
+             p.Obs.Profile.label p.Obs.Profile.config leaf_sum active);
+      let share v = 100. *. Fscope_util.Stats.ratio ~num:v ~den:active in
+      let mem =
+        sum (fun c ->
+            Obs.Cpi.get c Obs.Cpi.Mem_l1 + Obs.Cpi.get c Obs.Cpi.Mem_l2
+            + Obs.Cpi.get c Obs.Cpi.Mem_main)
+      in
+      Table.add_row t
+        [
+          p.Obs.Profile.label;
+          p.Obs.Profile.config;
+          string_of_int p.Obs.Profile.cycles;
+          string_of_int active;
+          Printf.sprintf "%.1f" (share (sum Obs.Cpi.fence_cycles));
+          Printf.sprintf "%.1f" (share (sum (fun c -> Obs.Cpi.get c Obs.Cpi.Spin_candidate)));
+          Printf.sprintf "%.1f" (share mem);
+        ])
+    inputs;
+  Table.print t
+
+let write_profile_json path =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\n  \"schema\": \"fence-scoping/bench-profile/v1\",\n";
+  Buffer.add_string buf "  \"profiles\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Obs.Profile.json p))
+    !profile_inputs;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
+(* Jobs-scaling artefact: the same experiment points measured with one
+   domain and with several, asserting byte-identical results and (on
+   hosts with enough CPUs to make it meaningful) a wall-clock win.
+   Skips cleanly on single-CPU runners.                                *)
+(* ------------------------------------------------------------------ *)
+
+type jobs_scaling = {
+  js_cpus : int;
+  js_points : int;
+  js_jobs : int;
+  js_seq_s : float;
+  js_par_s : float;
+}
+
+let jobs_scaling_row = ref (None : jobs_scaling option)
+
+let run_jobs_scaling ~quick () =
+  let cpus = Domain.recommended_domain_count () in
+  if cpus < 2 then say "jobs-scaling: skipped (host reports %d CPU)" cpus
+  else begin
+    let specs =
+      List.concat_map
+        (fun (_, w) ->
+          List.map
+            (fun (_, mk) -> { E.Exp_run.config = mk Config.default; workload = w })
+            [ ("T", E.Exp_run.t_config); ("S", E.Exp_run.s_config) ])
+        (E.Fig13.apps ~quick ())
+    in
+    let saved = E.Exp_run.jobs () in
+    E.Exp_run.set_jobs 1;
+    let seq_ms, seq_s = timed (fun () -> E.Exp_run.measure_all specs) in
+    let j = min 4 cpus in
+    E.Exp_run.set_jobs j;
+    let par_ms, par_s = timed (fun () -> E.Exp_run.measure_all specs) in
+    E.Exp_run.set_jobs saved;
+    if seq_ms <> par_ms then
+      failwith "jobs-scaling: parallel sweep diverged from the sequential one";
+    let sp = seq_s /. par_s in
+    say "jobs-scaling: %d points — 1 job %.2fs, %d jobs %.2fs, %.2fx (host CPUs: %d)"
+      (List.length specs) seq_s j par_s sp cpus;
+    (* Only hold the speedup on hosts with headroom: a 2-3 CPU runner
+       can legitimately lose the win to scheduling noise. *)
+    if cpus >= 4 && sp < 1.05 then
+      failwith
+        (Printf.sprintf
+           "jobs-scaling: %.2fx with %d jobs on a %d-CPU host — domains buy nothing" sp j
+           cpus);
+    jobs_scaling_row :=
+      Some
+        {
+          js_cpus = cpus;
+          js_points = List.length specs;
+          js_jobs = j;
+          js_seq_s = seq_s;
+          js_par_s = par_s;
+        }
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_engine.json: machine-readable record of the invocation —
    wall-clock per artefact, simulation throughput, and the
    engine-vs-naive rows when the [engine] artefact ran.                *)
@@ -182,6 +340,15 @@ let write_bench_json ~quick ~jobs path =
         (float_of_int r.er_cycles /. r.er_naive_s))
     !engine_rows;
   add "\n  ]";
+  (match !jobs_scaling_row with
+  | None -> ()
+  | Some js ->
+    add ",\n";
+    add
+      "  \"jobs_scaling\": {\"cpus\": %d, \"points\": %d, \"jobs\": %d, \
+       \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \"speedup\": %.2f}"
+      js.js_cpus js.js_points js.js_jobs js.js_seq_s js.js_par_s
+      (js.js_seq_s /. js.js_par_s));
   (match !engine_rows with
   | [] -> add "\n"
   | rows ->
@@ -278,6 +445,8 @@ let artefacts ~quick =
     ("fig16", run_fig16 ~quick);
     ("ablate", run_ablate ~quick);
     ("engine", run_engine ~quick);
+    ("profile", run_profile ~quick);
+    ("jobs-scaling", run_jobs_scaling ~quick);
   ]
 
 let run_artefact (name, f) =
@@ -309,7 +478,8 @@ let () =
         say "### %s" name;
         run_artefact (name, f))
       (artefacts ~quick);
-    write_bench_json ~quick ~jobs "BENCH_engine.json"
+    write_bench_json ~quick ~jobs "BENCH_engine.json";
+    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json"
   | names ->
     List.iter
       (fun name ->
@@ -319,4 +489,5 @@ let () =
           say "unknown artefact %s (have: %s, bechamel)" name
             (String.concat ", " (List.map fst (artefacts ~quick))))
       names;
-    write_bench_json ~quick ~jobs "BENCH_engine.json"
+    write_bench_json ~quick ~jobs "BENCH_engine.json";
+    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json"

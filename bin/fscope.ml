@@ -5,6 +5,7 @@
      fscope compare pst               T vs S vs T+ vs S+ side by side
      fscope trace dekker --format=chrome -o trace.json
                                       run with the observability layer on
+     fscope profile dekker            CPI stack + per-fence-site attribution
      fscope disasm dekker             dump the compiled program *)
 
 module Config = Fscope_machine.Config
@@ -126,6 +127,29 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb for
     end
     else 0
 
+let cmd_profile name level set_scope traditional speculate no_fence mem_latency rob fsb
+    max_cycles profile_format output rounds size =
+  let w = find_workload name ~level ~set_scope ~rounds ~size in
+  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let config = if no_fence then Config.with_nop_fences true config else config in
+  let config =
+    match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
+  in
+  let input = E.Profiling.profile config w in
+  let text =
+    match profile_format with
+    | `Text -> Obs.Profile.text input
+    | `Json -> Obs.Profile.json input ^ "\n"
+  in
+  (match output with
+  | None -> print_string text
+  | Some file ->
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s\n" file);
+  0
+
 let cmd_disasm name level set_scope =
   let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
   Format.printf "%a@." Fscope_isa.Program.pp_disassembly w.W.Workload.program;
@@ -213,6 +237,37 @@ let trace_cmd =
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ format_arg $ output_arg
       $ ring_arg $ rounds_arg $ size_arg)
 
+let no_fence_arg =
+  Arg.(value & flag & info [ "no-fence" ] ~doc:"Retire fences as nops (timing-only ablation; validation is skipped).")
+
+let max_cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:
+          "Cycle cap for the run (default 30M).  Useful under $(b,--no-fence), which \
+           can break a workload's termination protocol; a capped run is profiled and \
+           flagged as timed out.")
+
+let profile_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format"; "f" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (aligned tables) or $(b,json) (one object).")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one workload with cycle accounting on and print its CPI stack, \
+          per-fence-site attribution, per-scope totals and spin candidates")
+    Term.(
+      const cmd_profile $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
+      $ speculate_arg $ no_fence_arg $ mem_latency_arg $ rob_arg $ fsb_arg
+      $ max_cycles_arg $ profile_format_arg $ output_arg $ rounds_arg $ size_arg)
+
 let disasm_cmd =
   Cmd.v
     (Cmd.info "disasm" ~doc:"Print the compiled program of a workload")
@@ -220,6 +275,7 @@ let disasm_cmd =
 
 let main_cmd =
   let doc = "cycle-level simulator for scoped fences (SC '14 'Fence Scoping')" in
-  Cmd.group (Cmd.info "fscope" ~doc) [ list_cmd; run_cmd; compare_cmd; trace_cmd; disasm_cmd ]
+  Cmd.group (Cmd.info "fscope" ~doc)
+    [ list_cmd; run_cmd; compare_cmd; trace_cmd; profile_cmd; disasm_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -43,5 +43,8 @@ let lookup_or_allocate t ~cid ~column_busy =
       end
     end
 
+let cid_of_column t ~column =
+  List.find_map (fun (cid, col) -> if col = column then Some cid else None) t.map
+
 let occupancy t = List.length t.map
 let mappings t = t.map

@@ -34,6 +34,12 @@ val lookup_or_allocate : t -> cid:int -> column_busy:(int -> bool) -> int option
 val gc : t -> column_busy:(int -> bool) -> unit
 (** Drop every mapping whose column is quiescent. *)
 
+val cid_of_column : t -> column:int -> int option
+(** The newest cid mapped to [column], if any — the reverse lookup the
+    profiler uses to attribute a fence's stall to the scope it was
+    decoded under (columns can be shared under overflow, so "newest"
+    is the decode-time answer). *)
+
 val occupancy : t -> int
 val mappings : t -> (int * int) list
 (** Current (cid, column) pairs, for tests. *)

@@ -202,3 +202,10 @@ let fence_scope t kind =
 let in_overflow t = t.live.counter > 0
 let live_stack t = Fss.to_list t.live.stack
 let confirmed_stack t = Fss.to_list t.confirmed.stack
+
+let current_cid t =
+  if (not t.config.enabled) || t.live.counter > 0 then None
+  else
+    match Fss.top t.live.stack with
+    | None -> None
+    | Some col -> Mapping_table.cid_of_column t.mt ~column:col

@@ -99,6 +99,11 @@ val fence_scope : t -> Fscope_isa.Fence_kind.t -> [ `Global | `Mask of Fsb.mask 
 val in_overflow : t -> bool
 (** Is the live overflow counter non-zero? *)
 
+val current_cid : t -> int option
+(** The class id of the innermost live scope, if the unit is enabled,
+    not in overflow, and the FSS top column still has an MT mapping.
+    Captured at fence dispatch for per-scope stall attribution. *)
+
 val live_stack : t -> int list
 (** Live FSS contents, bottom to top (tests). *)
 

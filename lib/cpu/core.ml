@@ -7,23 +7,24 @@
 
 module Reg = Fscope_isa.Reg
 module Scope_unit = Fscope_core.Scope_unit
+module Cpi = Fscope_obs.Cpi
 
-type stats = Core_state.stats = {
-  mutable committed : int;
-  mutable stall_rob_load : int;
-  mutable stall_rob_store : int;
-  mutable stall_sb : int;
-  mutable committed_mem : int;
-  mutable committed_fences : int;
-  mutable fence_stall_cycles : int;
-  mutable sb_stall_cycles : int;
-  mutable branches : int;
-  mutable mispredicts : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable cas_ops : int;
-  mutable rob_occupancy_sum : int;
-  mutable active_cycles : int;
+type stats = {
+  committed : int;
+  stall_rob_load : int;
+  stall_rob_store : int;
+  stall_sb : int;
+  committed_mem : int;
+  committed_fences : int;
+  fence_stall_cycles : int;
+  sb_stall_cycles : int;
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  stores : int;
+  cas_ops : int;
+  rob_occupancy_sum : int;
+  active_cycles : int;
 }
 
 type t = Core_state.t
@@ -60,14 +61,44 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~port ~scope_config ~exec_
     fetch_resume = 0;
     fetch_stopped = false;
     halted = false;
-    stats = Core_state.fresh_stats ();
+    counts = Core_state.fresh_counts ();
+    cpi = Cpi.create ();
+    cycle_charged = false;
+    spin_last_pc = -1;
+    spin_dirty = true;
+    spin_mode = false;
     obs;
   }
 
 let id (t : t) = t.id
 let halted (t : t) = t.halted
 let drained (t : t) = t.halted && Store_buffer.is_empty t.sb
-let stats (t : t) = t.stats
+
+(* The legacy stats record is now a derived view: commit-stream
+   counters straight from [counts], stall attribution summed out of
+   the CPI table (so the two can never disagree). *)
+let stats (t : t) =
+  let c = t.Core_state.counts in
+  let cpi = t.Core_state.cpi in
+  {
+    committed = c.committed;
+    stall_rob_load = Cpi.fence_cause_cycles cpi Cpi.Rob_load;
+    stall_rob_store = Cpi.fence_cause_cycles cpi Cpi.Rob_store;
+    stall_sb = Cpi.fence_cause_cycles cpi Cpi.Sb_drain;
+    committed_mem = c.committed_mem;
+    committed_fences = c.committed_fences;
+    fence_stall_cycles = Cpi.fence_cycles cpi;
+    sb_stall_cycles = Cpi.get cpi Cpi.Sb_full;
+    branches = c.branches;
+    mispredicts = c.mispredicts;
+    loads = c.loads;
+    stores = c.stores;
+    cas_ops = c.cas_ops;
+    rob_occupancy_sum = c.rob_occupancy_sum;
+    active_cycles = c.active_cycles;
+  }
+
+let cpi (t : t) = Cpi.copy t.Core_state.cpi
 let scope_unit (t : t) = t.scope
 
 let step_complete_writes = Core_exec.step_complete_writes
@@ -76,13 +107,14 @@ let step_complete_reads = Core_exec.step_complete_reads
 let step_pipeline (t : t) ~cycle =
   if t.halted then false
   else begin
-    t.stats.active_cycles <- t.stats.active_cycles + 1;
-    t.stats.rob_occupancy_sum <- t.stats.rob_occupancy_sum + Rob.count t.rob;
+    t.counts.active_cycles <- t.counts.active_cycles + 1;
+    t.counts.rob_occupancy_sum <- t.counts.rob_occupancy_sum + Rob.count t.rob;
     (match t.obs with
     | Some o ->
       Fscope_obs.Metrics.gauge_observe o.rob_gauge (Rob.count t.rob);
       Fscope_obs.Metrics.gauge_observe o.sb_gauge (Store_buffer.count t.sb)
     | None -> ());
+    t.cycle_charged <- false;
     let p_final = Core_exec.finalize t ~cycle in
     let p_commit = Core_commit.commit t ~cycle in
     let p_back =
@@ -93,6 +125,14 @@ let step_pipeline (t : t) ~cycle =
       end
       else false
     in
+    (* Exactly one CPI leaf per active cycle: the commit loop already
+       charged a blocked fence / full store buffer if that is what
+       bounded this cycle; otherwise commits decide, and a
+       zero-commit cycle is classified off the (then stable) head. *)
+    if not t.cycle_charged then
+      Cpi.charge t.cpi
+        (if p_commit then if t.spin_mode then Cpi.Spin_candidate else Cpi.Commit
+         else Core_commit.classify_blocked t ~cycle);
     p_final || p_commit || p_back
   end
 

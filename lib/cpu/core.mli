@@ -39,26 +39,31 @@
     can make progress. *)
 
 type stats = {
-  mutable committed : int;
-  mutable stall_rob_load : int;
+  committed : int;
+  stall_rob_load : int;
       (** head-fence stall cycles attributable to an incomplete in-ROB
           load or CAS inside the fence's wait set *)
-  mutable stall_rob_store : int;  (** ... to a store not yet in the store buffer *)
-  mutable stall_sb : int;  (** ... to store-buffer drain *)
-  mutable committed_mem : int;
-  mutable committed_fences : int;
-  mutable fence_stall_cycles : int;
+  stall_rob_store : int;  (** ... to a store not yet in the store buffer *)
+  stall_sb : int;  (** ... to store-buffer drain *)
+  committed_mem : int;
+  committed_fences : int;
+  fence_stall_cycles : int;
       (** cycles the commit head was blocked by a fence whose scope
           condition was not yet satisfied *)
-  mutable sb_stall_cycles : int;  (** commit blocked by a full store buffer *)
-  mutable branches : int;
-  mutable mispredicts : int;
-  mutable loads : int;
-  mutable stores : int;
-  mutable cas_ops : int;
-  mutable rob_occupancy_sum : int;  (** sampled once per active cycle *)
-  mutable active_cycles : int;
+  sb_stall_cycles : int;  (** commit blocked by a full store buffer *)
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  stores : int;
+  cas_ops : int;
+  rob_occupancy_sum : int;  (** sampled once per active cycle *)
+  active_cycles : int;
 }
+(** A point-in-time snapshot.  Since PR 3 the stall fields are derived
+    views over the core's CPI table (see {!cpi}): [fence_stall_cycles]
+    is the sum of the six [Fence_wait] leaves, [stall_rob_load] /
+    [stall_rob_store] / [stall_sb] its per-cause sums, and
+    [sb_stall_cycles] the [Sb_full] leaf. *)
 
 type t
 
@@ -90,6 +95,13 @@ val drained : t -> bool
     effects are all globally visible. *)
 
 val stats : t -> stats
+
+val cpi : t -> Fscope_obs.Cpi.t
+(** A copy of the core's cycle-accounting table.  Invariant:
+    [Cpi.total (cpi t) = (stats t).active_cycles] — every active
+    cycle is charged to exactly one leaf.  Identical between the
+    fast-forward engine and the naive reference loop. *)
+
 val scope_unit : t -> Fscope_core.Scope_unit.t
 
 val step_complete_writes : t -> cycle:int -> bool
@@ -118,11 +130,12 @@ val next_wake : t -> cycle:int -> int option
     state, i.e. after a cycle in which every step reported no
     progress. *)
 
-val account_stall_span : t -> cycles:int -> unit
-(** Replay the per-cycle accounting of [cycles] consecutive
-    no-progress cycles in O(1): active cycles, ROB-occupancy sum,
-    occupancy gauges, and the blocked-commit-head attribution (fence
-    stall bucket or store-buffer-full stall), exactly as if
+val account_stall_span : t -> cycle:int -> cycles:int -> unit
+(** Replay the per-cycle accounting of the [cycles] consecutive
+    no-progress cycles after [cycle] in O(1): active cycles,
+    ROB-occupancy sum, occupancy gauges, and the CPI-leaf charge
+    (fence-wait cause, store-buffer-full, memory level, branch-flush /
+    frontend-empty split, execution dependence), exactly as if
     [step_pipeline] had run that many more pure-stall cycles.  The
-    engine calls this for the span it skips between a frozen cycle and
-    the next wake-up. *)
+    engine calls this for the span it skips between a frozen cycle
+    ([cycle] itself, already stepped) and the next wake-up. *)

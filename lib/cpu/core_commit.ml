@@ -1,10 +1,12 @@
-(* In-order commit, plus the per-cycle stall accounting the
-   fast-forwarding engine replays in closed form over skipped spans
-   (see [account_stall_span] at the bottom). *)
+(* In-order commit, plus the cycle-accounting that charges every
+   active cycle to exactly one CPI-stack leaf.  The fast-forwarding
+   engine replays the same classification in closed form over skipped
+   spans (see [account_stall_span] at the bottom). *)
 
 module Instr = Fscope_isa.Instr
 module Reg = Fscope_isa.Reg
 module Fsb = Fscope_core.Fsb
+module Cpi = Fscope_obs.Cpi
 open Core_state
 
 let fence_commit_ok t (e : Rob.entry) =
@@ -12,6 +14,8 @@ let fence_commit_ok t (e : Rob.entry) =
      the store buffer has drained (older ROB entries are gone by
      definition at the commit head); flavours that do not order prior
      stores retire immediately. *)
+  t.cfg.nop_fences
+  ||
   let k = match e.instr with Instr.Fence k -> k | _ -> assert false in
   (not k.Fscope_isa.Fence_kind.wait_stores)
   ||
@@ -20,34 +24,64 @@ let fence_commit_ok t (e : Rob.entry) =
   | Some `Global -> Store_buffer.is_empty t.sb
   | Some (`Mask m) -> not (Store_buffer.mask_overlaps t.sb m)
 
+(* Spin detection over the commit stream: a backward control transfer
+   that repeats at the same PC with no store, CAS or fence committed in
+   between is a read-only wait loop — the ROADMAP's spin-candidate.
+   Commit streams are identical between the two engine loops, so this
+   is deterministic and engine-independent. *)
+let spin_backward_edge t pc =
+  let spinning = t.spin_last_pc = pc && not t.spin_dirty in
+  t.spin_mode <- spinning;
+  (match t.obs with
+  | Some o when spinning ->
+    let m = Fscope_obs.Trace.metrics o.trace in
+    Fscope_obs.Metrics.incr
+      (Fscope_obs.Metrics.counter m (Printf.sprintf "core%d/spin/pc%d" t.id pc))
+  | Some _ | None -> ());
+  t.spin_last_pc <- pc;
+  t.spin_dirty <- false
+
+let spin_note t (e : Rob.entry) =
+  match e.instr with
+  | Instr.Store _ | Instr.Cas _ | Instr.Fence _ ->
+    t.spin_dirty <- true;
+    t.spin_mode <- false
+  | Instr.Jump target ->
+    if target <= e.pc then spin_backward_edge t e.pc else t.spin_mode <- false
+  | Instr.Branch { target; _ } ->
+    if e.result <> 0 then
+      if target <= e.pc then spin_backward_edge t e.pc else t.spin_mode <- false
+  | _ -> ()
+
 let commit_effects t (e : Rob.entry) =
   (match Instr.writes_reg e.instr with
   | Some r -> t.arf.(Reg.index r) <- e.result
   | None -> ());
-  t.stats.committed <- t.stats.committed + 1;
+  t.counts.committed <- t.counts.committed + 1;
+  spin_note t e;
   match e.instr with
   | Instr.Load _ ->
-    t.stats.loads <- t.stats.loads + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
+    t.counts.loads <- t.counts.loads + 1;
+    t.counts.committed_mem <- t.counts.committed_mem + 1
   | Instr.Store _ ->
-    t.stats.stores <- t.stats.stores + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
+    t.counts.stores <- t.counts.stores + 1;
+    t.counts.committed_mem <- t.counts.committed_mem + 1
   | Instr.Cas _ ->
-    t.stats.cas_ops <- t.stats.cas_ops + 1;
-    t.stats.committed_mem <- t.stats.committed_mem + 1
-  | Instr.Fence _ -> t.stats.committed_fences <- t.stats.committed_fences + 1
+    t.counts.cas_ops <- t.counts.cas_ops + 1;
+    t.counts.committed_mem <- t.counts.committed_mem + 1
+  | Instr.Fence _ -> t.counts.committed_fences <- t.counts.committed_fences + 1
   | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
   | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
     ()
 
 (* Why is the head fence stalled?  Charged once per stalled cycle to
-   the first matching bucket (ROB loads, then ROB stores, then SB).
-   [times] lets the engine charge a whole frozen span at once — the
-   classification only reads state that cannot change while the core
-   makes no progress, so every cycle of the span lands in the same
-   bucket. *)
+   the first matching cause (ROB loads, then ROB stores, then SB
+   drain), split by whether the fence waits on an S-Fence scope mask
+   or globally.  [times] lets the engine charge a whole frozen span at
+   once — the classification only reads state that cannot change while
+   the core makes no progress, so every cycle of the span lands in the
+   same leaf. *)
 let charge_fence_stall t (e : Rob.entry) ~times =
-  t.stats.fence_stall_cycles <- t.stats.fence_stall_cycles + times;
   let covered o =
     match e.fence_wait with
     | Some `Global | None -> true
@@ -60,9 +94,48 @@ let charge_fence_stall t (e : Rob.entry) ~times =
         | Instr.Load _ | Instr.Cas _ -> if o.state <> Rob.Done then rob_load := true
         | Instr.Store _ -> rob_store := true
         | _ -> ());
-  if !rob_load then t.stats.stall_rob_load <- t.stats.stall_rob_load + times
-  else if !rob_store then t.stats.stall_rob_store <- t.stats.stall_rob_store + times
-  else t.stats.stall_sb <- t.stats.stall_sb + times
+  let cause =
+    if !rob_load then Cpi.Rob_load
+    else if !rob_store then Cpi.Rob_store
+    else Cpi.Sb_drain
+  in
+  let scope =
+    match e.fence_wait with
+    | Some (`Mask _) -> Cpi.Scoped
+    | Some `Global | None -> Cpi.Unscoped
+  in
+  Cpi.charge_n t.cpi (Cpi.Fence_wait (cause, scope)) ~times
+
+(* Per-static-fence-site and per-scope attribution, on traced runs
+   only: a commit counter per (core, fence PC), a scoped-commit
+   counter, and a stall-episode histogram, plus the same keyed by the
+   fence's class id.  Registered lazily by name — static sites are
+   enumerated by the profiler from the program image, so sites that
+   never commit still appear (with zeros) in its tables. *)
+let note_fence_commit t (e : Rob.entry) ~stalled =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let m = Fscope_obs.Trace.metrics o.trace in
+    let c name = Fscope_obs.Metrics.counter m name in
+    let h name = Fscope_obs.Metrics.histogram m name in
+    let site suffix = Printf.sprintf "core%d/fence_pc%d/%s" t.id e.pc suffix in
+    Fscope_obs.Metrics.incr (c (site "commits"));
+    (match e.fence_wait with
+    | Some (`Mask _) -> Fscope_obs.Metrics.incr (c (site "scoped_commits"))
+    | Some `Global | None -> ());
+    (match stalled with
+    | Some cycles -> Fscope_obs.Metrics.observe (h (site "stall_cycles")) cycles
+    | None -> ());
+    if e.fence_cid >= 0 then begin
+      Fscope_obs.Metrics.incr (c (Printf.sprintf "cid%d/commits" e.fence_cid));
+      match stalled with
+      | Some cycles ->
+        Fscope_obs.Metrics.observe
+          (h (Printf.sprintf "cid%d/stall_cycles" e.fence_cid))
+          cycles
+      | None -> ()
+    end
 
 let commit t ~cycle =
   let progress = ref false in
@@ -81,7 +154,8 @@ let commit t ~cycle =
       | Instr.Store _ ->
         if e.state <> Rob.Done then blocked := true
         else if Store_buffer.is_full t.sb then begin
-          t.stats.sb_stall_cycles <- t.stats.sb_stall_cycles + 1;
+          Cpi.charge t.cpi Cpi.Sb_full;
+          t.cycle_charged <- true;
           blocked := true
         end
         else begin
@@ -112,17 +186,21 @@ let commit t ~cycle =
         end
       | Instr.Fence _ ->
         let ok =
-          if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
+          if t.cfg.in_window_speculation then fence_commit_ok t e
+          else e.fence_issued
         in
         if ok then begin
+          let stalled = ref None in
           (match t.obs with
           | Some o when o.stall_begin >= 0 ->
-            let stalled = cycle - o.stall_begin in
+            let cycles = cycle - o.stall_begin in
+            stalled := Some cycles;
             Fscope_obs.Trace.emit o.trace ~core:t.id
-              (Fscope_obs.Event.Fence_stall_end { pc = e.pc; cycles = stalled });
-            Fscope_obs.Metrics.observe o.stall_hist stalled;
+              (Fscope_obs.Event.Fence_stall_end { pc = e.pc; cycles });
+            Fscope_obs.Metrics.observe o.stall_hist cycles;
             o.stall_begin <- -1
           | Some _ | None -> ());
+          note_fence_commit t e ~stalled:!stalled;
           ignore (Rob.pop_head t.rob);
           commit_effects t e;
           progress := true;
@@ -130,6 +208,7 @@ let commit t ~cycle =
         end
         else begin
           charge_fence_stall t e ~times:1;
+          t.cycle_charged <- true;
           (match t.obs with
           | Some o when o.stall_begin < 0 ->
             o.stall_begin <- cycle;
@@ -157,18 +236,48 @@ let commit t ~cycle =
   done;
   !progress
 
-(* Replay the per-cycle accounting of [n] pure-stall cycles in O(1).
+(* The leaf for a cycle on which nothing committed and commit charged
+   nothing (so the head is not a blocked fence or a store facing a
+   full store buffer — those were charged in the commit loop).  A head
+   load/CAS in flight is charged to the memory level serving it;
+   everything else waiting at the head (operand dependences,
+   unresolved branches, forwarded loads completing next cycle) is an
+   execution dependence. *)
+let classify_waiting_head (e : Rob.entry) =
+  match e.instr with
+  | (Instr.Load _ | Instr.Cas _) when e.state <> Rob.Done -> (
+    match e.mem_level with
+    | Some Fscope_obs.Event.L1_hit -> Cpi.Mem_l1
+    | Some Fscope_obs.Event.L2_hit -> Cpi.Mem_l2
+    | Some Fscope_obs.Event.L2_miss -> Cpi.Mem_main
+    | None -> Cpi.Exec_dep)
+  | _ -> Cpi.Exec_dep
+
+let classify_blocked t ~cycle =
+  match Rob.head t.rob with
+  | None ->
+    (* An empty ROB while the front end waits out a mispredict penalty
+       is the flush shadow; empty with nothing pending is a starved
+       front end (e.g. the tail of the program). *)
+    if (not t.fetch_stopped) && t.fetch_resume > cycle then Cpi.Branch_flush
+    else Cpi.Frontend_empty
+  | Some e -> classify_waiting_head e
+
+(* Replay the per-cycle accounting of the [n] pure-stall cycles
+   following [cycle] in O(1).
 
    Preconditions (established by the engine): the core reported no
-   progress this cycle, so until its next wake-up every cycle is
+   progress at [cycle], so until its next wake-up every cycle is
    identical — the pipeline steps would only (a) bump the activity
    counters, (b) re-observe the unchanged occupancy gauges, and
-   (c) re-charge the same blocked-commit-head bucket.  Exactly that,
-   [n] times, is what this function applies. *)
-let account_stall_span t ~cycles:n =
+   (c) charge the same CPI leaf.  Exactly that, [n] times, is what
+   this function applies.  The one cycle-dependent classification —
+   an empty ROB flips from [Branch_flush] to [Frontend_empty] once
+   [fetch_resume] passes — is replayed in closed form. *)
+let account_stall_span t ~cycle ~cycles:n =
   if n > 0 && not t.halted then begin
-    t.stats.active_cycles <- t.stats.active_cycles + n;
-    t.stats.rob_occupancy_sum <- t.stats.rob_occupancy_sum + (n * Rob.count t.rob);
+    t.counts.active_cycles <- t.counts.active_cycles + n;
+    t.counts.rob_occupancy_sum <- t.counts.rob_occupancy_sum + (n * Rob.count t.rob);
     (match t.obs with
     | Some o ->
       Fscope_obs.Metrics.gauge_observe_n o.rob_gauge (Rob.count t.rob) ~times:n;
@@ -178,12 +287,19 @@ let account_stall_span t ~cycles:n =
     | Some e -> (
       match e.instr with
       | Instr.Store _ when e.state = Rob.Done && Store_buffer.is_full t.sb ->
-        t.stats.sb_stall_cycles <- t.stats.sb_stall_cycles + n
-      | Instr.Fence _ ->
-        let ok =
-          if t.cfg.in_window_speculation then fence_commit_ok t e else e.fence_issued
-        in
-        if not ok then charge_fence_stall t e ~times:n
-      | _ -> ())
-    | None -> ()
+        Cpi.charge_n t.cpi Cpi.Sb_full ~times:n
+      | Instr.Fence _
+        when not
+               (if t.cfg.in_window_speculation then fence_commit_ok t e
+                else e.fence_issued) ->
+        charge_fence_stall t e ~times:n
+      | _ -> Cpi.charge_n t.cpi (classify_waiting_head e) ~times:n)
+    | None ->
+      (* Cycles [cycle+1 .. cycle+n]: Branch_flush while the cycle is
+         still below [fetch_resume], Frontend_empty after. *)
+      let flush =
+        if t.fetch_stopped then 0 else max 0 (min n (t.fetch_resume - (cycle + 1)))
+      in
+      Cpi.charge_n t.cpi Cpi.Branch_flush ~times:flush;
+      Cpi.charge_n t.cpi Cpi.Frontend_empty ~times:(n - flush)
   end

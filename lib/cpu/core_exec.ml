@@ -76,7 +76,7 @@ let squash t (e : Rob.entry) ~actual_target ~cycle =
   t.fetch_pc <- actual_target;
   t.fetch_resume <- cycle + t.cfg.mispredict_penalty;
   t.fetch_stopped <- false;
-  t.stats.mispredicts <- t.stats.mispredicts + 1
+  t.counts.mispredicts <- t.counts.mispredicts + 1
 
 let resolve_branch t (e : Rob.entry) ~cycle =
   let taken = e.result <> 0 in

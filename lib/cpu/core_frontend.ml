@@ -57,7 +57,10 @@ let dispatch t ~cycle =
         halt_fetch := true
       | Instr.Fence kind ->
         e.fence_wait <- Some (Scope_unit.fence_scope t.scope kind);
-        if t.cfg.in_window_speculation then begin
+        (match Scope_unit.current_cid t.scope with
+        | Some cid -> e.fence_cid <- cid
+        | None -> ());
+        if t.cfg.in_window_speculation || t.cfg.nop_fences then begin
           e.fence_issued <- true;
           e.state <- Rob.Done
         end
@@ -71,7 +74,7 @@ let dispatch t ~cycle =
         e.predicted_taken <- predicted;
         e.checkpoint <- Some (Array.copy t.rename);
         Scope_unit.on_branch t.scope ~id:seq;
-        t.stats.branches <- t.stats.branches + 1;
+        t.counts.branches <- t.counts.branches + 1;
         t.fetch_pc <- (if predicted then target else pc + 1)
       | Instr.Li _ | Instr.Alu _ | Instr.Tid _ -> ());
       (match instr with

@@ -103,10 +103,12 @@ let try_issue_load t (e : Rob.entry) ~cycle =
     true
   | From_memory ->
     if in_bounds t e.addr then begin
-      let completes =
-        Mem_port.issue t.port ~core:t.id Mem_port.Read ~addr:e.addr ~now:cycle
+      let completes, level =
+        Mem_port.issue_classified t.port ~core:t.id Mem_port.Read ~addr:e.addr
+          ~now:cycle
       in
       e.data2 <- 0;
+      e.mem_level <- Some level;
       e.state <- Rob.Executing completes
     end
     else begin
@@ -127,7 +129,7 @@ let cas_issue_ok t (e : Rob.entry) =
      (Rob.exists_older t.rob e.seq (fun o ->
           match o.instr with
           | Instr.Branch _ -> o.state <> Rob.Done
-          | Instr.Fence _ -> true
+          | Instr.Fence _ -> not t.cfg.nop_fences
           | Instr.Store _ -> o.addr < 0 || o.addr = e.addr
           | Instr.Cas _ -> o.addr < 0 || (o.addr = e.addr && o.state <> Rob.Done)
           | Instr.Load _ -> o.addr = e.addr && o.state <> Rob.Done
@@ -248,9 +250,11 @@ let issue t ~cycle =
               invalid_arg
                 (Printf.sprintf "core %d: CAS on out-of-bounds address %d (pc %d)" t.id
                    e.addr e.pc);
-            let completes =
-              Mem_port.issue t.port ~core:t.id Mem_port.Rmw ~addr:e.addr ~now:cycle
+            let completes, level =
+              Mem_port.issue_classified t.port ~core:t.id Mem_port.Rmw ~addr:e.addr
+                ~now:cycle
             in
+            e.mem_level <- Some level;
             e.state <- Rob.Executing completes;
             progress := true;
             decr budget

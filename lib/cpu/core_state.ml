@@ -8,15 +8,14 @@ module Instr = Fscope_isa.Instr
 module Reg = Fscope_isa.Reg
 module Scope_unit = Fscope_core.Scope_unit
 
-type stats = {
+(* Commit-stream counters.  Stall attribution does NOT live here any
+   more: every active cycle is charged to exactly one leaf of the
+   [Fscope_obs.Cpi] taxonomy (see Core_commit), and the legacy stall
+   counters are derived views over that table. *)
+type counts = {
   mutable committed : int;
-  mutable stall_rob_load : int;  (* fence waited on an in-ROB load/CAS *)
-  mutable stall_rob_store : int;  (* fence waited on an uncommitted store *)
-  mutable stall_sb : int;  (* fence waited on the store buffer *)
   mutable committed_mem : int;
   mutable committed_fences : int;
-  mutable fence_stall_cycles : int;
-  mutable sb_stall_cycles : int;
   mutable branches : int;
   mutable mispredicts : int;
   mutable loads : int;
@@ -26,16 +25,11 @@ type stats = {
   mutable active_cycles : int;
 }
 
-let fresh_stats () =
+let fresh_counts () =
   {
     committed = 0;
-    stall_rob_load = 0;
-    stall_rob_store = 0;
-    stall_sb = 0;
     committed_mem = 0;
     committed_fences = 0;
-    fence_stall_cycles = 0;
-    sb_stall_cycles = 0;
     branches = 0;
     mispredicts = 0;
     loads = 0;
@@ -71,7 +65,19 @@ type t = {
   mutable fetch_resume : int;
   mutable fetch_stopped : bool;
   mutable halted : bool;
-  stats : stats;
+  counts : counts;
+  cpi : Fscope_obs.Cpi.t;
+  (* [cycle_charged] marks that commit already charged this cycle's
+     leaf (a blocked fence or a full store buffer); the end-of-step
+     classification in Core.step_pipeline then stands down. *)
+  mutable cycle_charged : bool;
+  (* Spin detection over the commit stream: [spin_mode] is entered
+     when a backward control transfer at [spin_last_pc] repeats with
+     no store/CAS/fence committed in between ([spin_dirty]).  Commit
+     cycles in spin mode are charged to [Spin_candidate]. *)
+  mutable spin_last_pc : int;
+  mutable spin_dirty : bool;
+  mutable spin_mode : bool;
   obs : obs option;
 }
 

@@ -6,6 +6,7 @@ type t = {
   commit_width : int;
   mispredict_penalty : int;
   in_window_speculation : bool;
+  nop_fences : bool;
   bpred_entries : int;
 }
 
@@ -18,6 +19,7 @@ let default =
     commit_width = 4;
     mispredict_penalty = 5;
     in_window_speculation = false;
+    nop_fences = false;
     bpred_entries = 512;
   }
 

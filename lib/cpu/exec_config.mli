@@ -12,6 +12,11 @@ type t = {
       (** Gharachorloo-style in-window speculation: fences do not block
           the issue of younger accesses; the condition is instead
           checked when the fence retires (the paper's T+ / S+ bars) *)
+  nop_fences : bool;
+      (** fences retire immediately and order nothing — the profiler's
+          no-fence ablation ("where would the time go with free
+          fences").  Timing-only: functional workload checks may fail
+          without ordering. *)
   bpred_entries : int;  (** bimodal predictor table size (power of two) *)
 }
 

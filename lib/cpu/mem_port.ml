@@ -5,14 +5,15 @@ type kind =
 
 type t = {
   size : int;
-  issue : core:int -> kind -> addr:int -> now:int -> int;
+  issue : core:int -> kind -> addr:int -> now:int -> int * Fscope_obs.Event.mem_outcome;
   load : addr:int -> int;
   store : addr:int -> value:int -> unit;
 }
 
 let make ~size ~issue ~load ~store = { size; issue; load; store }
 
-let issue t ~core kind ~addr ~now = t.issue ~core kind ~addr ~now
+let issue_classified t ~core kind ~addr ~now = t.issue ~core kind ~addr ~now
+let issue t ~core kind ~addr ~now = fst (t.issue ~core kind ~addr ~now)
 let load t ~addr = t.load ~addr
 let store t ~addr ~value = t.store ~addr ~value
 let size t = t.size

@@ -30,15 +30,22 @@ type t
 
 val make :
   size:int ->
-  issue:(core:int -> kind -> addr:int -> now:int -> int) ->
+  issue:
+    (core:int -> kind -> addr:int -> now:int -> int * Fscope_obs.Event.mem_outcome) ->
   load:(addr:int -> int) ->
   store:(addr:int -> value:int -> unit) ->
   t
 (** [size] is the word count of the backing store (bounds checks);
     [issue ~core kind ~addr ~now] simulates one access issued at cycle
-    [now] and returns its completion cycle. *)
+    [now] and returns its completion cycle plus the level that served
+    it (L1 hit / L2 hit / L2 miss — the cycle-accounting profiler
+    charges head-of-ROB memory stalls to that level). *)
 
 val issue : t -> core:int -> kind -> addr:int -> now:int -> int
+(** Completion cycle only. *)
+
+val issue_classified :
+  t -> core:int -> kind -> addr:int -> now:int -> int * Fscope_obs.Event.mem_outcome
 val load : t -> addr:int -> int
 val store : t -> addr:int -> value:int -> unit
 val size : t -> int

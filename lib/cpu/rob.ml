@@ -25,6 +25,8 @@ type entry = {
   mutable scope_mask : Fscope_core.Fsb.mask;
   mutable fence_wait : [ `Global | `Mask of Fscope_core.Fsb.mask ] option;
   mutable fence_issued : bool;
+  mutable fence_cid : int;
+  mutable mem_level : Fscope_obs.Event.mem_outcome option;
   mutable predicted_taken : bool;
   mutable checkpoint : producer array option;
 }
@@ -43,6 +45,8 @@ let make_entry ~seq ~pc ~instr ~srcs =
     scope_mask = Fscope_core.Fsb.empty;
     fence_wait = None;
     fence_issued = false;
+    fence_cid = -1;
+    mem_level = None;
     predicted_taken = false;
     checkpoint = None;
   }

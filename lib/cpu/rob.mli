@@ -37,6 +37,12 @@ type entry = {
   mutable scope_mask : Fscope_core.Fsb.mask;
   mutable fence_wait : [ `Global | `Mask of Fscope_core.Fsb.mask ] option;
   mutable fence_issued : bool;
+  mutable fence_cid : int;
+      (** fences: the class id the fence was decoded under, or -1 —
+          per-scope stall attribution *)
+  mutable mem_level : Fscope_obs.Event.mem_outcome option;
+      (** loads/CAS: the level serving the in-flight access (set at
+          issue); [None] = forwarded or not issued *)
   mutable predicted_taken : bool;
   mutable checkpoint : producer array option;  (** rename snapshot, branches only *)
 }

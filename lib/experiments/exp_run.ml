@@ -14,6 +14,7 @@ let t_config c = Config.traditional c
 let s_config c = Config.scoped c
 let t_plus c = Config.with_speculation true (Config.traditional c)
 let s_plus c = Config.with_speculation true (Config.scoped c)
+let nf_config c = Config.with_nop_fences true (Config.traditional c)
 
 let measure (config : Config.t) workload =
   let result =

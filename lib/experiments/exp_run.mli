@@ -22,6 +22,11 @@ val t_plus : Fscope_machine.Config.t -> Fscope_machine.Config.t
 val s_plus : Fscope_machine.Config.t -> Fscope_machine.Config.t
 (** S-Fence + in-window speculation. *)
 
+val nf_config : Fscope_machine.Config.t -> Fscope_machine.Config.t
+(** No-fence ablation: fences retire as nops (timing-only; ordering is
+    not enforced, so runs under this config skip validation).  The
+    profiler's upper bound on what fence elision could buy. *)
+
 val measure : Fscope_machine.Config.t -> Fscope_workloads.Workload.t -> measurement
 (** Run and summarise.  Functional validation is enforced whenever
     in-window speculation is off (speculation is modelled without the

@@ -1,0 +1,88 @@
+(* Cycle-accounting profile runs: extract the static sites a profile
+   names from the program image, drive one traced run, and package the
+   result as a {!Fscope_obs.Profile.input} for rendering.
+
+   The extraction lives here rather than in [Fscope_obs] so that the
+   observability library stays free of ISA/machine dependencies. *)
+
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module Obs = Fscope_obs
+module Program = Fscope_isa.Program
+module Instr = Fscope_isa.Instr
+module Workload = Fscope_workloads.Workload
+
+let fence_sites (program : Program.t) =
+  let sites = ref [] in
+  Array.iteri
+    (fun core code ->
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Instr.Fence kind ->
+            sites :=
+              { Obs.Profile.core; pc; kind = Fscope_isa.Fence_kind.to_string kind }
+              :: !sites
+          | _ -> ())
+        code)
+    program.Program.threads;
+  List.rev !sites
+
+let cids (program : Program.t) =
+  let ids = ref [] in
+  Array.iter
+    (fun code ->
+      Array.iter
+        (function
+          | Instr.Fs_start cid when not (List.mem cid !ids) -> ids := cid :: !ids
+          | _ -> ())
+        code)
+    program.Program.threads;
+  List.sort compare !ids
+
+(* Static backward control edges — the candidate spin sites the
+   commit-stream detector can charge.  Forward edges never spin. *)
+let spin_pcs (program : Program.t) =
+  let edges = ref [] in
+  Array.iteri
+    (fun core code ->
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Instr.Jump target when target <= pc -> edges := (core, pc) :: !edges
+          | Instr.Branch { target; _ } when target <= pc -> edges := (core, pc) :: !edges
+          | _ -> ())
+        code)
+    program.Program.threads;
+  List.rev !edges
+
+let config_label (config : Config.t) =
+  if config.Config.exec.Fscope_cpu.Exec_config.nop_fences then "no-fence"
+  else if not config.Config.scope.Fscope_core.Scope_unit.enabled then "traditional"
+  else "sfence"
+
+(* One traced run, packaged for the Profile renderers.  Profiling is
+   observational: validation is skipped (the no-fence ablation would
+   fail it by design), and tracing is timing-neutral, so the cycle
+   count equals an unprofiled run's bit for bit. *)
+let profile ?label (config : Config.t) (workload : Workload.t) =
+  let program = workload.Workload.program in
+  let cores = Program.thread_count program in
+  let trace = Obs.Trace.create ~ring_capacity:1024 ~cores () in
+  let result = Machine.run ~obs:trace config program in
+  let metrics = Option.map (fun (r : Obs.Report.t) -> r.Obs.Report.metrics) result.Machine.obs in
+  {
+    Obs.Profile.label = workload.Workload.name;
+    config = (match label with Some l -> l | None -> config_label config);
+    cycles = result.Machine.cycles;
+    timed_out = result.Machine.timed_out;
+    cpi = result.Machine.core_cpi;
+    core_active =
+      Array.map
+        (fun (s : Fscope_cpu.Core.stats) -> s.Fscope_cpu.Core.active_cycles)
+        result.Machine.core_stats;
+    metrics;
+    fence_sites = fence_sites program;
+    cids = cids program;
+    spin_pcs = spin_pcs program;
+  }

@@ -14,6 +14,7 @@ let default = make ()
 let traditional t = { t with scope = { t.scope with enabled = false } }
 let scoped t = { t with scope = { t.scope with enabled = true } }
 let with_speculation on t = { t with exec = { t.exec with in_window_speculation = on } }
+let with_nop_fences on t = { t with exec = { t.exec with nop_fences = on } }
 let with_mem_latency latency t = { t with mem = { t.mem with mem_latency = latency } }
 let with_rob_size size t = { t with exec = { t.exec with rob_size = size } }
 let with_fsb_entries n t = { t with scope = { t.scope with fsb_entries = n } }

@@ -40,6 +40,12 @@ val scoped : t -> t
 val with_speculation : bool -> t -> t
 (** Toggle in-window speculation (the + variants). *)
 
+val with_nop_fences : bool -> t -> t
+(** Toggle the no-fence ablation: fences retire immediately and order
+    nothing.  Timing-only — functional checks may fail — but it bounds
+    what any fence optimisation could recover, which is the profiler's
+    "where the fence time goes" denominator. *)
+
 val with_mem_latency : int -> t -> t
 (** Set the memory (DRAM) latency — Fig. 15's sweep. *)
 

@@ -6,6 +6,7 @@ type result = {
   cycles : int;
   timed_out : bool;
   core_stats : Core.stats array;
+  core_cpi : Obs.Cpi.t array;
   mem : int array;
   cache : Hierarchy.stats;
   obs : Obs.Report.t option;
@@ -55,6 +56,20 @@ let snapshot_stats trace r =
       set_c "rob_occupancy_sum" s.rob_occupancy_sum;
       set_c "active_cycles" s.active_cycles)
     r.core_stats;
+  Array.iteri
+    (fun i cpi ->
+      List.iter
+        (fun leaf ->
+          set (Printf.sprintf "core%d/cpi/%s" i (Obs.Cpi.name leaf)) (Obs.Cpi.get cpi leaf))
+        Obs.Cpi.leaves)
+    r.core_cpi;
+  List.iter
+    (fun leaf ->
+      let total =
+        Array.fold_left (fun acc cpi -> acc + Obs.Cpi.get cpi leaf) 0 r.core_cpi
+      in
+      set (Printf.sprintf "total/cpi/%s" (Obs.Cpi.name leaf)) total)
+    Obs.Cpi.leaves;
   set "total/fence_stall_cycles" (fence_stall_cycles r);
   set "total/active_cycles" (total_active_cycles r);
   set "total/committed" (committed_instrs r);
@@ -72,6 +87,7 @@ let finish ~obs (raw : Sim_engine.raw) =
       cycles = raw.Sim_engine.cycles;
       timed_out = raw.Sim_engine.timed_out;
       core_stats = Array.map Core.stats raw.Sim_engine.cores;
+      core_cpi = Array.map Core.cpi raw.Sim_engine.cores;
       mem = raw.Sim_engine.mem;
       cache = Hierarchy.stats raw.Sim_engine.hierarchy;
       obs = None;

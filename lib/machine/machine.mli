@@ -18,6 +18,11 @@ type result = {
   cycles : int;  (** cycle at which every core had halted and drained *)
   timed_out : bool;  (** the run hit [max_cycles] before finishing *)
   core_stats : Fscope_cpu.Core.stats array;
+  core_cpi : Fscope_obs.Cpi.t array;
+      (** per-core cycle accounting: every active cycle charged to one
+          {!Fscope_obs.Cpi.leaf}; per core the leaves sum to that
+          core's [active_cycles].  Bit-identical between {!run} and
+          {!run_reference}. *)
   mem : int array;  (** final shared memory, for functional self-checks *)
   cache : Fscope_mem.Hierarchy.stats;
   obs : Fscope_obs.Report.t option;

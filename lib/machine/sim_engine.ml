@@ -26,7 +26,10 @@ let build ~obs (config : Config.t) program =
   let port =
     Mem_port.make ~size:(Array.length mem)
       ~issue:(fun ~core kind ~addr ~now ->
-        now + Hierarchy.access hierarchy ~core (hierarchy_kind kind) ~addr)
+        let latency, level =
+          Hierarchy.access_classified hierarchy ~core (hierarchy_kind kind) ~addr
+        in
+        (now + latency, level))
       ~load:(fun ~addr -> mem.(addr))
       ~store:(fun ~addr ~value -> mem.(addr) <- value)
   in
@@ -113,7 +116,7 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
             | Some d -> min d max_cycles
             | None -> max_cycles
           in
-          Core.account_stall_span cores.(i) ~cycles:(d - c - 1);
+          Core.account_stall_span cores.(i) ~cycle:c ~cycles:(d - c - 1);
           wake.(i) <- d
         end
       end

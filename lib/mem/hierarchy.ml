@@ -131,7 +131,7 @@ let read t ~core addr =
   | Some (Shared | Modified) ->
     t.stats.l1_hits <- t.stats.l1_hits + 1;
     emit_access t ~core ~addr ~write:false Fscope_obs.Event.L1_hit;
-    cfg.l1_latency
+    (cfg.l1_latency, Fscope_obs.Event.L1_hit)
   | None ->
     t.stats.l1_misses <- t.stats.l1_misses + 1;
     (match Cache.find t.l2 addr with
@@ -150,13 +150,13 @@ let read t ~core addr =
       in
       dir.sharers <- dir.sharers lor (1 lsl core);
       insert_l1 t ~core line Shared;
-      cfg.l1_latency + cfg.l2_latency + c2c
+      (cfg.l1_latency + cfg.l2_latency + c2c, Fscope_obs.Event.L2_hit)
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
       emit_access t ~core ~addr ~write:false Fscope_obs.Event.L2_miss;
       insert_l2 t line { sharers = 1 lsl core; owner = -1 };
       insert_l1 t ~core line Shared;
-      cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
+      (cfg.l1_latency + cfg.l2_latency + cfg.mem_latency, Fscope_obs.Event.L2_miss))
 
 let write t ~core addr =
   let cfg = t.config in
@@ -165,7 +165,7 @@ let write t ~core addr =
   | Some Modified ->
     t.stats.l1_hits <- t.stats.l1_hits + 1;
     emit_access t ~core ~addr ~write:true Fscope_obs.Event.L1_hit;
-    cfg.l1_latency
+    (cfg.l1_latency, Fscope_obs.Event.L1_hit)
   | Some Shared ->
     (* Upgrade: a directory round trip to invalidate other sharers. *)
     t.stats.l1_hits <- t.stats.l1_hits + 1;
@@ -177,7 +177,7 @@ let write t ~core addr =
     | Some dir -> dir.owner <- core
     | None -> ());
     Cache.update t.l1.(core) line Modified;
-    cfg.l1_latency + cfg.l2_latency
+    (cfg.l1_latency + cfg.l2_latency, Fscope_obs.Event.L1_hit)
   | None ->
     t.stats.l1_misses <- t.stats.l1_misses + 1;
     (match Cache.find t.l2 addr with
@@ -188,19 +188,22 @@ let write t ~core addr =
       dir.sharers <- 1 lsl core;
       dir.owner <- core;
       insert_l1 t ~core line Modified;
-      cfg.l1_latency + cfg.l2_latency + (if dirty_remote then cfg.c2c_latency else 0)
+      ( cfg.l1_latency + cfg.l2_latency + (if dirty_remote then cfg.c2c_latency else 0),
+        Fscope_obs.Event.L2_hit )
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
       emit_access t ~core ~addr ~write:true Fscope_obs.Event.L2_miss;
       insert_l2 t line { sharers = 1 lsl core; owner = core };
       insert_l1 t ~core line Modified;
-      cfg.l1_latency + cfg.l2_latency + cfg.mem_latency)
+      (cfg.l1_latency + cfg.l2_latency + cfg.mem_latency, Fscope_obs.Event.L2_miss))
 
-let access t ~core kind ~addr =
+let access_classified t ~core kind ~addr =
   if addr < 0 then invalid_arg "Hierarchy.access: negative address";
   match kind with
   | Read -> read t ~core addr
   | Write | Rmw -> write t ~core addr
+
+let access t ~core kind ~addr = fst (access_classified t ~core kind ~addr)
 
 let check_invariants t =
   let result = ref (Ok ()) in

@@ -55,6 +55,12 @@ val access : t -> core:int -> kind -> addr:int -> int
     latency in cycles.  [addr] is a word address; any non-negative
     value is accepted (the cache indexes by line). *)
 
+val access_classified :
+  t -> core:int -> kind -> addr:int -> int * Fscope_obs.Event.mem_outcome
+(** Like {!access}, additionally naming the level that served the
+    access (the same outcome the [Mem_access] event carries); the
+    profiler charges head-of-ROB memory stalls to that level. *)
+
 val stats : t -> stats
 
 val line_words : t -> int

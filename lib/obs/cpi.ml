@@ -1,0 +1,110 @@
+(* The CPI-stack taxonomy: a fixed set of leaves, a flat int-array
+   table indexed by leaf, and O(1) bulk charging so the fast-forward
+   engine can account a frozen span in one call. *)
+
+type fence_cause =
+  | Rob_load
+  | Rob_store
+  | Sb_drain
+
+type fence_scope =
+  | Scoped
+  | Unscoped
+
+type leaf =
+  | Commit
+  | Spin_candidate
+  | Frontend_empty
+  | Branch_flush
+  | Exec_dep
+  | Mem_l1
+  | Mem_l2
+  | Mem_main
+  | Sb_full
+  | Fence_wait of fence_cause * fence_scope
+
+let cause_index = function Rob_load -> 0 | Rob_store -> 1 | Sb_drain -> 2
+
+let index = function
+  | Commit -> 0
+  | Spin_candidate -> 1
+  | Frontend_empty -> 2
+  | Branch_flush -> 3
+  | Exec_dep -> 4
+  | Mem_l1 -> 5
+  | Mem_l2 -> 6
+  | Mem_main -> 7
+  | Sb_full -> 8
+  | Fence_wait (cause, scope) ->
+    9 + (2 * cause_index cause) + (match scope with Scoped -> 0 | Unscoped -> 1)
+
+let leaf_count = 15
+
+let leaves =
+  [
+    Commit;
+    Spin_candidate;
+    Frontend_empty;
+    Branch_flush;
+    Exec_dep;
+    Mem_l1;
+    Mem_l2;
+    Mem_main;
+    Sb_full;
+    Fence_wait (Rob_load, Scoped);
+    Fence_wait (Rob_load, Unscoped);
+    Fence_wait (Rob_store, Scoped);
+    Fence_wait (Rob_store, Unscoped);
+    Fence_wait (Sb_drain, Scoped);
+    Fence_wait (Sb_drain, Unscoped);
+  ]
+
+let cause_name = function
+  | Rob_load -> "rob_load"
+  | Rob_store -> "rob_store"
+  | Sb_drain -> "sb"
+
+let name = function
+  | Commit -> "commit"
+  | Spin_candidate -> "spin_candidate"
+  | Frontend_empty -> "frontend_empty"
+  | Branch_flush -> "branch_flush"
+  | Exec_dep -> "exec_dep"
+  | Mem_l1 -> "mem_l1"
+  | Mem_l2 -> "mem_l2"
+  | Mem_main -> "mem_main"
+  | Sb_full -> "sb_full"
+  | Fence_wait (cause, scope) ->
+    Printf.sprintf "fence_%s_%s" (cause_name cause)
+      (match scope with Scoped -> "scoped" | Unscoped -> "unscoped")
+
+type t = int array
+
+let create () = Array.make leaf_count 0
+let copy (t : t) = Array.copy t
+let charge (t : t) leaf = t.(index leaf) <- t.(index leaf) + 1
+
+let charge_n (t : t) leaf ~times =
+  if times > 0 then t.(index leaf) <- t.(index leaf) + times
+
+let get (t : t) leaf = t.(index leaf)
+let total (t : t) = Array.fold_left ( + ) 0 t
+
+let fence_cycles (t : t) =
+  List.fold_left
+    (fun acc leaf -> match leaf with Fence_wait _ -> acc + get t leaf | _ -> acc)
+    0 leaves
+
+let fence_cause_cycles (t : t) cause =
+  get t (Fence_wait (cause, Scoped)) + get t (Fence_wait (cause, Unscoped))
+
+let fence_scope_cycles (t : t) scope =
+  List.fold_left
+    (fun acc cause -> acc + get t (Fence_wait (cause, scope)))
+    0
+    [ Rob_load; Rob_store; Sb_drain ]
+
+let accumulate ~into (t : t) =
+  Array.iteri (fun i v -> into.(i) <- into.(i) + v) t
+
+let equal (a : t) (b : t) = a = b

@@ -98,38 +98,45 @@ let gauge_observe_n g v ~times =
     g.g_last <- v
   end
 
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;
+}
+
+type gauge_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  last : int;
+}
+
 type snapshot =
   | Counter_v of int
-  | Histogram_v of {
-      count : int;
-      sum : int;
-      buckets : (int * int) list;
-    }
-  | Gauge_v of {
-      count : int;
-      sum : int;
-      min : int;
-      max : int;
-      last : int;
-    }
+  | Histogram_v of hist_snapshot
+  | Gauge_v of gauge_snapshot
+
+let hist_snapshot_of (h : histogram) : hist_snapshot =
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (bucket_floor i, h.buckets.(i)) :: !buckets
+  done;
+  { count = h.h_count; sum = h.h_sum; buckets = !buckets }
+
+let gauge_snapshot_of (g : gauge) : gauge_snapshot =
+  {
+    count = g.g_count;
+    sum = g.g_sum;
+    min = (if g.g_count = 0 then 0 else g.g_min);
+    max = (if g.g_count = 0 then 0 else g.g_max);
+    last = g.g_last;
+  }
 
 let snapshot_of = function
   | Counter c -> Counter_v c.count
-  | Histogram h ->
-    let buckets = ref [] in
-    for i = bucket_count - 1 downto 0 do
-      if h.buckets.(i) > 0 then buckets := (bucket_floor i, h.buckets.(i)) :: !buckets
-    done;
-    Histogram_v { count = h.h_count; sum = h.h_sum; buckets = !buckets }
-  | Gauge g ->
-    Gauge_v
-      {
-        count = g.g_count;
-        sum = g.g_sum;
-        min = (if g.g_count = 0 then 0 else g.g_min);
-        max = (if g.g_count = 0 then 0 else g.g_max);
-        last = g.g_last;
-      }
+  | Histogram h -> Histogram_v (hist_snapshot_of h)
+  | Gauge g -> Gauge_v (gauge_snapshot_of g)
 
 let snapshot t =
   Hashtbl.fold (fun name m acc -> (name, snapshot_of m) :: acc) t.tbl []
@@ -139,3 +146,13 @@ let find_counter t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (Counter c) -> Some c.count
   | Some (Histogram _ | Gauge _) | None -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> Some (hist_snapshot_of h)
+  | Some (Counter _ | Gauge _) | None -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> Some (gauge_snapshot_of g)
+  | Some (Counter _ | Histogram _) | None -> None

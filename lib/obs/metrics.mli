@@ -48,20 +48,24 @@ val gauge_observe_n : gauge -> int -> times:int -> unit
     engine uses it to account a frozen gauge over a skipped span of
     cycles in O(1).  No-op when [times <= 0]. *)
 
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;  (** (bucket lower bound, count), non-empty buckets only *)
+}
+
+type gauge_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  last : int;
+}
+
 type snapshot =
   | Counter_v of int
-  | Histogram_v of {
-      count : int;
-      sum : int;
-      buckets : (int * int) list;  (** (bucket lower bound, count), non-empty buckets only *)
-    }
-  | Gauge_v of {
-      count : int;
-      sum : int;
-      min : int;
-      max : int;
-      last : int;
-    }
+  | Histogram_v of hist_snapshot
+  | Gauge_v of gauge_snapshot
 
 val snapshot : t -> (string * snapshot) list
 (** Every registered metric, sorted by name (deterministic output for
@@ -69,3 +73,10 @@ val snapshot : t -> (string * snapshot) list
 
 val find_counter : t -> string -> int option
 (** The current value of a registered counter, if any. *)
+
+val find_histogram : t -> string -> hist_snapshot option
+(** Summary of a registered histogram, if any ([None] when the name is
+    unbound or bound to another kind, mirroring {!find_counter}). *)
+
+val find_gauge : t -> string -> gauge_snapshot option
+(** Summary of a registered gauge, if any. *)

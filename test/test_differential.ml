@@ -292,9 +292,10 @@ let test_disjoint_batch lo hi () =
 (* Engine differential: the event-horizon fast-forward loop
    (Machine.run) against the retained naive per-cycle loop
    (Machine.run_reference).  Every result field must agree exactly —
-   cycle count, timeout flag, each per-core stats field, the final
-   memory image and the cache stats — on random programs under random
-   configurations, including runs truncated by a small cycle limit.   *)
+   cycle count, timeout flag, each per-core stats field, the per-core
+   CPI attribution (every taxonomy leaf), the final memory image and
+   the cache stats — on random programs under random configurations,
+   including runs truncated by a small cycle limit.   *)
 
 let explain_mismatch label seed (a : Machine.result) (b : Machine.result) =
   let check name va vb acc =
@@ -320,6 +321,17 @@ let explain_mismatch label seed (a : Machine.result) (b : Machine.result) =
       c "active_cycles" sa.active_cycles sb.active_cycles;
       c "rob_occupancy_sum" sa.rob_occupancy_sum sb.rob_occupancy_sum)
     a.Machine.core_stats;
+  Array.iteri
+    (fun i ca ->
+      let cb = b.Machine.core_cpi.(i) in
+      List.iter
+        (fun leaf ->
+          acc :=
+            check
+              (Printf.sprintf "core%d/cpi/%s" i (Fscope_obs.Cpi.name leaf))
+              (Fscope_obs.Cpi.get ca leaf) (Fscope_obs.Cpi.get cb leaf) !acc)
+        Fscope_obs.Cpi.leaves)
+    a.Machine.core_cpi;
   if a.Machine.mem <> b.Machine.mem then acc := !acc ^ "final memory differs; ";
   if a.Machine.cache <> b.Machine.cache then acc := !acc ^ "cache stats differ; ";
   Printf.sprintf "seed %d (%s): %s" seed label !acc

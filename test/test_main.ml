@@ -12,6 +12,7 @@ let () =
       ("slang", Test_slang.tests);
       ("workloads", Test_workloads.tests);
       ("obs", Test_obs.tests);
+      ("profile", Test_profile.tests);
       ("differential", Test_differential.tests);
       ("engine", Test_engine.tests);
     ]

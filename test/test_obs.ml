@@ -66,6 +66,33 @@ let test_metrics_gauge () =
     Alcotest.(check int) "last" 9 last
   | _ -> Alcotest.fail "gauge snapshot missing"
 
+let test_metrics_find () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  List.iter (Obs.Metrics.observe h) [ 1; 3 ];
+  let g = Obs.Metrics.gauge m "g" in
+  List.iter (Obs.Metrics.gauge_observe g) [ 7; 4 ];
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  (match Obs.Metrics.find_histogram m "h" with
+  | Some { Obs.Metrics.count; sum; buckets } ->
+    Alcotest.(check int) "hist count" 2 count;
+    Alcotest.(check int) "hist sum" 4 sum;
+    Alcotest.(check (list (pair int int))) "hist buckets" [ (1, 1); (2, 1) ] buckets
+  | None -> Alcotest.fail "find_histogram missed a registered histogram");
+  (match Obs.Metrics.find_gauge m "g" with
+  | Some { Obs.Metrics.count; sum; min; max; last } ->
+    Alcotest.(check int) "gauge count" 2 count;
+    Alcotest.(check int) "gauge sum" 11 sum;
+    Alcotest.(check int) "gauge min" 4 min;
+    Alcotest.(check int) "gauge max" 7 max;
+    Alcotest.(check int) "gauge last" 4 last
+  | None -> Alcotest.fail "find_gauge missed a registered gauge");
+  (* misses: absent names and kind mismatches both return None *)
+  Alcotest.(check bool) "absent hist" true (Obs.Metrics.find_histogram m "nope" = None);
+  Alcotest.(check bool) "absent gauge" true (Obs.Metrics.find_gauge m "nope" = None);
+  Alcotest.(check bool) "kind mismatch hist" true (Obs.Metrics.find_histogram m "c" = None);
+  Alcotest.(check bool) "kind mismatch gauge" true (Obs.Metrics.find_gauge m "h" = None)
+
 let test_ring_overwrite () =
   let r = Obs.Ring.create ~capacity:3 in
   List.iter (Obs.Ring.push r) [ 1; 2; 3; 4; 5 ];
@@ -228,6 +255,7 @@ let tests =
     Alcotest.test_case "metrics counter" `Quick test_metrics_counter;
     Alcotest.test_case "metrics histogram" `Quick test_metrics_histogram;
     Alcotest.test_case "metrics gauge" `Quick test_metrics_gauge;
+    Alcotest.test_case "metrics find accessors" `Quick test_metrics_find;
     Alcotest.test_case "ring overwrite" `Quick test_ring_overwrite;
     Alcotest.test_case "tracing is timing-neutral" `Quick test_timing_neutral;
     Alcotest.test_case "fence stalls pair and sum" `Quick test_fence_pairing;
