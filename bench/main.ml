@@ -77,7 +77,15 @@ type engine_row = {
   er_cycles : int;
   er_engine_s : float;
   er_naive_s : float;
+  er_spin_skipped : int;
+  er_spin_sleeps : int;
 }
+
+(* The spin fast-forward counters describe how the engine reached the
+   result, not the result itself, so they are excluded from the
+   bit-identity check (the naive loop never spins). *)
+let strip_spin (r : Machine.result) =
+  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
 
 let timed f =
   let t0 = now_s () in
@@ -87,6 +95,24 @@ let timed f =
 let engine_rows = ref ([] : engine_row list)
 
 let run_engine ~quick () =
+  (* Fig13's app set plus the spin-heavy points: dekker's busy-wait
+     entry protocol, and spin-barrier — whose workers spend most of
+     their cycles in stable flag spins the engine's spin fast-forward
+     sleeps through (the spin-skip column shows the replayed span). *)
+  let apps =
+    [
+      ( "dekker",
+        workload "dekker"
+          {
+            Registry.default_params with
+            attempts = (if quick then 10 else Registry.default_params.Registry.attempts);
+          } );
+      ( "spin-barrier",
+        workload "spin-barrier"
+          { Registry.default_params with rounds = Some (if quick then 10 else 40) } );
+    ]
+    @ E.Fig13.apps ~quick ()
+  in
   let points =
     List.concat_map
       (fun (app, w) ->
@@ -98,7 +124,7 @@ let run_engine ~quick () =
             E.Exp_run.t_config (Config.with_mem_latency 500 Config.default),
             w );
         ])
-      (E.Fig13.apps ~quick ())
+      apps
   in
   let rows =
     List.map
@@ -109,7 +135,7 @@ let run_engine ~quick () =
         let naive_r, naive_s =
           timed (fun () -> Machine.run_reference config w.W.Workload.program)
         in
-        if engine_r <> naive_r then
+        if strip_spin engine_r <> strip_spin naive_r then
           failwith
             (Printf.sprintf "engine/naive mismatch on %s (%s)" app cname);
         {
@@ -118,6 +144,8 @@ let run_engine ~quick () =
           er_cycles = engine_r.Machine.cycles;
           er_engine_s = engine_s;
           er_naive_s = naive_s;
+          er_spin_skipped = engine_r.Machine.spin.Machine.cycles_skipped;
+          er_spin_sleeps = engine_r.Machine.spin.Machine.sleeps;
         })
       points
   in
@@ -125,7 +153,10 @@ let run_engine ~quick () =
   let t =
     Table.create ~title:"Engine — fast-forward vs naive cycle loop"
       ~header:
-        [ "app"; "config"; "cycles"; "engine s"; "naive s"; "speedup"; "Mcyc/s" ]
+        [
+          "app"; "config"; "cycles"; "engine s"; "naive s"; "speedup"; "Mcyc/s";
+          "spin-skip";
+        ]
   in
   List.iter
     (fun r ->
@@ -138,6 +169,7 @@ let run_engine ~quick () =
           Printf.sprintf "%.3f" r.er_naive_s;
           Table.cell_x (r.er_naive_s /. r.er_engine_s);
           Printf.sprintf "%.2f" (float_of_int r.er_cycles /. r.er_engine_s /. 1e6);
+          string_of_int r.er_spin_skipped;
         ])
     rows;
   Table.print t;
@@ -189,6 +221,8 @@ let run_profile ~quick () =
       build "ptc" (Some (if quick then 128 else 256));
       build "barnes" (Some (if quick then 64 else 192));
       build "radiosity" (Some (if quick then 64 else 160));
+      workload "spin-barrier"
+        { Registry.default_params with rounds = Some (if quick then 8 else 24) };
     ]
   in
   let inputs =
@@ -332,12 +366,14 @@ let write_bench_json ~quick ~jobs path =
       add
         "%s\n    {\"workload\": %S, \"config\": %S, \"sim_cycles\": %d, \
          \"engine_seconds\": %.3f, \"naive_seconds\": %.3f, \"speedup\": %.2f, \
-         \"engine_cycles_per_sec\": %.0f, \"naive_cycles_per_sec\": %.0f}"
+         \"engine_cycles_per_sec\": %.0f, \"naive_cycles_per_sec\": %.0f, \
+         \"spin_cycles_skipped\": %d, \"spin_sleeps\": %d}"
         (if i = 0 then "" else ",")
         r.er_workload r.er_config r.er_cycles r.er_engine_s r.er_naive_s
         (r.er_naive_s /. r.er_engine_s)
         (float_of_int r.er_cycles /. r.er_engine_s)
-        (float_of_int r.er_cycles /. r.er_naive_s))
+        (float_of_int r.er_cycles /. r.er_naive_s)
+        r.er_spin_skipped r.er_spin_sleeps)
     !engine_rows;
   add "\n  ]";
   (match !jobs_scaling_row with

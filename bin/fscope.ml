@@ -28,13 +28,15 @@ let find_workload name ~level ~set_scope ~rounds ~size =
       { Registry.default_params with level = level_of_int level; scope; rounds; size }
     name
 
-let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb =
+let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff =
   let c = Config.make () in
   let c = if traditional then Config.traditional c else Config.scoped c in
   let c = Config.with_speculation speculate c in
   let c = match mem_latency with Some l -> Config.with_mem_latency l c | None -> c in
   let c = match rob with Some r -> Config.with_rob_size r c | None -> c in
-  match fsb with Some f -> Config.with_fsb_entries f c | None -> c
+  let c = match fsb with Some f -> Config.with_fsb_entries f c | None -> c in
+  let c = Config.with_mem_model mem_model c in
+  if no_spin_ff then Config.with_spin_fastforward false c else c
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -46,9 +48,12 @@ let cmd_list () =
     Registry.all;
   0
 
-let cmd_run name level set_scope traditional speculate mem_latency rob fsb =
+let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
+    no_spin_ff =
   let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
-  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+  in
   let result = Machine.run config w.W.Workload.program in
   if result.Machine.timed_out then begin
     Printf.eprintf "run timed out\n";
@@ -97,10 +102,13 @@ let cmd_compare name level set_scope jobs =
     variants ms;
   0
 
-let cmd_trace name level set_scope traditional speculate mem_latency rob fsb format output
-    ring_capacity rounds size =
+let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem_model
+    format output ring_capacity rounds size =
   let w = find_workload name ~level ~set_scope ~rounds ~size in
-  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model
+      ~no_spin_ff:false
+  in
   let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
   let trace = Obs.Trace.create ~ring_capacity ~cores () in
   let result = Machine.run ~obs:trace config w.W.Workload.program in
@@ -128,9 +136,11 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb for
     else 0
 
 let cmd_profile name level set_scope traditional speculate no_fence mem_latency rob fsb
-    max_cycles profile_format output rounds size =
+    mem_model no_spin_ff max_cycles profile_format output rounds size =
   let w = find_workload name ~level ~set_scope ~rounds ~size in
-  let config = build_config ~traditional ~speculate ~mem_latency ~rob ~fsb in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+  in
   let config = if no_fence then Config.with_nop_fences true config else config in
   let config =
     match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
@@ -185,6 +195,26 @@ let rob_arg =
 let fsb_arg =
   Arg.(value & opt (some int) None & info [ "fsb" ] ~docv:"ENTRIES" ~doc:"Fence scope bit columns (default 4).")
 
+let mem_model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hierarchy", Config.Hierarchy); ("ideal", Config.Ideal) ]) Config.Hierarchy
+    & info [ "mem-model" ] ~docv:"MODEL"
+        ~doc:
+          "Memory backend: $(b,hierarchy) (MESI L1/L2 plus main memory, the default) or \
+           $(b,ideal) (every access a 1-cycle hit — isolates pipeline effects from the \
+           memory system).")
+
+let no_spin_ff_arg =
+  Arg.(
+    value & flag
+    & info [ "no-spin-ff" ]
+        ~doc:
+          "Disable the engine's spin fast-forward (sleeping provably-stable spin loops \
+           until a cross-core store wakes them).  Timing-neutral: results are \
+           bit-identical either way; this only trades simulator wall-clock for a \
+           simpler execution.")
+
 let format_arg =
   Arg.(
     value
@@ -221,7 +251,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload on one machine configuration")
     Term.(
       const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
-      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg)
+      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
+      $ no_spin_ff_arg)
 
 let compare_cmd =
   Cmd.v
@@ -234,8 +265,8 @@ let trace_cmd =
        ~doc:"Run one workload with the observability layer on and render the event trace")
     Term.(
       const cmd_trace $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
-      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ format_arg $ output_arg
-      $ ring_arg $ rounds_arg $ size_arg)
+      $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
+      $ format_arg $ output_arg $ ring_arg $ rounds_arg $ size_arg)
 
 let no_fence_arg =
   Arg.(value & flag & info [ "no-fence" ] ~doc:"Retire fences as nops (timing-only ablation; validation is skipped).")
@@ -266,7 +297,8 @@ let profile_cmd =
     Term.(
       const cmd_profile $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ no_fence_arg $ mem_latency_arg $ rob_arg $ fsb_arg
-      $ max_cycles_arg $ profile_format_arg $ output_arg $ rounds_arg $ size_arg)
+      $ mem_model_arg $ no_spin_ff_arg $ max_cycles_arg $ profile_format_arg
+      $ output_arg $ rounds_arg $ size_arg)
 
 let disasm_cmd =
   Cmd.v

@@ -203,6 +203,19 @@ let in_overflow t = t.live.counter > 0
 let live_stack t = Fss.to_list t.live.stack
 let confirmed_stack t = Fss.to_list t.confirmed.stack
 
+(* Relativized fingerprint of the decode-order event FIFO, for the
+   spin-stability probe: branch ids (ROB seqs) are expressed relative
+   to [base] so two snapshots of the same in-flight shape compare
+   equal.  [None] if any scope micro-op is still buffered — the probe
+   treats that as unstable. *)
+let spin_fingerprint t ~base =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Ev_branch b :: rest -> go ((base - b.id, b.resolved) :: acc) rest
+    | Ev_op _ :: _ -> None
+  in
+  go [] t.events
+
 let current_cid t =
   if (not t.config.enabled) || t.live.counter > 0 then None
   else

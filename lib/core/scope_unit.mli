@@ -109,3 +109,11 @@ val live_stack : t -> int list
 
 val confirmed_stack : t -> int list
 (** FSS' contents (tests). *)
+
+val spin_fingerprint : t -> base:int -> (int * bool) list option
+(** The decode-order event FIFO as comparable data: one
+    [(base - branch_id, resolved)] pair per buffered branch event, or
+    [None] if any scope micro-op is buffered.  The core's
+    spin-stability probe compares fingerprints taken at two loop
+    boundaries (with [base] the ROB's next sequence number) to decide
+    whether the unit's speculative state is periodic. *)

@@ -10,6 +10,8 @@ let create ~entries =
 
 let predict t ~pc = t.counters.(pc land t.mask) >= 2
 
+let snapshot t = Array.copy t.counters
+
 let update t ~pc ~taken =
   let i = pc land t.mask in
   let c = t.counters.(i) in

@@ -11,3 +11,8 @@ val predict : t -> pc:int -> bool
 
 val update : t -> pc:int -> taken:bool -> unit
 (** Train with the actual outcome. *)
+
+val snapshot : t -> int array
+(** A copy of the counter table; two snapshots compare equal iff the
+    predictor would behave identically.  Used by the spin-stability
+    probe. *)

@@ -67,6 +67,7 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~port ~scope_config ~exec_
     spin_last_pc = -1;
     spin_dirty = true;
     spin_mode = false;
+    spin_probe = Core_state.fresh_probe ();
     obs;
   }
 
@@ -133,10 +134,32 @@ let step_pipeline (t : t) ~cycle =
       Cpi.charge t.cpi
         (if p_commit then if t.spin_mode then Cpi.Spin_candidate else Cpi.Commit
          else Core_commit.classify_blocked t ~cycle);
+    (* End-of-cycle spin-stability probe: runs only on cycles in which
+       a spinning backward edge committed, and only when the engine
+       opted in (never in the naive reference loop or under tracing). *)
+    let pr = t.spin_probe in
+    if pr.pr_boundary then begin
+      pr.pr_boundary <- false;
+      Core_spin.on_boundary t ~cycle
+    end;
     p_final || p_commit || p_back
   end
 
 let account_stall_span = Core_commit.account_stall_span
+
+type spin_stable = Core_state.stable = {
+  armed_cycle : int;
+  period : int;
+  d_counts : int array;
+  d_cpi : int array;
+  loads_per_period : int;
+  footprint : int list;
+}
+
+let set_spin_ff (t : t) on = t.spin_probe.pr_enabled <- on
+let spin_poll = Core_spin.poll
+let spin_cancel = Core_spin.cancel
+let spin_replay (t : t) ~stable ~k = Core_spin.replay t ~stable ~k
 
 let next_wake (t : t) ~cycle =
   let m = ref max_int in

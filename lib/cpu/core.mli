@@ -139,3 +139,47 @@ val account_stall_span : t -> cycle:int -> cycles:int -> unit
     [step_pipeline] had run that many more pure-stall cycles.  The
     engine calls this for the span it skips between a frozen cycle
     ([cycle] itself, already stepped) and the next wake-up. *)
+
+(** {2 Spin fast-forward}
+
+    A complementary engine optimisation for cores that DO make progress
+    but only to spin: when the commit stream keeps re-taking the same
+    backward edge and the complete pipeline state at consecutive loop
+    boundaries is identical up to a uniform cycle shift, the core's
+    future is periodic until another core writes (or steals) one of the
+    cache lines the loop reads.  The probe proves that stability, hands
+    the engine a {!spin_stable} certificate, and {!spin_replay} later
+    accounts any number of skipped periods in closed form — the engine
+    stays bit-identical to naive stepping. *)
+
+type spin_stable = Core_state.stable = {
+  armed_cycle : int;  (** the loop boundary at which stability was proven *)
+  period : int;  (** cycles per loop iteration (boundary to boundary) *)
+  d_counts : int array;  (** per-period commit-counter deltas *)
+  d_cpi : int array;  (** per-period CPI-leaf deltas *)
+  loads_per_period : int;  (** L1-hit loads issued per period *)
+  footprint : int list;  (** word addresses the loop reads — the watch set *)
+}
+
+val set_spin_ff : t -> bool -> unit
+(** Enable the stability probe.  Off by default; the engine turns it on
+    for untraced runs with [Exec_config.spin_fastforward].  The probe
+    never changes architectural or timing state — only whether
+    {!spin_poll} can ever return a certificate. *)
+
+val spin_poll : t -> cycle:int -> spin_stable option
+(** Consume the certificate armed at exactly [cycle], if any.  The
+    engine calls this after a progress cycle; [Some] means the core may
+    be put to sleep at the end of [cycle] with its state frozen. *)
+
+val spin_cancel : t -> unit
+(** Drop all probe state (on wake-up, or any time the chain must not
+    survive external interaction).  Re-arming requires three fresh
+    clean loop boundaries. *)
+
+val spin_replay : t -> stable:spin_stable -> k:int -> unit
+(** Account [k] whole skipped periods in closed form: commit counters
+    and CPI leaves advance by [k] times their per-period delta, and
+    in-flight completion cycles plus a pending fetch-resume point shift
+    by [k * period].  Afterwards the core's state is exactly what
+    [k * period] naive steps from [armed_cycle] would have produced. *)

@@ -32,6 +32,9 @@ let fence_commit_ok t (e : Rob.entry) =
 let spin_backward_edge t pc =
   let spinning = t.spin_last_pc = pc && not t.spin_dirty in
   t.spin_mode <- spinning;
+  (* a committed spinning backward edge ends a loop iteration — mark
+     the cycle as a boundary for the fast-forward stability probe *)
+  if spinning then Core_spin.note_boundary t;
   (match t.obs with
   | Some o when spinning ->
     let m = Fscope_obs.Trace.metrics o.trace in
@@ -45,7 +48,8 @@ let spin_note t (e : Rob.entry) =
   match e.instr with
   | Instr.Store _ | Instr.Cas _ | Instr.Fence _ ->
     t.spin_dirty <- true;
-    t.spin_mode <- false
+    t.spin_mode <- false;
+    Core_spin.note_dirty t
   | Instr.Jump target ->
     if target <= e.pc then spin_backward_edge t e.pc else t.spin_mode <- false
   | Instr.Branch { target; _ } ->

@@ -44,9 +44,13 @@ let dispatch t ~cycle =
       | Instr.Nop -> e.state <- Rob.Done
       | Instr.Fs_start cid ->
         Scope_unit.on_fs_start t.scope ~cid;
+        (* scope micro-ops mutate the scope unit at dispatch — the
+           closed-form spin replay cannot reproduce that *)
+        Core_spin.note_dirty t;
         e.state <- Rob.Done
       | Instr.Fs_end cid ->
         Scope_unit.on_fs_end t.scope ~cid;
+        Core_spin.note_dirty t;
         e.state <- Rob.Done
       | Instr.Jump target ->
         e.state <- Rob.Done;

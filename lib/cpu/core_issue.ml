@@ -100,6 +100,8 @@ let try_issue_load t (e : Rob.entry) ~cycle =
     e.result <- v;
     e.data2 <- 1;
     e.state <- Rob.Executing (cycle + 1);
+    (* a forward implies a store in flight — not a stable spin *)
+    Core_spin.note_dirty t;
     true
   | From_memory ->
     if in_bounds t e.addr then begin
@@ -109,14 +111,16 @@ let try_issue_load t (e : Rob.entry) ~cycle =
       in
       e.data2 <- 0;
       e.mem_level <- Some level;
-      e.state <- Rob.Executing completes
+      e.state <- Rob.Executing completes;
+      Core_spin.note_load t ~addr:e.addr ~level
     end
     else begin
       (* Wrong-path access to a garbage address: complete immediately
          with 0 and leave the caches untouched. *)
       e.result <- 0;
       e.data2 <- 1;
-      e.state <- Rob.Executing (cycle + 1)
+      e.state <- Rob.Executing (cycle + 1);
+      Core_spin.note_dirty t
     end;
     true
 

@@ -50,6 +50,91 @@ type obs = {
   mutable stall_begin : int;  (* cycle the head fence began stalling; -1 = none *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Spin fast-forward probe (see Core_spin for the logic).
+
+   The engine may put a core to sleep only when its state is provably
+   periodic: the commit stream re-takes the same backward edge, and
+   the complete pipeline state at two consecutive loop boundaries is
+   identical up to a uniform shift of every cycle- and seq-valued
+   field.  The snapshot below captures exactly the state the core's
+   evolution depends on, relativized so that equality of two snapshots
+   implies the shifted-state equality. *)
+
+(* One ROB entry, with seqs expressed relative to the ROB's next seq
+   (dead producers — entries that already committed — map to the Arch
+   sentinel, which is behaviorally identical) and completion cycles
+   relative to the snapshot cycle. *)
+type entry_snap = {
+  s_seq : int;
+  s_pc : int;
+  s_instr : Instr.t;
+  s_srcs : (int * int) array;  (* (relative producer; -1 = Arch, reg index) *)
+  s_state : int * int;  (* (0,_) Waiting, (1,rel) Executing, (2,_) Done *)
+  s_result : int;
+  s_addr : int;
+  s_data : int;
+  s_data2 : int;
+  s_mask : Fscope_core.Fsb.mask;
+  s_mem_level : Fscope_obs.Event.mem_outcome option;
+  s_predicted : bool;
+  s_checkpoint : int array option;
+}
+
+type snapshot = {
+  sn_pc : int;  (* fetch_pc *)
+  sn_stopped : bool;
+  sn_resume : int;  (* fetch_resume - cycle when pending, else min_int *)
+  sn_arf : int array;
+  sn_rename : int array;  (* relative producers *)
+  sn_rob : entry_snap array;
+  sn_bpred : int array;
+  sn_outstanding : int array;  (* per-FSB-column outstanding counts *)
+  sn_scope : (int * bool) list;  (* scope unit event-FIFO fingerprint *)
+  sn_spin_pc : int;  (* spin_last_pc *)
+}
+
+(* A proven-stable spin loop, as handed to the engine: everything
+   needed to account [k] skipped periods in closed form and to watch
+   for the stores that could end the spin. *)
+type stable = {
+  armed_cycle : int;
+  period : int;  (* cycles between consecutive loop boundaries *)
+  d_counts : int array;  (* per-period commit-counter deltas *)
+  d_cpi : int array;  (* per-period CPI-leaf deltas, in Cpi.leaves order *)
+  loads_per_period : int;  (* port loads issued per period (all L1 hits) *)
+  footprint : int list;  (* word addresses the loop reads *)
+}
+
+type probe = {
+  mutable pr_enabled : bool;  (* engine opt-in; off in the naive loop *)
+  mutable pr_boundary : bool;  (* a spinning backward edge committed this cycle *)
+  mutable pr_last_cycle : int;  (* previous boundary cycle; -1 = none *)
+  mutable pr_dirty : bool;  (* disqualifying event since the last boundary *)
+  mutable pr_footprint : int list;  (* load addresses since the last boundary *)
+  mutable pr_loads : int;
+  mutable pr_arf : int array option;  (* ARF at the chain's boundaries (tier-1 gate) *)
+  mutable pr_snap : snapshot option;  (* full snapshot at the previous boundary *)
+  mutable pr_counts : int array;  (* commit counters at the previous boundary *)
+  mutable pr_cpi : int array;  (* CPI leaves at the previous boundary *)
+  mutable pr_armed : stable option;
+}
+
+let fresh_probe () =
+  {
+    pr_enabled = false;
+    pr_boundary = false;
+    pr_last_cycle = -1;
+    pr_dirty = false;
+    pr_footprint = [];
+    pr_loads = 0;
+    pr_arf = None;
+    pr_snap = None;
+    pr_counts = [||];
+    pr_cpi = [||];
+    pr_armed = None;
+  }
+
 type t = {
   id : int;
   code : Instr.t array;
@@ -78,6 +163,9 @@ type t = {
   mutable spin_last_pc : int;
   mutable spin_dirty : bool;
   mutable spin_mode : bool;
+  (* Spin fast-forward stability probe; fed by the stages, driven by
+     Core_spin, consumed by the engine.  Inert unless [pr_enabled]. *)
+  spin_probe : probe;
   obs : obs option;
 }
 

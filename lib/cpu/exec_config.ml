@@ -8,6 +8,7 @@ type t = {
   in_window_speculation : bool;
   nop_fences : bool;
   bpred_entries : int;
+  spin_fastforward : bool;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     in_window_speculation = false;
     nop_fences = false;
     bpred_entries = 512;
+    spin_fastforward = true;
   }
 
 let validate t =

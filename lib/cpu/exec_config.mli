@@ -18,11 +18,20 @@ type t = {
           fences").  Timing-only: functional workload checks may fail
           without ordering. *)
   bpred_entries : int;  (** bimodal predictor table size (power of two) *)
+  spin_fastforward : bool;
+      (** let the engine put a core whose commit stream is a stable
+          read-only spin loop to sleep until a cross-core store (or an
+          invalidation of one of its cache lines) can change what the
+          loop observes, replaying the skipped iterations' accounting
+          in closed form.  A pure wall-clock optimisation: results are
+          bit-identical either way.  Ignored by the naive reference
+          loop and by traced runs. *)
 }
 
 val default : t
 (** ROB 128, SB 8, 4-wide fetch/issue/commit, 5-cycle mispredict
-    penalty, speculation off, 512-entry predictor. *)
+    penalty, speculation off, 512-entry predictor, spin fast-forward
+    on. *)
 
 val validate : t -> unit
 (** Raises [Invalid_argument] on nonsensical values. *)

@@ -71,6 +71,20 @@ let profile ?label (config : Config.t) (workload : Workload.t) =
   let trace = Obs.Trace.create ~ring_capacity:1024 ~cores () in
   let result = Machine.run ~obs:trace config program in
   let metrics = Option.map (fun (r : Obs.Report.t) -> r.Obs.Report.metrics) result.Machine.obs in
+  (* Tracing disables the engine's spin fast-forward, so the traced
+     run's spin counters are always zero.  When the config enables the
+     optimisation, one extra untraced run (bit-identical in every
+     result field) supplies the real counters for the profile. *)
+  let spin_ff =
+    if config.Config.exec.Fscope_cpu.Exec_config.spin_fastforward then begin
+      let plain = Machine.run config program in
+      Some
+        ( plain.Machine.spin.Machine.sleeps,
+          plain.Machine.spin.Machine.cycles_skipped,
+          plain.Machine.spin.Machine.wakes )
+    end
+    else None
+  in
   {
     Obs.Profile.label = workload.Workload.name;
     config = (match label with Some l -> l | None -> config_label config);
@@ -85,4 +99,5 @@ let profile ?label (config : Config.t) (workload : Workload.t) =
     fence_sites = fence_sites program;
     cids = cids program;
     spin_pcs = spin_pcs program;
+    spin_ff;
   }

@@ -1,14 +1,26 @@
+type mem_model =
+  | Hierarchy
+  | Ideal
+
 type t = {
   exec : Fscope_cpu.Exec_config.t;
   mem : Fscope_mem.Hierarchy.config;
+  mem_model : mem_model;
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;
 }
 
 let make ?(exec = Fscope_cpu.Exec_config.default)
-    ?(mem = Fscope_mem.Hierarchy.default_config)
+    ?(mem = Fscope_mem.Hierarchy.default_config) ?(mem_model = Hierarchy)
     ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000) () =
-  { exec; mem; scope; max_cycles }
+  { exec; mem; mem_model; scope; max_cycles }
+
+let mem_model_name = function Hierarchy -> "hierarchy" | Ideal -> "ideal"
+
+let mem_model_of_string = function
+  | "hierarchy" -> Some Hierarchy
+  | "ideal" -> Some Ideal
+  | _ -> None
 
 let default = make ()
 let traditional t = { t with scope = { t.scope with enabled = false } }
@@ -21,3 +33,7 @@ let with_fsb_entries n t = { t with scope = { t.scope with fsb_entries = n } }
 let with_fss_entries n t = { t with scope = { t.scope with fss_entries = n } }
 let with_mt_entries n t = { t with scope = { t.scope with mt_entries = n } }
 let with_max_cycles n t = { t with max_cycles = n }
+let with_mem_model m t = { t with mem_model = m }
+
+let with_spin_fastforward on t =
+  { t with exec = { t.exec with spin_fastforward = on } }

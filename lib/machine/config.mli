@@ -7,9 +7,18 @@
     record construction or record-update syntax — new fields then
     never break call sites. *)
 
+(** Which backend answers the cores' memory transactions. *)
+type mem_model =
+  | Hierarchy  (** the MSI-coherent L1/L2/memory model (Table III) *)
+  | Ideal
+      (** every access completes the next cycle — an idealized memory
+          with no caches or coherence traffic; useful to isolate
+          pipeline effects from memory-system effects *)
+
 type t = {
   exec : Fscope_cpu.Exec_config.t;
   mem : Fscope_mem.Hierarchy.config;
+  mem_model : mem_model;
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;  (** runaway guard; a run reaching it is reported as timed out *)
 }
@@ -17,10 +26,16 @@ type t = {
 val make :
   ?exec:Fscope_cpu.Exec_config.t ->
   ?mem:Fscope_mem.Hierarchy.config ->
+  ?mem_model:mem_model ->
   ?scope:Fscope_core.Scope_unit.config ->
   ?max_cycles:int ->
   unit ->
   t
+
+val mem_model_name : mem_model -> string
+(** ["hierarchy"] / ["ideal"] — the [--mem-model] CLI vocabulary. *)
+
+val mem_model_of_string : string -> mem_model option
 (** Every omitted section takes its Table III default; [make ()] is
     {!default}. *)
 
@@ -63,3 +78,11 @@ val with_mt_entries : int -> t -> t
 
 val with_max_cycles : int -> t -> t
 (** Set the runaway guard. *)
+
+val with_mem_model : mem_model -> t -> t
+(** Select the memory backend behind the cores' {!Fscope_cpu.Mem_port}. *)
+
+val with_spin_fastforward : bool -> t -> t
+(** Toggle the engine's spin fast-forward (default on; off = the
+    engine steps spinning cores cycle by cycle as before).  Results
+    are bit-identical either way — this only trades wall-clock. *)

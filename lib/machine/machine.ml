@@ -2,6 +2,12 @@ module Core = Fscope_cpu.Core
 module Hierarchy = Fscope_mem.Hierarchy
 module Obs = Fscope_obs
 
+type spin_ff = {
+  sleeps : int;
+  cycles_skipped : int;
+  wakes : int;
+}
+
 type result = {
   cycles : int;
   timed_out : bool;
@@ -9,6 +15,7 @@ type result = {
   core_cpi : Obs.Cpi.t array;
   mem : int array;
   cache : Hierarchy.stats;
+  spin : spin_ff;
   obs : Obs.Report.t option;
 }
 
@@ -79,6 +86,9 @@ let snapshot_stats trace r =
   set "mem/l2_misses" r.cache.Hierarchy.l2_misses;
   set "mem/invalidations" r.cache.Hierarchy.invalidations;
   set "mem/c2c_transfers" r.cache.Hierarchy.c2c_transfers;
+  set "engine/spin_ff_sleeps" r.spin.sleeps;
+  set "engine/spin_ff_cycles_skipped" r.spin.cycles_skipped;
+  set "engine/spin_ff_wakes" r.spin.wakes;
   set "machine/cycles" r.cycles
 
 let finish ~obs (raw : Sim_engine.raw) =
@@ -90,6 +100,12 @@ let finish ~obs (raw : Sim_engine.raw) =
       core_cpi = Array.map Core.cpi raw.Sim_engine.cores;
       mem = raw.Sim_engine.mem;
       cache = Hierarchy.stats raw.Sim_engine.hierarchy;
+      spin =
+        {
+          sleeps = raw.Sim_engine.spin.Sim_engine.sleeps;
+          cycles_skipped = raw.Sim_engine.spin.Sim_engine.cycles_skipped;
+          wakes = raw.Sim_engine.spin.Sim_engine.wakes;
+        };
       obs = None;
     }
   in

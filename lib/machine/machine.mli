@@ -14,6 +14,18 @@
     The two are bit-identical in every [result] field — the
     differential test suite enforces this. *)
 
+type spin_ff = {
+  sleeps : int;  (** times the engine put a core into spin-sleep *)
+  cycles_skipped : int;  (** core-cycles replayed in closed form *)
+  wakes : int;  (** sleeps ended by a cross-core store or invalidation *)
+}
+(** Spin fast-forward counters of the run (see
+    [Exec_config.spin_fastforward]).  All zero under {!run_reference},
+    on traced runs (tracing disables the optimisation), or when the
+    workload never reached a stable spin.  Deliberately NOT part of the
+    bit-identity contract between the two loops — they describe how the
+    engine got to the result, not the result. *)
+
 type result = {
   cycles : int;  (** cycle at which every core had halted and drained *)
   timed_out : bool;  (** the run hit [max_cycles] before finishing *)
@@ -25,10 +37,12 @@ type result = {
           {!run_reference}. *)
   mem : int array;  (** final shared memory, for functional self-checks *)
   cache : Fscope_mem.Hierarchy.stats;
+  spin : spin_ff;
   obs : Fscope_obs.Report.t option;
       (** present iff the run was traced; carries the event stream and
           the metrics registry (which includes a snapshot of every
-          legacy stat under [core<i>/...], [mem/...], [total/...]) *)
+          legacy stat under [core<i>/...], [mem/...], [engine/...],
+          [total/...]) *)
 }
 
 val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result

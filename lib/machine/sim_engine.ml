@@ -1,8 +1,18 @@
 module Core = Fscope_cpu.Core
 module Mem_port = Fscope_cpu.Mem_port
+module Exec_config = Fscope_cpu.Exec_config
 module Hierarchy = Fscope_mem.Hierarchy
 module Program = Fscope_isa.Program
 module Obs = Fscope_obs
+
+(* Spin fast-forward bookkeeping of one run (zeros in the naive loop). *)
+type spin_stats = {
+  mutable sleeps : int;  (** times a core was put into spin-sleep *)
+  mutable cycles_skipped : int;  (** core-cycles replayed in closed form *)
+  mutable wakes : int;  (** sleeps ended by a cross-core store or invalidation *)
+}
+
+let fresh_spin_stats () = { sleeps = 0; cycles_skipped = 0; wakes = 0 }
 
 type raw = {
   cycles : int;
@@ -10,6 +20,7 @@ type raw = {
   cores : Core.t array;
   mem : int array;
   hierarchy : Hierarchy.t;
+  spin : spin_stats;
 }
 
 let hierarchy_kind = function
@@ -17,28 +28,43 @@ let hierarchy_kind = function
   | Mem_port.Write -> Hierarchy.Write
   | Mem_port.Rmw -> Hierarchy.Rmw
 
-(* One machine instance: cores wired to a shared hierarchy and flat
-   memory image through a Mem_port. *)
+(* One machine instance: cores wired to shared memory through a
+   Mem_port whose timing side is either the cache hierarchy or the
+   ideal 1-cycle model ([Config.mem_model]).  The returned [on_store]
+   ref is called with the address of every memory value write, just
+   before the write lands — the engine points it at its spin-sleep
+   watch table (it starts out as a no-op). *)
 let build ~obs (config : Config.t) program =
   let cores_n = Program.thread_count program in
   let mem = Program.initial_memory program in
   let hierarchy = Hierarchy.create ~trace:obs ~cores:cores_n config.Config.mem in
-  let port =
-    Mem_port.make ~size:(Array.length mem)
-      ~issue:(fun ~core kind ~addr ~now ->
+  let on_store = ref (fun (_ : int) -> ()) in
+  let issue =
+    match config.Config.mem_model with
+    | Config.Hierarchy ->
+      fun ~core kind ~addr ~now ->
         let latency, level =
           Hierarchy.access_classified hierarchy ~core (hierarchy_kind kind) ~addr
         in
-        (now + latency, level))
+        (now + latency, level)
+    | Config.Ideal ->
+      (* every access is a 1-cycle hit; the hierarchy above stays idle
+         (its stats remain zero) but still anchors [raw.hierarchy] *)
+      fun ~core:_ _kind ~addr:_ ~now -> (now + 1, Obs.Event.L1_hit)
+  in
+  let port =
+    Mem_port.make ~size:(Array.length mem) ~issue
       ~load:(fun ~addr -> mem.(addr))
-      ~store:(fun ~addr ~value -> mem.(addr) <- value)
+      ~store:(fun ~addr ~value ->
+        !on_store addr;
+        mem.(addr) <- value)
   in
   let cores =
     Array.init cores_n (fun id ->
         Core.create ~trace:obs ~id ~code:program.Program.threads.(id) ~port
           ~scope_config:config.Config.scope ~exec_config:config.Config.exec ())
   in
-  (cores, mem, hierarchy)
+  (cores, mem, hierarchy, on_store)
 
 (* The three-phase step protocol shared by both loops; see Core's
    interface for why the order matters.  Returns whether any core
@@ -55,7 +81,7 @@ let step_all cores ~cycle =
   !progress
 
 let run ?(obs = Obs.Trace.null) (config : Config.t) program =
-  let cores, mem, hierarchy = build ~obs config program in
+  let cores, mem, hierarchy, on_store = build ~obs config program in
   let n = Array.length cores in
   let traced = Obs.Trace.on obs in
   let max_cycles = config.Config.max_cycles in
@@ -82,45 +108,179 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
   let drained_count = ref 0 in
   let cycle = ref 0 in
   let finished = ref false in
+  (* Spin fast-forward (see Core's spin interface and DESIGN §11).  A
+     core that is provably in a stable read-only spin loop sleeps past
+     the horizon: its state can only stop being periodic when another
+     core writes — or steals — a line it reads, so we watch the loop's
+     load footprint and wake the sleeper the instant such an action is
+     about to happen.  On wake (and at timeout) the skipped whole
+     periods are replayed in closed form and the partial tail is
+     re-stepped normally, which lands the core in exactly the state
+     naive stepping would have produced.  Tracing disables this — a
+     traced run must emit every per-cycle event. *)
+  let spin = fresh_spin_stats () in
+  let spin_on = config.Config.exec.Exec_config.spin_fastforward && not traced in
+  if spin_on then Array.iter (fun core -> Core.set_spin_ff core true) cores;
+  let sleeping : Core.spin_stable option array = Array.make n None in
+  let watches : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* where in the current cycle the step loops are, so a wake fired
+     from inside another core's step can splice the sleeper back into
+     the phase order it would have had in the naive loop *)
+  let phase = ref 0 in
+  let phase_core = ref 0 in
+  let register_watches i (st : Core.spin_stable) =
+    List.iter
+      (fun addr ->
+        let cur = match Hashtbl.find_opt watches addr with Some m -> m | None -> 0 in
+        Hashtbl.replace watches addr (cur lor (1 lsl i)))
+      st.Core.footprint
+  in
+  let unregister_watches i (st : Core.spin_stable) =
+    List.iter
+      (fun addr ->
+        match Hashtbl.find_opt watches addr with
+        | None -> ()
+        | Some m ->
+          let m = m land lnot (1 lsl i) in
+          if m = 0 then Hashtbl.remove watches addr else Hashtbl.replace watches addr m)
+      st.Core.footprint
+  in
+  (* Catch a woken sleeper up through cycle [through]: replay whole
+     periods in closed form, then solo-step the tail.  Solo-stepping is
+     exact because within a period the core touches nothing shared —
+     no stores or CAS can be in flight, and every load hits its own
+     L1 — so interleaving with other cores' sub-steps is immaterial. *)
+  let catch_up i (st : Core.spin_stable) ~through =
+    let b = st.Core.armed_cycle in
+    let k = if through <= b then 0 else (through - b) / st.Core.period in
+    if k > 0 then begin
+      Core.spin_replay cores.(i) ~stable:st ~k;
+      (match config.Config.mem_model with
+      | Config.Hierarchy ->
+        (* the skipped loads would all have hit this core's L1 *)
+        let s = Hierarchy.stats hierarchy in
+        s.Hierarchy.l1_hits <- s.Hierarchy.l1_hits + (k * st.Core.loads_per_period)
+      | Config.Ideal -> ());
+      spin.cycles_skipped <- spin.cycles_skipped + (k * st.Core.period)
+    end;
+    for x = b + (k * st.Core.period) + 1 to through do
+      ignore (Core.step_complete_writes cores.(i) ~cycle:x);
+      ignore (Core.step_complete_reads cores.(i) ~cycle:x);
+      ignore (Core.step_pipeline cores.(i) ~cycle:x)
+    done;
+    Core.spin_cancel cores.(i)
+  in
+  (* Phase-3 body of the main loop, factored so a phase-3 wake can run
+     it for the sleeper at its original position in core order. *)
+  let rec step3 i c =
+    if Core.step_pipeline cores.(i) ~cycle:c then progress.(i) <- true;
+    if progress.(i) then begin
+      wake.(i) <- c + 1;
+      if (not drained.(i)) && Core.drained cores.(i) then begin
+        drained.(i) <- true;
+        incr drained_count;
+        wake.(i) <- max_cycles
+      end
+      else if spin_on then begin
+        match Core.spin_poll cores.(i) ~cycle:c with
+        | Some st ->
+          (* proven stable: sleep until a watched line is written or
+             invalidated (or the run times out) *)
+          sleeping.(i) <- Some st;
+          register_watches i st;
+          wake.(i) <- max_cycles;
+          spin.sleeps <- spin.sleeps + 1
+        | None -> ()
+      end
+    end
+    else begin
+      (* Frozen: sleep until the horizon (or, with nothing
+         scheduled at all, until the run's cycle limit — the core
+         is stuck and can only wait out a timeout), charging the
+         skipped span's per-cycle accounting up front.  The charge
+         is exact: the simulation cannot end before this core's
+         wake-up, because a sleeping core is never drained. *)
+      let d =
+        match Core.next_wake cores.(i) ~cycle:c with
+        | Some d -> min d max_cycles
+        | None -> max_cycles
+      in
+      Core.account_stall_span cores.(i) ~cycle:c ~cycles:(d - c - 1);
+      wake.(i) <- d
+    end
+  (* Wake fired from inside the current cycle's step loops, just
+     before the disturbing write or invalidation takes effect. *)
+  and wake_core i =
+    match sleeping.(i) with
+    | None -> ()
+    | Some st ->
+      sleeping.(i) <- None;
+      unregister_watches i st;
+      Core.spin_cancel cores.(i);
+      spin.wakes <- spin.wakes + 1;
+      let t = !cycle in
+      if t = st.Core.armed_cycle then
+        (* disturbed later in the very cycle it armed (by a core after
+           it in phase-3 order): nothing was skipped and the core has
+           already fully stepped this cycle *)
+        wake.(i) <- t + 1
+      else begin
+        catch_up i st ~through:(t - 1);
+        if !phase = 3 then begin
+          (* cycle [t]'s write/read phases already passed this core;
+             its writes phase is a no-op (empty store buffer, no CAS in
+             flight — guaranteed by the arming probe) and completing
+             reads now is exact because phase 3 never changes memory
+             values.  Then: in the naive loop a core earlier in core
+             order would have run its pipeline step before the
+             disturber's — replay that ordering here; a later one is
+             picked up by the main phase-3 loop as usual. *)
+          if Core.step_complete_reads cores.(i) ~cycle:t then progress.(i) <- true;
+          if i < !phase_core then step3 i t else wake.(i) <- t
+        end
+        else begin
+          (* phase 1: the disturbing store has not landed yet; the
+             remaining phase loops of cycle [t] pick the core up *)
+          progress.(i) <- false;
+          wake.(i) <- t
+        end
+      end
+  in
+  if spin_on then begin
+    on_store :=
+      (fun addr ->
+        match Hashtbl.find_opt watches addr with
+        | None -> ()
+        | Some mask ->
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) <> 0 then wake_core i
+          done);
+    (* a write/RMW/eviction about to invalidate or downgrade a
+       sleeper's L1 line could change what its loop observes (values
+       or latencies) — wake it first *)
+    Hierarchy.set_remote_victim_hook hierarchy (fun ~core ->
+        match sleeping.(core) with Some _ -> wake_core core | None -> ())
+  end;
   while (not !finished) && !cycle < max_cycles do
     let c = !cycle in
     if traced then Obs.Trace.set_now obs c;
+    phase := 1;
     for i = 0 to n - 1 do
-      progress.(i) <-
-        wake.(i) <= c && Core.step_complete_writes cores.(i) ~cycle:c
+      phase_core := i;
+      progress.(i) <- wake.(i) <= c && Core.step_complete_writes cores.(i) ~cycle:c
     done;
+    phase := 2;
     for i = 0 to n - 1 do
+      phase_core := i;
       if wake.(i) <= c && Core.step_complete_reads cores.(i) ~cycle:c then
         progress.(i) <- true
     done;
+    phase := 3;
     for i = 0 to n - 1 do
-      if wake.(i) <= c then begin
-        if Core.step_pipeline cores.(i) ~cycle:c then progress.(i) <- true;
-        if progress.(i) then begin
-          wake.(i) <- c + 1;
-          if (not drained.(i)) && Core.drained cores.(i) then begin
-            drained.(i) <- true;
-            incr drained_count;
-            wake.(i) <- max_cycles
-          end
-        end
-        else begin
-          (* Frozen: sleep until the horizon (or, with nothing
-             scheduled at all, until the run's cycle limit — the core
-             is stuck and can only wait out a timeout), charging the
-             skipped span's per-cycle accounting up front.  The charge
-             is exact: the simulation cannot end before this core's
-             wake-up, because a sleeping core is never drained. *)
-          let d =
-            match Core.next_wake cores.(i) ~cycle:c with
-            | Some d -> min d max_cycles
-            | None -> max_cycles
-          in
-          Core.account_stall_span cores.(i) ~cycle:c ~cycles:(d - c - 1);
-          wake.(i) <- d
-        end
-      end
+      phase_core := i;
+      if wake.(i) <= c then step3 i c
     done;
+    phase := 0;
     if !drained_count = n then begin
       cycle := c + 1;
       finished := true
@@ -132,19 +292,25 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
       cycle := max target (c + 1)
     end
   done;
-  {
-    cycles = !cycle;
-    timed_out = !drained_count < n;
-    cores;
-    mem;
-    hierarchy;
-  }
+  (* A run that timed out may leave spin-sleepers behind: the naive
+     loop would have stepped them through cycle [max_cycles - 1], so
+     catch them up to exactly there before reporting. *)
+  if !drained_count < n then
+    for i = 0 to n - 1 do
+      match sleeping.(i) with
+      | None -> ()
+      | Some st ->
+        sleeping.(i) <- None;
+        unregister_watches i st;
+        catch_up i st ~through:(max_cycles - 1)
+    done;
+  { cycles = !cycle; timed_out = !drained_count < n; cores; mem; hierarchy; spin }
 
 (* The retained naive loop: one cycle at a time, no fast-forward.  The
    differential suite holds [run] to bit-identical results against
    this, and the bench harness quotes the wall-clock win over it. *)
 let run_naive ?(obs = Obs.Trace.null) (config : Config.t) program =
-  let cores, mem, hierarchy = build ~obs config program in
+  let cores, mem, hierarchy, _on_store = build ~obs config program in
   let all_done () = Array.for_all Core.drained cores in
   let cycle = ref 0 in
   while (not (all_done ())) && !cycle < config.Config.max_cycles do
@@ -159,4 +325,5 @@ let run_naive ?(obs = Obs.Trace.null) (config : Config.t) program =
     cores;
     mem;
     hierarchy;
+    spin = fresh_spin_stats ();
   }

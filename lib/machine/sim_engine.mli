@@ -17,12 +17,25 @@
     testing and as the baseline the bench harness quotes speedups
     against. *)
 
+type spin_stats = {
+  mutable sleeps : int;
+  mutable cycles_skipped : int;
+  mutable wakes : int;
+}
+(** Spin fast-forward bookkeeping: how often a provably-stable spin
+    loop was put to sleep, how many of its cycles were replayed in
+    closed form instead of stepped, and how many sleeps ended in a
+    cross-core wake (the rest ran into the cycle limit).  Always zero
+    for {!run_naive}, for traced runs, and with
+    [Exec_config.spin_fastforward] off. *)
+
 type raw = {
   cycles : int;
   timed_out : bool;
   cores : Fscope_cpu.Core.t array;
   mem : int array;
   hierarchy : Fscope_mem.Hierarchy.t;
+  spin : spin_stats;
 }
 
 val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw

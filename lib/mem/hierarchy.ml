@@ -55,6 +55,11 @@ type t = {
   l2 : dir_entry Cache.t;
   stats : stats;
   trace : Fscope_obs.Trace.t;
+  (* Called just BEFORE another core's activity mutates [core]'s L1
+     state (invalidation, recall, Modified->Shared downgrade).  The
+     engine's spin fast-forward uses it to wake a sleeping core before
+     anything it cached changes; the default is free. *)
+  mutable on_remote_victim : core:int -> unit;
 }
 
 let create ?(trace = Fscope_obs.Trace.null) ~cores config =
@@ -71,7 +76,10 @@ let create ?(trace = Fscope_obs.Trace.null) ~cores config =
       { l1_hits = 0; l1_misses = 0; l2_hits = 0; l2_misses = 0; invalidations = 0;
         c2c_transfers = 0 };
     trace;
+    on_remote_victim = (fun ~core:_ -> ());
   }
+
+let set_remote_victim_hook t f = t.on_remote_victim <- f
 
 let emit_access t ~core ~addr ~write outcome =
   if Fscope_obs.Trace.on t.trace then
@@ -100,8 +108,10 @@ let insert_l1 t ~core line state =
 (* Inclusive L2: evicting an L2 line recalls every L1 copy. *)
 let on_l2_eviction t line dir =
   for core = 0 to t.cores - 1 do
-    if dir.sharers land (1 lsl core) <> 0 then
+    if dir.sharers land (1 lsl core) <> 0 then begin
+      t.on_remote_victim ~core;
       ignore (Cache.invalidate t.l1.(core) line)
+    end
   done
 
 let insert_l2 t line dir =
@@ -115,6 +125,7 @@ let invalidate_remotes t ~core dir line =
   let dirty_remote = dir.owner >= 0 && dir.owner <> core in
   for c = 0 to t.cores - 1 do
     if c <> core && dir.sharers land (1 lsl c) <> 0 then begin
+      t.on_remote_victim ~core:c;
       ignore (Cache.invalidate t.l1.(c) line);
       t.stats.invalidations <- t.stats.invalidations + 1
     end
@@ -141,6 +152,7 @@ let read t ~core addr =
       let c2c =
         if dir.owner >= 0 && dir.owner <> core then begin
           (* Remote dirty copy: downgrade the owner to Shared. *)
+          t.on_remote_victim ~core:dir.owner;
           Cache.update t.l1.(dir.owner) line Shared;
           dir.owner <- -1;
           t.stats.c2c_transfers <- t.stats.c2c_transfers + 1;

@@ -62,6 +62,15 @@ val access_classified :
     profiler charges head-of-ROB memory stalls to that level. *)
 
 val stats : t -> stats
+(** The live (mutable) counter record of this hierarchy. *)
+
+val set_remote_victim_hook : t -> (core:int -> unit) -> unit
+(** Install a callback fired just {e before} another core's access
+    mutates [core]'s L1 state: a directory invalidation, an inclusive
+    L2-eviction recall, or a Modified→Shared downgrade when a remote
+    reader pulls a dirty line.  The engine's spin fast-forward uses it
+    to wake a sleeping core while everything it cached is still
+    intact.  Default: no-op. *)
 
 val line_words : t -> int
 

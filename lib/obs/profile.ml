@@ -23,6 +23,10 @@ type input = {
   fence_sites : fence_site list;
   cids : int list;
   spin_pcs : (int * int) list;
+  spin_ff : (int * int * int) option;
+      (* engine spin fast-forward counters (sleeps, cycles skipped,
+         wakes) from a matching untraced run — tracing disables the
+         optimisation, so the traced run itself always reports zero *)
 }
 
 let active_cycles input = Array.fold_left ( + ) 0 input.core_active
@@ -168,6 +172,11 @@ let text input =
     p "\nspin candidates (backward edges re-taken with no visible write):\n";
     p "  %-4s %-5s %12s\n" "core" "pc" "iterations";
     List.iter (fun (core, pc, n) -> p "  %-4d %-5d %12d\n" core pc n) rows);
+  (match input.spin_ff with
+  | None -> ()
+  | Some (sleeps, skipped, wakes) ->
+    p "\nspin fast-forward (engine, untraced run): sleeps=%d  cycles-skipped=%d  wakes=%d\n"
+      sleeps skipped wakes);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -235,5 +244,10 @@ let json input =
           (fun (core, pc, n) ->
             Printf.sprintf "{\"core\":%d,\"pc\":%d,\"iterations\":%d}" core pc n)
           (spin_rows input)));
+  (match input.spin_ff with
+  | None -> p ",\"spin_ff\":null"
+  | Some (sleeps, skipped, wakes) ->
+    p ",\"spin_ff\":{\"sleeps\":%d,\"cycles_skipped\":%d,\"wakes\":%d}" sleeps skipped
+      wakes);
   p "}";
   Buffer.contents b

@@ -35,6 +35,12 @@ type input = {
   fence_sites : fence_site list;  (** static fence sites, in program order *)
   cids : int list;  (** class ids with [Fs_start] sites in the program *)
   spin_pcs : (int * int) list;  (** static [(core, pc)] backward-edge sites *)
+  spin_ff : (int * int * int) option;
+      (** engine spin fast-forward counters [(sleeps, cycles_skipped,
+          wakes)], taken from a matching untraced run — tracing disables
+          the optimisation, so the traced run itself reports zero.
+          [None] when the caller did not collect them (e.g. the
+          optimisation is off in the profiled config). *)
 }
 
 val text : input -> string

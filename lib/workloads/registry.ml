@@ -75,6 +75,11 @@ let all =
       description = "6-deep class-scope nesting chain";
       make = (fun p -> Nested.make ?rounds:p.rounds ());
     };
+    {
+      name = "spin-barrier";
+      description = "master/worker round barrier; workers busy-spin on the round stamp";
+      make = (fun p -> Spin_barrier.make ?threads:p.size ?rounds:p.rounds ());
+    };
   ]
 
 let names = List.map (fun s -> s.name) all

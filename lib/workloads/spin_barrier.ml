@@ -1,0 +1,96 @@
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let shared_vars = [ "out"; "arrive"; "release" ]
+
+(* Worker [me]: per round, accumulate into the private output slot,
+   publish arrival behind a release fence, then busy-spin on the
+   master's round stamp.  The spin loop is a pure load/compare/branch
+   body with a one-word footprint — exactly the shape the engine's
+   spin fast-forward can sleep until the master's store wakes it. *)
+let worker_body ~rounds =
+  let open Dsl in
+  [
+    let_ "r" (i 1);
+    while_
+      (l "r" <= i rounds)
+      [
+        selem "out" tid (elem "out" tid + l "r");
+        fence_set shared_vars;
+        selem "arrive" tid (l "r");
+        while_ (g "release" <> l "r") [];
+        set "r" (l "r" + i 1);
+      ];
+  ]
+
+(* Master (thread 0): a deterministic all-register countdown delays its
+   arrival, so the workers' spins last long enough to matter; it then
+   gathers every arrival stamp and opens the round.  The countdown's
+   registers change every iteration, so it must never be mistaken for
+   a stable spin. *)
+let master_body ~threads ~rounds ~delay =
+  let open Dsl in
+  [
+    let_ "r" (i 1);
+    while_
+      (l "r" <= i rounds)
+      [
+        let_ "d" (i delay);
+        while_ (l "d" > i 0) [ set "d" (l "d" - i 1) ];
+        selem "out" tid (elem "out" tid + l "r");
+        let_ "w" (i 1);
+        while_
+          (l "w" < i threads)
+          [ while_ (elem "arrive" (l "w") <> l "r") []; set "w" (l "w" + i 1) ];
+        fence_set shared_vars;
+        sg "release" (l "r");
+        set "r" (l "r" + i 1);
+      ];
+  ]
+
+let make ?(threads = 4) ?(rounds = 12) ?(delay = 1200) () =
+  if threads < 2 then invalid_arg "Spin_barrier.make: need a master and a worker";
+  let program_ast =
+    {
+      Ast.classes = [];
+      instances = [];
+      globals =
+        [
+          Ast.G_array ("out", threads, None);
+          Ast.G_array ("arrive", threads, None);
+          Ast.G_scalar ("release", 0);
+        ];
+      threads =
+        List.init threads (fun t ->
+            if t = 0 then master_body ~threads ~rounds ~delay else worker_body ~rounds);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let expected_out = rounds * (rounds + 1) / 2 in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let out = Program.address_of program "out"
+    and arrive = Program.address_of program "arrive"
+    and release = Program.address_of program "release" in
+    let problem = ref None in
+    for t = 0 to threads - 1 do
+      if mem.(out + t) <> expected_out && !problem = None then
+        problem :=
+          Some (Printf.sprintf "out[%d] = %d, expected %d" t mem.(out + t) expected_out)
+    done;
+    for w = 1 to threads - 1 do
+      if mem.(arrive + w) <> rounds && !problem = None then
+        problem :=
+          Some (Printf.sprintf "arrive[%d] = %d, expected %d" w mem.(arrive + w) rounds)
+    done;
+    if mem.(release) <> rounds && !problem = None then
+      problem := Some (Printf.sprintf "release = %d, expected %d" mem.(release) rounds);
+    match !problem with Some msg -> Error msg | None -> Ok ()
+  in
+  {
+    Workload.name = "spin-barrier";
+    description = "master/worker round barrier; workers busy-spin on the round stamp";
+    program;
+    validate;
+  }

@@ -1,0 +1,17 @@
+(** A master/worker round barrier built from flag spins.
+
+    Thread 0 (the master) runs a deterministic countdown each round,
+    gathers every worker's arrival stamp, and publishes the round
+    number in a shared [release] word; workers accumulate into private
+    output slots and then busy-spin on [release].  The workers' waits
+    are pure load/compare/branch loops over a fixed one-word footprint
+    — the stable-spin shape the engine's spin fast-forward sleeps —
+    which makes this the spin-heaviest workload in the registry and
+    the bench point that shows that optimisation's wall-clock win.
+
+    Validation: every output slot holds [rounds*(rounds+1)/2], every
+    arrival stamp and the release word hold [rounds]. *)
+
+val make : ?threads:int -> ?rounds:int -> ?delay:int -> unit -> Workload.t
+(** Defaults: 4 threads (1 master + 3 workers), 12 rounds, a
+    1200-iteration master countdown per round. *)

@@ -238,6 +238,9 @@ let configs =
     ("traditional", Config.traditional Config.default);
     ("scoped+spec", Config.with_speculation true (Config.scoped Config.default));
     ("small-rob", Config.with_rob_size 16 (Config.scoped Config.default));
+    (* the ideal 1-cycle memory backend must preserve functional
+       behaviour (only timing changes) and engine/reference identity *)
+    ("ideal-mem", Config.with_mem_model Config.Ideal (Config.scoped Config.default));
   ]
 
 let check_seed seed =
@@ -296,6 +299,13 @@ let test_disjoint_batch lo hi () =
    CPI attribution (every taxonomy leaf), the final memory image and
    the cache stats — on random programs under random configurations,
    including runs truncated by a small cycle limit.   *)
+
+(* The spin fast-forward counters describe how the engine reached the
+   result, not the result: they legitimately differ between the two
+   loops (the reference never sleeps), so identity is checked over
+   everything else. *)
+let strip_spin (r : Machine.result) =
+  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
 
 let explain_mismatch label seed (a : Machine.result) (b : Machine.result) =
   let check name va vb acc =
@@ -365,8 +375,131 @@ let prop_engine_matches_reference =
       in
       let engine = Machine.run config program in
       let reference = Machine.run_reference config program in
-      if engine = reference then true
+      if strip_spin engine = strip_spin reference then true
       else QCheck2.Test.fail_report (explain_mismatch label seed engine reference))
+
+(* ------------------------------------------------------------------ *)
+(* Spin fast-forward differential: flag-handshake programs in which
+   one or more cores spin for a random (often long) time while a
+   worker counts down, then wake and do observable work.  These are
+   exactly the shapes the spin fast-forward sleeps through, so they
+   pin down its bit-identity: engine with FF on == engine with FF off
+   == naive reference, in every result field (cycles, all stats, CPI
+   leaves, final memory, cache counters). *)
+
+module Isa = Fscope_isa
+
+let handshake_program rng =
+  let open Isa in
+  let r n = Reg.r n in
+  let iters = 30 + Rng.int rng 4000 in
+  let spinners = 1 + Rng.int rng 3 in
+  (* Worker: burn [iters] countdown iterations (a counting loop the
+     probe must refuse to arm — its ARF changes every boundary), then
+     publish data and raise the flag.  flag @ 0, data @ 1. *)
+  let worker =
+    [|
+      Instr.Li (r 1, iters);
+      Instr.Alu (Instr.Sub, r 1, r 1, Instr.Imm 1);
+      Instr.Branch { cond = Instr.Nez; src = r 1; target = 1 };
+      Instr.Li (r 2, 1000 + Rng.int rng 1000);
+      Instr.Store { src = r 2; base = Reg.zero; off = 1; flagged = false };
+      Instr.Li (r 3, 1);
+      Instr.Store { src = r 3; base = Reg.zero; off = 0; flagged = false };
+      Instr.Halt;
+    |]
+  in
+  (* Spinners: wait on the flag, then copy the data word to a private
+     slot.  Variants vary the loop body to exercise the probe: extra
+     ALU work (longer period), a second watched load (bigger
+     footprint), or a bounded spin that falls through on a counter
+     (must never arm: its ARF changes every boundary). *)
+  let spinner id =
+    let slot = 2 + id in
+    let finish = [
+      Instr.Load { dst = r 2; base = Reg.zero; off = 1; flagged = false };
+      Instr.Store { src = r 2; base = Reg.zero; off = slot; flagged = false };
+      Instr.Halt;
+    ] in
+    match Rng.int rng 4 with
+    | 0 ->
+      (* plain flag spin *)
+      Array.of_list
+        ([
+           Instr.Load { dst = r 1; base = Reg.zero; off = 0; flagged = false };
+           Instr.Branch { cond = Instr.Eqz; src = r 1; target = 0 };
+         ]
+        @ finish)
+    | 1 ->
+      (* ALU padding inside the loop body *)
+      Array.of_list
+        ([
+           Instr.Load { dst = r 1; base = Reg.zero; off = 0; flagged = false };
+           Instr.Alu (Instr.Add, r 3, r 1, Instr.Imm 0);
+           Instr.Alu (Instr.Or, r 3, r 3, Instr.Reg (r 1));
+           Instr.Branch { cond = Instr.Eqz; src = r 1; target = 0 };
+         ]
+        @ finish)
+    | 2 ->
+      (* two watched locations: spin until flag && data-ready sentinel *)
+      Array.of_list
+        ([
+           Instr.Load { dst = r 1; base = Reg.zero; off = 0; flagged = false };
+           Instr.Load { dst = r 3; base = Reg.zero; off = 1; flagged = false };
+           Instr.Alu (Instr.And, r 4, r 1, Instr.Imm 1);
+           Instr.Branch { cond = Instr.Eqz; src = r 4; target = 0 };
+         ]
+        @ finish)
+    | _ ->
+      (* bounded spin: countdown in the body keeps the ARF changing,
+         so the stability probe must keep refusing to arm; falls
+         through to the finish when the budget runs out first *)
+      Array.of_list
+        ([
+           Instr.Li (r 5, 50 + Rng.int rng 200);
+           Instr.Load { dst = r 1; base = Reg.zero; off = 0; flagged = false };
+           Instr.Alu (Instr.Sub, r 5, r 5, Instr.Imm 1);
+           Instr.Branch { cond = Instr.Nez; src = r 1; target = 5 };
+           Instr.Branch { cond = Instr.Nez; src = r 5; target = 1 };
+         ]
+        @ finish)
+  in
+  Program.make
+    ~threads:(worker :: List.init spinners spinner)
+    ~mem_words:16 ()
+
+let spin_case_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 10_000 in
+  let* cfg_i = int_range 0 (List.length configs - 1) in
+  let* max_c = oneofl [ None; Some 200; Some 5000 ] in
+  return (seed, cfg_i, max_c)
+
+let print_spin_case (seed, cfg_i, max_c) =
+  Printf.sprintf "seed=%d config=%s max_cycles=%s" seed
+    (fst (List.nth configs cfg_i))
+    (match max_c with None -> "default" | Some n -> string_of_int n)
+
+let prop_spin_ff_identity =
+  QCheck2.Test.make ~count:80 ~name:"spin fast-forward on/off/reference identity"
+    ~print:print_spin_case spin_case_gen (fun (seed, cfg_i, max_c) ->
+      let program = handshake_program (Rng.create seed) in
+      let label, config = List.nth configs cfg_i in
+      let config =
+        match max_c with None -> config | Some n -> Config.with_max_cycles n config
+      in
+      let ff_on = Machine.run config program in
+      let ff_off = Machine.run (Config.with_spin_fastforward false config) program in
+      let reference = Machine.run_reference config program in
+      if strip_spin ff_on <> strip_spin reference then
+        QCheck2.Test.fail_report
+          ("FF on: " ^ explain_mismatch label seed ff_on reference)
+      else if strip_spin ff_off <> strip_spin reference then
+        QCheck2.Test.fail_report
+          ("FF off: " ^ explain_mismatch label seed ff_off reference)
+      else if ff_off.Machine.spin.Machine.cycles_skipped <> 0 then
+        QCheck2.Test.fail_report "FF off must not skip cycles"
+      else true)
 
 let tests =
   [
@@ -376,4 +509,5 @@ let tests =
     Alcotest.test_case "4-core disjoint programs 1-40" `Quick (test_disjoint_batch 1 40);
     Alcotest.test_case "4-core disjoint programs 41-100" `Slow (test_disjoint_batch 41 100);
     QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+    QCheck_alcotest.to_alcotest prop_spin_ff_identity;
   ]

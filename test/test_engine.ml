@@ -49,6 +49,56 @@ let test_traced_identical () =
   Alcotest.(check string) "metrics summary" (Obs.Sink.summary ref_rep)
     (Obs.Sink.summary engine_rep)
 
+(* Spin fast-forward regression: a two-core flag handshake.  Core 0
+   counts down a few thousand iterations (a counting loop whose ARF
+   changes every boundary — the stability probe must refuse to arm it),
+   then publishes a value and raises a flag; core 1 spins on the flag.
+   The engine must actually put the spinner into spin-sleep and replay
+   the skipped iterations in closed form (the exposed
+   [spin.cycles_skipped] engine stat is positive), while every other
+   result field stays bit-identical to the naive reference loop, with
+   the optimisation on or off. *)
+let test_spin_fastforward () =
+  let open Fscope_isa in
+  let r n = Reg.r n in
+  let worker =
+    [|
+      Instr.Li (r 1, 4000);
+      Instr.Alu (Instr.Sub, r 1, r 1, Instr.Imm 1);
+      Instr.Branch { cond = Instr.Nez; src = r 1; target = 1 };
+      Instr.Li (r 2, 42);
+      Instr.Store { src = r 2; base = Reg.zero; off = 1; flagged = false };
+      Instr.Li (r 3, 1);
+      Instr.Store { src = r 3; base = Reg.zero; off = 0; flagged = false };
+      Instr.Halt;
+    |]
+  in
+  let spinner =
+    [|
+      Instr.Load { dst = r 1; base = Reg.zero; off = 0; flagged = false };
+      Instr.Branch { cond = Instr.Eqz; src = r 1; target = 0 };
+      Instr.Load { dst = r 2; base = Reg.zero; off = 1; flagged = false };
+      Instr.Store { src = r 2; base = Reg.zero; off = 2; flagged = false };
+      Instr.Halt;
+    |]
+  in
+  let program = Program.make ~threads:[ worker; spinner ] ~mem_words:8 () in
+  let strip (res : Machine.result) =
+    { res with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+  in
+  let config = Config.default in
+  let ff_on = Machine.run config program in
+  let ff_off = Machine.run (Config.with_spin_fastforward false config) program in
+  let reference = Machine.run_reference config program in
+  Alcotest.(check bool) "FF on == reference (up to spin counters)" true
+    (strip ff_on = strip reference);
+  Alcotest.(check bool) "FF off == reference" true (strip ff_off = strip reference);
+  Alcotest.(check int) "handshake value arrived" 42 ff_on.Machine.mem.(2);
+  Alcotest.(check bool) "spinner was put to sleep" true (ff_on.Machine.spin.Machine.sleeps > 0);
+  Alcotest.(check bool) "engine stats expose skipped cycles" true
+    (ff_on.Machine.spin.Machine.cycles_skipped > 0);
+  Alcotest.(check int) "FF off skipped nothing" 0 ff_off.Machine.spin.Machine.cycles_skipped
+
 let tests =
   [
     Alcotest.test_case "fig12 parallel fan-out is deterministic" `Quick
@@ -57,4 +107,6 @@ let tests =
       (test_jobs_identical "fig13" render_fig13);
     Alcotest.test_case "traced engine run matches traced reference" `Quick
       test_traced_identical;
+    Alcotest.test_case "spin fast-forward sleeps and stays bit-identical" `Quick
+      test_spin_fastforward;
   ]
