@@ -281,6 +281,47 @@ let write_profile_json path =
   say "wrote %s" path
 
 (* ------------------------------------------------------------------ *)
+(* Server artefact: the high-traffic suite (MPMC dispatch, cache with
+   epoch reclamation, work stealing) — requests per kilocycle and
+   fence-stall tails for T vs S vs S-set, written to
+   BENCH_server.json.  On hosts with >= 2 CPUs the whole sweep is
+   computed twice, --jobs 1 and --jobs 2, and must agree exactly; the
+   per-point engine-vs-reference bit-identity check lives inside
+   E.Server.eval.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let server_rows = ref ([] : E.Server.row list)
+
+let run_server ~quick () =
+  let cpus = Domain.recommended_domain_count () in
+  let saved = E.Exp_run.jobs () in
+  let rows =
+    if cpus < 2 then E.Server.run ~quick ()
+    else begin
+      E.Exp_run.set_jobs 1;
+      let seq = E.Server.run ~quick () in
+      E.Exp_run.set_jobs 2;
+      let par = E.Server.run ~quick () in
+      if seq <> par then
+        failwith "server: rows diverge between --jobs 1 and --jobs 2";
+      seq
+    end
+  in
+  E.Exp_run.set_jobs saved;
+  server_rows := rows;
+  Table.print (E.Server.table rows);
+  List.iter
+    (fun (w, c, g) -> say "%-14s %s throughput %.2fx over T" w c g)
+    (E.Server.gains rows);
+  if cpus < 2 then say "server: cross-jobs determinism check skipped (host reports %d CPU)" cpus
+
+let write_server_json ~quick ~jobs path =
+  let oc = open_out path in
+  output_string oc (E.Server.json ~quick ~jobs !server_rows);
+  close_out oc;
+  say "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
 (* Jobs-scaling artefact: the same experiment points measured with one
    domain and with several, asserting byte-identical results and (on
    hosts with enough CPUs to make it meaningful) a wall-clock win.
@@ -482,6 +523,7 @@ let artefacts ~quick =
     ("ablate", run_ablate ~quick);
     ("engine", run_engine ~quick);
     ("profile", run_profile ~quick);
+    ("server", run_server ~quick);
     ("jobs-scaling", run_jobs_scaling ~quick);
   ]
 
@@ -515,7 +557,8 @@ let () =
         run_artefact (name, f))
       (artefacts ~quick);
     write_bench_json ~quick ~jobs "BENCH_engine.json";
-    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json"
+    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json";
+    if !server_rows <> [] then write_server_json ~quick ~jobs "BENCH_server.json"
   | names ->
     List.iter
       (fun name ->
@@ -526,4 +569,5 @@ let () =
             (String.concat ", " (List.map fst (artefacts ~quick))))
       names;
     write_bench_json ~quick ~jobs "BENCH_engine.json";
-    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json"
+    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json";
+    if !server_rows <> [] then write_server_json ~quick ~jobs "BENCH_server.json"

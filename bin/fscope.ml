@@ -21,36 +21,57 @@ let level_of_int n =
     failwith (Printf.sprintf "workload level must be 1..%d" (Array.length levels))
   else levels.(n - 1)
 
-let find_workload name ~level ~set_scope ~rounds ~size =
+let find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed =
   let scope = if set_scope then `Set else `Class in
+  let default = Registry.default_params in
   Registry.build
     ~params:
-      { Registry.default_params with level = level_of_int level; scope; rounds; size }
+      {
+        default with
+        level = level_of_int level;
+        scope;
+        rounds;
+        size;
+        threads;
+        seed = Option.value seed ~default:default.seed;
+      }
     name
 
+(* Registry misses (and bad flag values) raise [Failure] with a
+   one-line message — "did you mean" included; render it without a
+   backtrace. *)
+let guard f =
+  try f () with Failure msg ->
+    Printf.eprintf "fscope: %s\n" msg;
+    1
+
 let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff =
-  let c = Config.make () in
-  let c = if traditional then Config.traditional c else Config.scoped c in
-  let c = Config.with_speculation speculate c in
-  let c = match mem_latency with Some l -> Config.with_mem_latency l c | None -> c in
-  let c = match rob with Some r -> Config.with_rob_size r c | None -> c in
-  let c = match fsb with Some f -> Config.with_fsb_entries f c | None -> c in
-  let c = Config.with_mem_model mem_model c in
-  if no_spin_ff then Config.with_spin_fastforward false c else c
+  Config.v ~sfence:(not traditional) ~speculation:speculate ?mem_latency ?rob_size:rob
+    ?fsb_entries:fsb ~mem_model
+    ~spin_fastforward:(not no_spin_ff) ()
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let cmd_list () =
+  let specs =
+    List.sort
+      (fun (a : Registry.spec) (b : Registry.spec) -> String.compare a.name b.name)
+      Registry.all
+  in
   List.iter
-    (fun (s : Registry.spec) -> Printf.printf "%-14s %s\n" s.name s.description)
-    Registry.all;
+    (fun (s : Registry.spec) ->
+      Printf.printf "%-14s %-30s %s\n" s.name
+        ("[" ^ String.concat "," s.tags ^ "]")
+        s.description)
+    specs;
   0
 
 let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
-    no_spin_ff =
-  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
+    no_spin_ff rounds size threads seed =
+  guard @@ fun () ->
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
   in
@@ -76,8 +97,12 @@ let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_m
   end
 
 let cmd_compare name level set_scope jobs =
+  guard @@ fun () ->
   E.Exp_run.set_jobs jobs;
-  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
+  let w =
+    find_workload name ~level ~set_scope ~rounds:None ~size:None ~threads:None
+      ~seed:None
+  in
   let variants =
     [
       ("T", E.Exp_run.t_config);
@@ -103,8 +128,9 @@ let cmd_compare name level set_scope jobs =
   0
 
 let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem_model
-    format output ring_capacity rounds size =
-  let w = find_workload name ~level ~set_scope ~rounds ~size in
+    format output ring_capacity rounds size threads seed =
+  guard @@ fun () ->
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model
       ~no_spin_ff:false
@@ -136,8 +162,9 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem
     else 0
 
 let cmd_profile name level set_scope traditional speculate no_fence mem_latency rob fsb
-    mem_model no_spin_ff max_cycles profile_format output rounds size =
-  let w = find_workload name ~level ~set_scope ~rounds ~size in
+    mem_model no_spin_ff max_cycles profile_format output rounds size threads seed =
+  guard @@ fun () ->
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
   in
@@ -161,7 +188,11 @@ let cmd_profile name level set_scope traditional speculate no_fence mem_latency 
   0
 
 let cmd_disasm name level set_scope =
-  let w = find_workload name ~level ~set_scope ~rounds:None ~size:None in
+  guard @@ fun () ->
+  let w =
+    find_workload name ~level ~set_scope ~rounds:None ~size:None ~threads:None
+      ~seed:None
+  in
   Format.printf "%a@." Fscope_isa.Program.pp_disassembly w.W.Workload.program;
   0
 
@@ -241,7 +272,13 @@ let rounds_arg =
   Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"N" ~doc:"Rounds for wsq/nested-scopes (workload default otherwise).")
 
 let size_arg =
-  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc:"Principal size knob (per_producer/keys/nodes/bodies/patches).")
+  Arg.(value & opt (some int) None & info [ "size" ] ~docv:"N" ~doc:"Principal size knob (per_producer/keys/nodes/bodies/patches/requests).")
+
+let threads_arg =
+  Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc:"Cores for workloads with a thread-count knob (msn, wsq, spin-barrier, server-*).")
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Traffic trace seed for the server-* workloads (default 1).")
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available workloads") Term.(const cmd_list $ const ())
@@ -252,7 +289,7 @@ let run_cmd =
     Term.(
       const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ no_spin_ff_arg)
+      $ no_spin_ff_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
 
 let compare_cmd =
   Cmd.v
@@ -266,7 +303,8 @@ let trace_cmd =
     Term.(
       const cmd_trace $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ format_arg $ output_arg $ ring_arg $ rounds_arg $ size_arg)
+      $ format_arg $ output_arg $ ring_arg $ rounds_arg $ size_arg $ threads_arg
+      $ seed_arg)
 
 let no_fence_arg =
   Arg.(value & flag & info [ "no-fence" ] ~doc:"Retire fences as nops (timing-only ablation; validation is skipped).")
@@ -298,7 +336,7 @@ let profile_cmd =
       const cmd_profile $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ no_fence_arg $ mem_latency_arg $ rob_arg $ fsb_arg
       $ mem_model_arg $ no_spin_ff_arg $ max_cycles_arg $ profile_format_arg
-      $ output_arg $ rounds_arg $ size_arg)
+      $ output_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
 
 let disasm_cmd =
   Cmd.v

@@ -26,7 +26,7 @@ let fsb_sweep ?(quick = false) ?(entries = [ 1; 2; 4; 8 ]) () =
         :: List.map
              (fun fsb ->
                {
-                 Exp_run.config = Exp_run.s_config (Config.with_fsb_entries fsb Config.default);
+                 Exp_run.config = Exp_run.s_config (Config.v ~fsb_entries:fsb ());
                  workload;
                })
              entries)
@@ -127,10 +127,7 @@ let fss_sweep ?(entries = [ 1; 2; 4; 5; 6; 8 ]) () =
          (fun fss ->
            (* Hold the MT and FSB generous so only the FSS depth binds:
               the two threads' chains use 12 distinct cids. *)
-           let config =
-             Config.default |> Config.with_fss_entries fss |> Config.with_mt_entries 16
-             |> Config.with_fsb_entries 8
-           in
+           let config = Config.v ~fss_entries:fss ~mt_entries:16 ~fsb_entries:8 () in
            { Exp_run.config = Exp_run.s_config config; workload })
          entries
   in

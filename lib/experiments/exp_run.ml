@@ -10,11 +10,11 @@ type measurement = {
   avg_rob_occupancy : float;
 }
 
-let t_config c = Config.traditional c
-let s_config c = Config.scoped c
-let t_plus c = Config.with_speculation true (Config.traditional c)
-let s_plus c = Config.with_speculation true (Config.scoped c)
-let nf_config c = Config.with_nop_fences true (Config.traditional c)
+let t_config c = Config.v ~base:c ~sfence:false ()
+let s_config c = Config.v ~base:c ~sfence:true ()
+let t_plus c = Config.v ~base:c ~sfence:false ~speculation:true ()
+let s_plus c = Config.v ~base:c ~sfence:true ~speculation:true ()
+let nf_config c = Config.v ~base:c ~sfence:false ~nop_fences:true ()
 
 let measure (config : Config.t) workload =
   let result =
@@ -48,8 +48,6 @@ let jobs_ref = ref 1
 let set_jobs n = jobs_ref := max 1 n
 let jobs () = !jobs_ref
 
-type outcome = Ok_v of measurement | Raised of exn * Printexc.raw_backtrace
-
 let parmap ~jobs f (inputs : _ array) =
   let n = Array.length inputs in
   let out = Array.make n None in
@@ -61,8 +59,8 @@ let parmap ~jobs f (inputs : _ array) =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
         let r =
-          try Ok_v (f inputs.(i))
-          with e -> Raised (e, Printexc.get_raw_backtrace ())
+          try Ok (f inputs.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
         in
         out.(i) <- Some r;
         loop ()
@@ -70,13 +68,13 @@ let parmap ~jobs f (inputs : _ array) =
     in
     loop ()
   in
-  let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  let helpers = Array.init (max 0 (min jobs n - 1)) (fun _ -> Domain.spawn worker) in
   worker ();
   Array.iter Domain.join helpers;
   Array.map
     (function
-      | Some (Ok_v v) -> v
-      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok v) -> v
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
       | None -> assert false)
     out
 

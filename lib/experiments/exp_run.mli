@@ -42,6 +42,14 @@ val set_jobs : int -> unit
 
 val jobs : unit -> int
 
+val parmap : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Generic deterministic fan-out over domains: applies [f] to every
+    element (work-stealing by atomic index) and returns results in
+    input order.  [f] must be safe to run concurrently with itself;
+    with [jobs <= 1] everything runs on the calling domain.  The first
+    (lowest-index) exception is re-raised after all domains join.
+    {!measure_all} and the server artefact are both built on this. *)
+
 type spec = {
   config : Fscope_machine.Config.t;
   workload : Fscope_workloads.Workload.t;

@@ -21,7 +21,7 @@ let run ?quick ?(latencies = [ 200; 300; 500 ]) () =
   let specs =
     List.concat_map
       (fun (_, latency, w) ->
-        let config = Config.with_mem_latency latency Config.default in
+        let config = Config.v ~mem_latency:latency () in
         [
           { Exp_run.config = Exp_run.t_config config; workload = w };
           { Exp_run.config = Exp_run.s_config config; workload = w };

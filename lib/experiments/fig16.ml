@@ -19,7 +19,7 @@ let run ?quick ?(sizes = [ 64; 128; 256 ]) () =
   let specs =
     List.concat_map
       (fun (_, rob, w) ->
-        let config = Config.with_rob_size rob Config.default in
+        let config = Config.v ~rob_size:rob () in
         [
           { Exp_run.config = Exp_run.t_config config; workload = w };
           { Exp_run.config = Exp_run.s_config config; workload = w };

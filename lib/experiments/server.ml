@@ -1,0 +1,226 @@
+(* The high-traffic server artefact: the three server workloads
+   (MPMC dispatch, cache with epoch reclamation, work stealing) under
+   traditional fences, class-scoped S-Fence and set-scoped S-Fence.
+
+   Unlike the figure experiments, which quote whole-run cycle counts,
+   the server suite reports *throughput* (requests retired per
+   kilocycle of simulated time) and the *tail* of the per-episode
+   fence-stall distribution (p50/p90/p99 over the traced
+   [fence/stall_cycles] histogram) — the quantities a server operator
+   would ask about.
+
+   Every point is triple-checked before it lands in a row:
+   - the event-horizon engine and the naive reference loop must agree
+     bit-for-bit (spin fast-forward counters excluded);
+   - the workload's functional validation must pass;
+   - the traced (profiled) run must reproduce the untraced cycle count
+     exactly, since tracing is timing-neutral by contract.
+   A row is therefore identical no matter which loop, job count or
+   host produced it, which is what lets CI diff BENCH_server.json. *)
+
+module Config = Fscope_machine.Config
+module Machine = Fscope_machine.Machine
+module Table = Fscope_util.Table
+module Obs = Fscope_obs
+module W = Fscope_workloads
+
+type row = {
+  sv_workload : string;
+  sv_config : string;
+  sv_cycles : int;
+  sv_requests : int;
+  sv_rpk : float;  (* requests retired per 1000 simulated cycles *)
+  sv_fence_share : float;  (* % of active cycles in the CPI fence bucket *)
+  sv_stall_episodes : int;
+  sv_stall_cycles : int;
+  sv_stall_mean : float;
+  sv_stall_p50 : int;
+  sv_stall_p90 : int;
+  sv_stall_p99 : int;
+  sv_stall_max : int;  (* floors of the log2 stall histogram *)
+}
+
+type point = {
+  pt_workload : string;
+  pt_config : string;
+  pt_requests : int;
+  pt_machine : Config.t;
+  pt_build : unit -> W.Workload.t;
+}
+
+(* The engine's spin fast-forward counters describe how a result was
+   reached, not the result; the reference loop never spins. *)
+let strip_spin (r : Machine.result) =
+  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+
+(* Nearest-rank percentile over the log2-bucket histogram, reported as
+   the bucket lower bound (the resolution the histogram actually
+   has). *)
+let percentile (h : Obs.Metrics.hist_snapshot) q =
+  if h.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec go seen = function
+      | [] -> 0
+      | (floor, c) :: rest ->
+        let seen = seen + c in
+        if seen >= rank then floor else go seen rest
+    in
+    go 0 h.buckets
+  end
+
+let max_floor (h : Obs.Metrics.hist_snapshot) =
+  List.fold_left (fun acc (floor, _) -> max acc floor) 0 h.buckets
+
+let eval pt =
+  let w = pt.pt_build () in
+  let program = w.W.Workload.program in
+  let engine_r = Machine.run pt.pt_machine program in
+  let naive_r = Machine.run_reference pt.pt_machine program in
+  if strip_spin engine_r <> strip_spin naive_r then
+    failwith
+      (Printf.sprintf "server %s (%s): engine/reference mismatch" pt.pt_workload
+         pt.pt_config);
+  (match w.W.Workload.validate engine_r with
+  | Ok () -> ()
+  | Error msg ->
+    failwith
+      (Printf.sprintf "server %s (%s): validation failed — %s" pt.pt_workload
+         pt.pt_config msg));
+  let input = Profiling.profile ~label:pt.pt_config pt.pt_machine w in
+  if input.Obs.Profile.cycles <> engine_r.Machine.cycles then
+    failwith
+      (Printf.sprintf "server %s (%s): traced run not timing-neutral" pt.pt_workload
+         pt.pt_config);
+  let active = Array.fold_left ( + ) 0 input.Obs.Profile.core_active in
+  let fence =
+    Array.fold_left (fun acc c -> acc + Obs.Cpi.fence_cycles c) 0 input.Obs.Profile.cpi
+  in
+  let h =
+    match input.Obs.Profile.metrics with
+    | Some m -> (
+      match Obs.Metrics.find_histogram m "fence/stall_cycles" with
+      | Some h -> h
+      | None -> { Obs.Metrics.count = 0; sum = 0; buckets = [] })
+    | None -> failwith "server: traced run carried no metrics"
+  in
+  {
+    sv_workload = pt.pt_workload;
+    sv_config = pt.pt_config;
+    sv_cycles = engine_r.Machine.cycles;
+    sv_requests = pt.pt_requests;
+    sv_rpk =
+      1000. *. float_of_int pt.pt_requests /. float_of_int engine_r.Machine.cycles;
+    sv_fence_share = 100. *. Fscope_util.Stats.ratio ~num:fence ~den:active;
+    sv_stall_episodes = h.Obs.Metrics.count;
+    sv_stall_cycles = h.Obs.Metrics.sum;
+    sv_stall_mean =
+      (if h.Obs.Metrics.count = 0 then 0.
+       else float_of_int h.Obs.Metrics.sum /. float_of_int h.Obs.Metrics.count);
+    sv_stall_p50 = percentile h 0.50;
+    sv_stall_p90 = percentile h 0.90;
+    sv_stall_p99 = percentile h 0.99;
+    sv_stall_max = max_floor h;
+  }
+
+(* Three machine configurations per workload.  The set-scope point
+   recompiles the workload with S-FENCE[set] sites, so it is a
+   (program, machine) pair of its own. *)
+let points ~quick =
+  let threads = if quick then 4 else 8 in
+  let per = if quick then 8 else 24 in
+  let steal_reqs = if quick then 24 else 96 in
+  let t = Exp_run.t_config Config.default in
+  let s = Exp_run.s_config Config.default in
+  let per_workload name requests build =
+    [
+      (name, "T", t, (fun () -> build `Class));
+      (name, "S", s, (fun () -> build `Class));
+      (name, "S-set", s, (fun () -> build `Set));
+    ]
+    |> List.map (fun (pt_workload, pt_config, pt_machine, pt_build) ->
+           { pt_workload; pt_config; pt_machine; pt_build; pt_requests = requests })
+  in
+  per_workload "server-mpmc"
+    (W.Mpmc.requests ~threads ~per_producer:per ())
+    (fun scope -> W.Mpmc.make ~threads ~per_producer:per ~scope ())
+  @ per_workload "server-cache"
+      (threads * per)
+      (fun scope -> W.Cache_server.make ~threads ~per_thread:per ~scope ())
+  @ per_workload "server-steal" steal_reqs (fun scope ->
+        W.Steal.make ~workers:threads ~requests:steal_reqs ~scope ())
+
+let run ?(quick = false) () =
+  Array.to_list
+    (Exp_run.parmap ~jobs:(Exp_run.jobs ()) eval (Array.of_list (points ~quick)))
+
+let table rows =
+  let t =
+    Table.create ~title:"Server suite — throughput and fence-stall tails"
+      ~header:
+        [
+          "workload"; "config"; "cycles"; "reqs"; "req/kcyc"; "fence%"; "stalls";
+          "p50"; "p90"; "p99"; "max";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.sv_workload;
+          r.sv_config;
+          string_of_int r.sv_cycles;
+          string_of_int r.sv_requests;
+          Printf.sprintf "%.2f" r.sv_rpk;
+          Printf.sprintf "%.1f" r.sv_fence_share;
+          string_of_int r.sv_stall_episodes;
+          string_of_int r.sv_stall_p50;
+          string_of_int r.sv_stall_p90;
+          string_of_int r.sv_stall_p99;
+          string_of_int r.sv_stall_max;
+        ])
+    rows;
+  t
+
+(* Throughput gain of a scoped config over the same workload's T row. *)
+let gains rows =
+  List.filter_map
+    (fun r ->
+      if r.sv_config = "T" then None
+      else
+        List.find_opt
+          (fun b -> b.sv_workload = r.sv_workload && b.sv_config = "T")
+          rows
+        |> Option.map (fun b -> (r.sv_workload, r.sv_config, r.sv_rpk /. b.sv_rpk)))
+    rows
+
+let json ~quick ~jobs rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"fence-scoping/bench-server/v1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"rows\": [";
+  List.iteri
+    (fun i r ->
+      add
+        "%s\n    {\"workload\": %S, \"config\": %S, \"sim_cycles\": %d, \
+         \"requests\": %d, \"requests_per_kcycle\": %.4f, \"fence_share_pct\": %.2f, \
+         \"stall_episodes\": %d, \"stall_cycles\": %d, \"stall_mean\": %.2f, \
+         \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d}"
+        (if i = 0 then "" else ",")
+        r.sv_workload r.sv_config r.sv_cycles r.sv_requests r.sv_rpk r.sv_fence_share
+        r.sv_stall_episodes r.sv_stall_cycles r.sv_stall_mean r.sv_stall_p50
+        r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max)
+    rows;
+  add "\n  ],\n";
+  add "  \"throughput_gain_over_T\": [";
+  List.iteri
+    (fun i (w, c, g) ->
+      add "%s\n    {\"workload\": %S, \"config\": %S, \"gain\": %.4f}"
+        (if i = 0 then "" else ",")
+        w c g)
+    (gains rows);
+  add "\n  ]\n}\n";
+  Buffer.contents buf

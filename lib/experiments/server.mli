@@ -1,0 +1,43 @@
+(** The high-traffic server artefact: throughput (requests retired per
+    kilocycle) and fence-stall tail distributions (p50/p90/p99 over
+    the traced log2 [fence/stall_cycles] histogram) for the three
+    server workloads under traditional, class-scoped and set-scoped
+    fences.
+
+    Every point asserts engine/reference bit-identity, functional
+    validation and traced-run timing-neutrality before it becomes a
+    row, so a row is identical for any loop, any [--jobs] count and
+    any host — BENCH_server.json can be diffed byte-for-byte. *)
+
+type row = {
+  sv_workload : string;
+  sv_config : string;  (** ["T"], ["S"] or ["S-set"] *)
+  sv_cycles : int;
+  sv_requests : int;
+  sv_rpk : float;  (** requests retired per 1000 simulated cycles *)
+  sv_fence_share : float;  (** % of active cycles in the CPI fence bucket *)
+  sv_stall_episodes : int;
+  sv_stall_cycles : int;
+  sv_stall_mean : float;
+  sv_stall_p50 : int;
+  sv_stall_p90 : int;
+  sv_stall_p99 : int;
+  sv_stall_max : int;
+      (** percentiles are log2-bucket lower bounds — the histogram's
+          native resolution *)
+}
+
+val run : ?quick:bool -> unit -> row list
+(** Nine points (3 workloads x T/S/S-set), fanned across
+    {!Exp_run.jobs} domains; results are in point order and
+    independent of the job count. *)
+
+val table : row list -> Fscope_util.Table.t
+
+val gains : row list -> (string * string * float) list
+(** [(workload, config, throughput gain over that workload's T row)]
+    for the scoped configs. *)
+
+val json : quick:bool -> jobs:int -> row list -> string
+(** The BENCH_server.json document
+    (schema ["fence-scoping/bench-server/v1"]). *)

@@ -23,17 +23,45 @@ let mem_model_of_string = function
   | _ -> None
 
 let default = make ()
-let traditional t = { t with scope = { t.scope with enabled = false } }
-let scoped t = { t with scope = { t.scope with enabled = true } }
-let with_speculation on t = { t with exec = { t.exec with in_window_speculation = on } }
-let with_nop_fences on t = { t with exec = { t.exec with nop_fences = on } }
-let with_mem_latency latency t = { t with mem = { t.mem with mem_latency = latency } }
-let with_rob_size size t = { t with exec = { t.exec with rob_size = size } }
-let with_fsb_entries n t = { t with scope = { t.scope with fsb_entries = n } }
-let with_fss_entries n t = { t with scope = { t.scope with fss_entries = n } }
-let with_mt_entries n t = { t with scope = { t.scope with mt_entries = n } }
-let with_max_cycles n t = { t with max_cycles = n }
-let with_mem_model m t = { t with mem_model = m }
 
-let with_spin_fastforward on t =
-  { t with exec = { t.exec with spin_fastforward = on } }
+(* The one keyword constructor every builder below is a special case
+   of: start from [base] (the Table III machine when omitted) and
+   override exactly the named knobs.  An omitted argument leaves the
+   base's value untouched, so refinements compose:
+   [v ~base:(v ~sfence:false ()) ~mem_latency:500 ()]. *)
+let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_model
+    ?mem_latency ?rob_size ?fsb_entries ?fss_entries ?mt_entries ?max_cycles () =
+  let opt v dflt = Option.value v ~default:dflt in
+  {
+    exec =
+      {
+        base.exec with
+        in_window_speculation = opt speculation base.exec.in_window_speculation;
+        nop_fences = opt nop_fences base.exec.nop_fences;
+        spin_fastforward = opt spin_fastforward base.exec.spin_fastforward;
+        rob_size = opt rob_size base.exec.rob_size;
+      };
+    mem = { base.mem with mem_latency = opt mem_latency base.mem.mem_latency };
+    mem_model = opt mem_model base.mem_model;
+    scope =
+      {
+        enabled = opt sfence base.scope.enabled;
+        fsb_entries = opt fsb_entries base.scope.fsb_entries;
+        fss_entries = opt fss_entries base.scope.fss_entries;
+        mt_entries = opt mt_entries base.scope.mt_entries;
+      };
+    max_cycles = opt max_cycles base.max_cycles;
+  }
+
+let traditional t = v ~base:t ~sfence:false ()
+let scoped t = v ~base:t ~sfence:true ()
+let with_speculation on t = v ~base:t ~speculation:on ()
+let with_nop_fences on t = v ~base:t ~nop_fences:on ()
+let with_mem_latency latency t = v ~base:t ~mem_latency:latency ()
+let with_rob_size size t = v ~base:t ~rob_size:size ()
+let with_fsb_entries n t = v ~base:t ~fsb_entries:n ()
+let with_fss_entries n t = v ~base:t ~fss_entries:n ()
+let with_mt_entries n t = v ~base:t ~mt_entries:n ()
+let with_max_cycles n t = v ~base:t ~max_cycles:n ()
+let with_mem_model m t = v ~base:t ~mem_model:m ()
+let with_spin_fastforward on t = v ~base:t ~spin_fastforward:on ()

@@ -1,11 +1,13 @@
 (** Whole-machine configuration: pipeline, memory system, S-Fence
     hardware, and the run's safety limit.
 
-    Build configurations with {!make} (or start from {!default}) and
-    refine them with the [with_*] combinators.  The record type stays
-    exposed for pattern matching, but prefer the builders over direct
-    record construction or record-update syntax — new fields then
-    never break call sites. *)
+    Build configurations with the keyword constructor {!v}, which
+    subsumes the older accreted [with_*] builder chain: every [with_*]
+    combinator is now a one-option special case of {!v} and is kept
+    only so existing call sites stay source-compatible.  The record
+    type stays exposed for pattern matching, but prefer {!v} over
+    direct record construction or record-update syntax — new fields
+    then never break call sites. *)
 
 (** Which backend answers the cores' memory transactions. *)
 type mem_model =
@@ -44,6 +46,40 @@ val default : t
     configuration — ROB 128, 32 KB L1 (2 cycles), 1 MB shared L2
     (10 cycles), 300-cycle memory, 4 FSB entries, 4 FSS entries,
     S-Fence hardware enabled, no in-window speculation. *)
+
+val v :
+  ?base:t ->
+  ?sfence:bool ->
+  ?speculation:bool ->
+  ?nop_fences:bool ->
+  ?spin_fastforward:bool ->
+  ?mem_model:mem_model ->
+  ?mem_latency:int ->
+  ?rob_size:int ->
+  ?fsb_entries:int ->
+  ?fss_entries:int ->
+  ?mt_entries:int ->
+  ?max_cycles:int ->
+  unit ->
+  t
+(** The one keyword constructor: start from [base] ({!default} when
+    omitted) and override exactly the named knobs.
+
+    - [sfence]: S-Fence hardware on (S) / off — every fence behaves as
+      a traditional full fence (baseline T);
+    - [speculation]: in-window speculation (the + variants;
+      timing-only, validation is skipped on speculative runs);
+    - [nop_fences]: the no-fence ablation — fences retire immediately
+      and order nothing (timing-only upper bound);
+    - [spin_fastforward]: the engine's spin sleep/replay optimisation
+      (bit-identical results either way, wall-clock only);
+    - [mem_model], [mem_latency], [rob_size], [fsb_entries],
+      [fss_entries], [mt_entries], [max_cycles]: as the record fields.
+
+    Omitted arguments keep the base's value, so refinements compose:
+    [v ~base:(v ~sfence:false ()) ~mem_latency:500 ()].  Every
+    [with_*] builder below is a one-option special case of [v], kept
+    for source compatibility. *)
 
 val traditional : t -> t
 (** The same machine with the S-Fence hardware disabled: every fence

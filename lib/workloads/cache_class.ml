@@ -1,0 +1,108 @@
+(* The shared side of the server-cache workload: a fixed-bucket hash
+   map where each bucket holds at most one node (CAS-swap replacement),
+   plus the epoch/announcement state of its epoch-based reclamation.
+
+   Three fence sites, all on hot paths:
+   - put: store-store publish fence between the node-content stores and
+     the bucket CAS (Fig. 2's publication pattern);
+   - get: load-load fence between the bucket read and the node-content
+     reads;
+   - announce: a full (store-load) fence after the announcement store —
+     the classic EBR entry fence.
+
+   The [fence] parameter picks the scope (traditional, class or set);
+   the flavors are applied here. *)
+
+open Dsl
+module Ast = Fscope_slang.Ast
+
+let offline = 1_000_000
+(* An announcement larger than any reachable epoch: an offline thread
+   never blocks epoch advancement. *)
+
+let set_fence_vars ~instances =
+  List.concat_map
+    (fun inst ->
+      List.map (Ast.field_symbol inst) [ "epoch"; "slot"; "nkey"; "nval"; "ann" ])
+    instances
+
+(* Multiplicative hash, mirrored by Cache_server.hash_mirror for
+   validation. *)
+let hash k ~buckets = bxor (k * i 40503) (k >> i 3) % i buckets
+
+let decl ~fence ~threads ~buckets ~pool =
+  let put =
+    meth "put" [ "k"; "node" ] ~returns:true
+      [
+        sfldelem "self" "nkey" (l "node") (l "k");
+        sfldelem "self" "nval" (l "node") (l "k" + i 1001);
+        fence_ss fence (* publish: node contents before the bucket CAS *);
+        let_ "h" (hash (l "k") ~buckets);
+        let_ "old" (i 0);
+        let_ "ok" (i 0);
+        while_
+          (not_ (l "ok"))
+          [
+            set "old" (fldelem "self" "slot" (l "h"));
+            cas_fldelem "ok" "self" "slot" (l "h") (l "old") (l "node");
+          ];
+        return_ (l "old");
+      ]
+  in
+  let get =
+    meth "get" [ "k" ] ~returns:true
+      [
+        let_ "h" (hash (l "k") ~buckets);
+        let_ "n" (fldelem "self" "slot" (l "h"));
+        when_ (l "n" = i 0) [ return_ (i 0) (* empty bucket *) ];
+        fence_ll fence (* the bucket read before the node-content reads *);
+        when_
+          (fldelem "self" "nkey" (l "n") = l "k")
+          [ return_ (fldelem "self" "nval" (l "n")) ];
+        return_ (i (-1));
+      ]
+  in
+  let announce =
+    meth "announce" [ "t" ] ~returns:true
+      [
+        let_ "e" (fld "self" "epoch");
+        sfldelem "self" "ann" (l "t") (l "e");
+        fence (* store-load: the announcement before any node access *);
+        return_ (l "e");
+      ]
+  in
+  let offline_m =
+    meth "offline" [ "t" ]
+      [ sfldelem "self" "ann" (l "t") (i offline); fence ]
+  in
+  let try_advance =
+    meth "try_advance" []
+      [
+        let_ "e" (fld "self" "epoch");
+        let_ "m" (i offline);
+        let_ "j" (i 0);
+        while_
+          (l "j" < i threads)
+          [
+            let_ "a" (fldelem "self" "ann" (l "j"));
+            when_ (l "a" < l "m") [ set "m" (l "a") ];
+            set "j" (l "j" + i 1);
+          ];
+        let_ "ok" (i 0);
+        when_
+          (l "m" >= l "e")
+          [ cas_fld "ok" "self" "epoch" (l "e") (l "e" + i 1) ];
+      ]
+  in
+  {
+    Ast.cname = "Cache";
+    scalars = [ scalar "epoch" 1 ];
+    arrays =
+      [
+        array "slot" buckets;
+        array "nkey" pool;
+        array "nval" pool;
+        array "ann" threads;
+      ];
+    methods = [ put; get; announce; offline_m; try_advance ];
+  }

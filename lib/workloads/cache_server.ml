@@ -1,0 +1,244 @@
+(* server-cache: a concurrent hash-map cache with epoch-based
+   reclamation under a bursty request trace.
+
+   Every core is a server thread replaying its own Traffic stream: per
+   request it paces (open-loop delay), announces the current epoch (the
+   EBR entry fence — a hot full fence), then serves a GET (3 of 4
+   keys) or a PUT (key mod 4 = 0).  A PUT takes a node from the
+   thread's private free stack, publishes it with a store-store fence,
+   and CAS-swaps it into the bucket; the displaced node is retired into
+   the thread's private limbo ring tagged with the announcement epoch,
+   and reclaimed once the global epoch has advanced two past it.
+
+   All reclamation bookkeeping (free stack, limbo ring) is
+   thread-private by construction, so the only shared state the fences
+   must order is the Cache instance itself — which is exactly what the
+   set-scoped fence covers. *)
+
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let keys_name t = Printf.sprintf "ckeys%d" t
+let gaps_name t = Printf.sprintf "cgaps%d" t
+let free_name t = Printf.sprintf "cfree%d" t
+let limbo_name t = Printf.sprintf "climbo%d" t
+let lepoch_name t = Printf.sprintf "clepoch%d" t
+let scratch_name t = Printf.sprintf "cscr%d" t
+
+(* OCaml mirror of Cache_class.hash, for validation. *)
+let hash_mirror ~buckets k = ((k * 40503) lxor (k asr 3)) mod buckets
+
+let thread_body ~me ~count ~cap ~service =
+  let open Dsl in
+  [
+    let_ "ftop" (i cap);
+    let_ "lhead" (i 0);
+    let_ "ltail" (i 0);
+    let_ "hits" (i 0);
+    let_ "miss" (i 0);
+    let_ "puts" (i 0);
+    let_ "drop" (i 0);
+    let_ "freed" (i 0);
+    let_ "k" (i 0);
+    while_
+      (l "k" < i count)
+      ([ let_ "gap" (elem (gaps_name me) (l "k")) ]
+      @ delay ~unique:"pace" (l "gap")
+      @ [
+          let_ "e" (i 0);
+          callv "e" "c" "announce" [ tid ];
+          let_ "key" (elem (keys_name me) (l "k"));
+          if_
+            ((l "key" % i 4) = i 0)
+            [
+              if_ (l "ftop" > i 0)
+                [
+                  set "ftop" (l "ftop" - i 1);
+                  let_ "node" (elem (free_name me) (l "ftop"));
+                  let_ "old" (i 0);
+                  callv "old" "c" "put" [ l "key"; l "node" ];
+                  set "puts" (l "puts" + i 1);
+                  when_
+                    (l "old" > i 0)
+                    [
+                      (* Retire the displaced node: free only after a
+                         two-epoch grace period. *)
+                      selem (limbo_name me) (l "ltail") (l "old");
+                      selem (lepoch_name me) (l "ltail") (l "e");
+                      set "ltail" (l "ltail" + i 1);
+                    ];
+                ]
+                [ set "drop" (l "drop" + i 1) ];
+            ]
+            [
+              let_ "v" (i 0);
+              callv "v" "c" "get" [ l "key" ];
+              if_ (l "v" > i 0)
+                [ set "hits" (l "hits" + i 1) ]
+                [ set "miss" (l "miss" + i 1) ];
+            ];
+        ]
+      (* Handler work dirties private scratch lines right before the
+         next request's announce fence. *)
+      @ scratch_work ~unique:"serve" ~arr:(scratch_name me)
+          (((l "key" % i 4) + i 1) * i service)
+      @ [
+          when_
+            ((l "k" % i 8) = i 7)
+            [
+              call "c" "try_advance" [];
+              let_ "more" (i 1);
+              while_
+                (l "more" &&& (l "lhead" < l "ltail"))
+                [
+                  if_
+                    (elem (lepoch_name me) (l "lhead") + i 2 <= fld "c" "epoch")
+                    [
+                      selem (free_name me) (l "ftop")
+                        (elem (limbo_name me) (l "lhead"));
+                      set "ftop" (l "ftop" + i 1);
+                      set "lhead" (l "lhead" + i 1);
+                      set "freed" (l "freed" + i 1);
+                    ]
+                    [ set "more" (i 0) (* ring is epoch-ordered *) ];
+                ];
+            ];
+          set "k" (l "k" + i 1);
+        ]);
+    selem "st_hits" tid (l "hits");
+    selem "st_miss" tid (l "miss");
+    selem "st_puts" tid (l "puts");
+    selem "st_drop" tid (l "drop");
+    selem "st_freed" tid (l "freed");
+    selem "st_ftop" tid (l "ftop");
+    selem "st_lhead" tid (l "lhead");
+    selem "st_ltail" tid (l "ltail");
+    call "c" "offline" [ tid ];
+  ]
+
+let make ?(threads = 8) ?(per_thread = 16) ?(seed = 1) ?(mean_burst = 4)
+    ?(mean_gap = 200) ?(key_skew = 1) ?(key_space = 64) ?(buckets = 32)
+    ?(service = 16) ~scope () =
+  if threads < 1 then invalid_arg "Cache_server.make: need at least one thread";
+  let trace =
+    Traffic.make
+      {
+        Traffic.default with
+        seed;
+        clients = threads;
+        requests = threads * per_thread;
+        mean_burst;
+        mean_gap;
+        key_skew;
+        key_space;
+      }
+  in
+  let counts = Array.init threads (Traffic.client_requests trace) in
+  (* Node slices: thread t owns [1 + t*cap, 1 + (t+1)*cap); node 0
+     means "empty bucket".  cap < per_thread/4 would make almost every
+     PUT a drop, so keep at least a handful per thread. *)
+  let cap = max 4 (per_thread / 2) in
+  let pool = 1 + (threads * cap) in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Cache_class.set_fence_vars ~instances:[ "c" ])
+  in
+  let stat name = Ast.G_array (name, threads, None) in
+  let program_ast =
+    {
+      Ast.classes = [ Cache_class.decl ~fence ~threads ~buckets ~pool ];
+      instances = [ { Ast.iname = "c"; cls = "Cache" } ];
+      globals =
+        List.map stat
+          [
+            "st_hits"; "st_miss"; "st_puts"; "st_drop"; "st_freed"; "st_ftop";
+            "st_lhead"; "st_ltail";
+          ]
+        @ List.concat
+            (List.init threads (fun t ->
+                 let free_init =
+                   Array.init pool (fun j ->
+                       if j < cap then 1 + (t * cap) + j else 0)
+                 in
+                 [
+                   Ast.G_array (keys_name t, counts.(t), Some trace.Traffic.keys.(t));
+                   Ast.G_array (gaps_name t, counts.(t), Some trace.Traffic.gaps.(t));
+                   Ast.G_array (free_name t, pool, Some free_init);
+                   Ast.G_array (limbo_name t, counts.(t) + 1, None);
+                   Ast.G_array (lepoch_name t, counts.(t) + 1, None);
+                   Ast.G_array (scratch_name t, 64, None);
+                 ]))
+      ;
+      threads =
+        List.init threads (fun t ->
+            thread_body ~me:t ~count:counts.(t) ~cap ~service);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let total = Traffic.total trace in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let addr name = Program.address_of program name in
+    let problem = ref None in
+    let check cond msg = if not cond && !problem = None then problem := Some (msg ()) in
+    (* Exactly-once node accounting: at quiescence every node is live
+       in one bucket, on one free stack, or in one limbo ring. *)
+    let seen = Array.make pool 0 in
+    let slot_base = addr "c.slot" in
+    let nkey_base = addr "c.nkey" in
+    let nval_base = addr "c.nval" in
+    for b = 0 to buckets - 1 do
+      let n = mem.(slot_base + b) in
+      if n <> 0 then begin
+        check (n >= 1 && n < pool) (fun () ->
+            Printf.sprintf "bucket %d holds out-of-range node %d" b n);
+        if n >= 1 && n < pool then begin
+          seen.(n) <- seen.(n) + 1;
+          let k = mem.(nkey_base + n) in
+          check (hash_mirror ~buckets k = b) (fun () ->
+              Printf.sprintf "node %d with key %d lives in bucket %d" n k b);
+          check (mem.(nval_base + n) = k + 1001) (fun () ->
+              Printf.sprintf "node %d value torn: key %d value %d" n k
+                mem.(nval_base + n))
+        end
+      end
+    done;
+    for t = 0 to threads - 1 do
+      let ftop = mem.(addr "st_ftop" + t) in
+      let lhead = mem.(addr "st_lhead" + t) in
+      let ltail = mem.(addr "st_ltail" + t) in
+      for j = 0 to ftop - 1 do
+        let n = mem.(addr (free_name t) + j) in
+        if n >= 1 && n < pool then seen.(n) <- seen.(n) + 1
+      done;
+      for j = lhead to ltail - 1 do
+        let n = mem.(addr (limbo_name t) + j) in
+        if n >= 1 && n < pool then seen.(n) <- seen.(n) + 1
+      done
+    done;
+    for n = 1 to pool - 1 do
+      check (seen.(n) = 1) (fun () ->
+          Printf.sprintf "node %d accounted %d times" n seen.(n))
+    done;
+    (* Every request served exactly one way. *)
+    let sum name =
+      let base = addr name in
+      let s = ref 0 in
+      for t = 0 to threads - 1 do s := !s + mem.(base + t) done;
+      !s
+    in
+    let ops = sum "st_hits" + sum "st_miss" + sum "st_puts" + sum "st_drop" in
+    check (ops = total) (fun () ->
+        Printf.sprintf "served %d of %d requests" ops total);
+    match !problem with
+    | Some msg -> Error msg
+    | None -> Ok ()
+  in
+  {
+    Workload.name = "server-cache";
+    description = "hash-map cache with epoch-based reclamation under bursty gets/puts";
+    program;
+    validate;
+  }

@@ -1,0 +1,31 @@
+(** server-cache: a concurrent hash-map cache with epoch-based
+    reclamation, every core serving its own bursty {!Traffic} stream of
+    GETs and PUTs.
+
+    The hot fences are the EBR announce (full), the PUT publish
+    (store-store) and the GET bucket-to-contents ordering (load-load),
+    all inside {!Cache_class} and scoped per [scope]; reclamation
+    bookkeeping is thread-private, which is what makes the set scope
+    precise. *)
+
+val make :
+  ?threads:int ->
+  ?per_thread:int ->
+  ?seed:int ->
+  ?mean_burst:int ->
+  ?mean_gap:int ->
+  ?key_skew:int ->
+  ?key_space:int ->
+  ?buckets:int ->
+  ?service:int ->
+  scope:[ `Class | `Set ] ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads, 16 requests each, seed 1, 64 keys (skew 1)
+    over 32 buckets, mean gap 200.  Validation is schedule-independent:
+    exactly-once node accounting across buckets / free stacks / limbo
+    rings, bucket-hash and value consistency, and a full op count. *)
+
+val hash_mirror : buckets:int -> int -> int
+(** The OCaml mirror of the slang-side bucket hash (exposed for
+    tests). *)

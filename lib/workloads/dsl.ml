@@ -21,6 +21,9 @@ let ( = ) a b = Binop (Eq, a, b)
 let ( <> ) a b = Binop (Ne, a, b)
 let ( &&& ) a b = Binop (Band, a, b)
 let ( ||| ) a b = Binop (Bor, a, b)
+let ( << ) a b = Binop (Shl, a, b)
+let ( >> ) a b = Binop (Shr, a, b)
+let bxor a b = Binop (Bxor, a, b)
 let not_ e = Not e
 
 let let_ name e = Let (name, e)
@@ -60,6 +63,39 @@ let call instance meth args = Call_stmt { instance = Some instance; meth; args }
 let callv dst instance meth args = Call_assign (dst, { instance = Some instance; meth; args })
 let return_ e = Return (Some e)
 let return_unit = Return None
+
+(* A deterministic all-register countdown of [n] iterations ([n] may
+   be an expression, e.g. a baked per-request gap).  The loop body
+   touches no memory, so it can never arm the spin fast-forward. *)
+let delay ~unique n =
+  let d = unique ^ "_d" in
+  [ let_ d n; while_ (l d > i 0) [ set d (l d - i 1) ] ]
+
+(* Atomic fetch-and-add on a scalar global via a CAS retry loop; the
+   server workloads use it for shared completion / termination
+   counters. *)
+let fetch_add_g ~unique name by =
+  let ok = unique ^ "_ok" and cur = unique ^ "_c" in
+  [
+    let_ ok (i 0);
+    while_
+      (not_ (l ok))
+      [ let_ cur (g name); cas_g ok name (l cur) (l cur + by) ];
+  ]
+
+let incr_elem arr idx = selem arr idx (elem arr idx + i 1)
+
+(* Like [delay], but each iteration stores into the thread-private
+   array [arr] (size >= 64): the request-handler work of the server
+   workloads.  The dirty private lines are what a traditional fence
+   must drain and a scoped fence may ignore — the paper's Fig. 12
+   effect, produced by the workload itself rather than the harness. *)
+let scratch_work ~unique ~arr n =
+  let d = unique ^ "_w" in
+  [
+    let_ d n;
+    while_ (l d > i 0) [ selem arr (l d % i 64) (l d); set d (l d - i 1) ];
+  ]
 
 let meth mname params ?(returns = false) body = { mname; params; returns; body }
 let scalar name init = (name, init)

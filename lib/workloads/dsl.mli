@@ -37,6 +37,13 @@ val ( &&& ) : expr -> expr -> expr
 (** Bitwise and — logical "and" when operands are 0/1. *)
 
 val ( ||| ) : expr -> expr -> expr
+
+val ( << ) : expr -> expr -> expr
+(** Shift left — with {!( >> )} and {!bxor}, enough for the integer
+    hash mixing the server-cache workload does in slang. *)
+
+val ( >> ) : expr -> expr -> expr
+val bxor : expr -> expr -> expr
 val not_ : expr -> expr
 
 (** {2 Statements} *)
@@ -92,6 +99,26 @@ val callv : string -> string -> string -> expr list -> stmt
 
 val return_ : expr -> stmt
 val return_unit : stmt
+
+(** {2 Composite blocks} *)
+
+val delay : unique:string -> expr -> block
+(** [delay ~unique n]: an all-register countdown of [n] iterations —
+    the open-loop arrival pacing of the server workloads.  [unique]
+    disambiguates the loop's local per call site. *)
+
+val fetch_add_g : unique:string -> string -> expr -> block
+(** [fetch_add_g ~unique name by]: atomic fetch-and-add on a scalar
+    global via a CAS retry loop. *)
+
+val incr_elem : string -> expr -> stmt
+(** [incr_elem arr idx]: [arr\[idx\] <- arr\[idx\] + 1]. *)
+
+val scratch_work : unique:string -> arr:string -> expr -> block
+(** [scratch_work ~unique ~arr n]: an [n]-iteration countdown that
+    stores into the thread-private array [arr] (size >= 64) each
+    iteration — request-handler work whose dirty private lines a
+    traditional fence must drain but a scoped fence may skip. *)
 
 (** {2 Declarations} *)
 

@@ -1,0 +1,33 @@
+(** server-mpmc: an MPMC request-dispatch queue under bursty traffic.
+
+    [max 1 (threads/4)] producers replay a deterministic {!Traffic}
+    arrival trace into a shared Michael-Scott queue; the remaining
+    cores are workers that dequeue, claim each request exactly once,
+    and serve it with key-dependent register work.  The hot fences are
+    the publish and dispatch paths inside {!Msn_class}, scoped per
+    [scope]. *)
+
+val make :
+  ?threads:int ->
+  ?per_producer:int ->
+  ?seed:int ->
+  ?mean_burst:int ->
+  ?mean_gap:int ->
+  ?key_skew:int ->
+  ?mode:Traffic.mode ->
+  ?window:int ->
+  ?service:int ->
+  scope:[ `Class | `Set ] ->
+  unit ->
+  Workload.t
+(** Defaults: 8 threads (2 producers, 6 workers), 16 requests per
+    producer, seed 1, mean burst 4, mean gap 300, key skew 1, open
+    loop.  [window] bounds in-flight requests in closed-loop mode;
+    [service] scales the per-request work ((key mod 4 + 1) * service
+    delay iterations).  Validation checks exactly-once service of
+    every request, an empty queue, and full injected/retired counts —
+    all schedule-independent. *)
+
+val requests : ?threads:int -> ?per_producer:int -> unit -> int
+(** Total requests the corresponding [make] will inject — used by the
+    server experiment to report requests per kilocycle. *)

@@ -1,95 +1,207 @@
-type params = {
+type params = Workload.params = {
   level : Privwork.level;
   scope : [ `Class | `Set ];
   attempts : int;
   rounds : int option;
   size : int option;
+  threads : int option;
+  seed : int;
 }
 
-let default_params =
-  {
-    level = Privwork.fig12_levels.(2);
-    scope = `Class;
-    attempts = 30;
-    rounds = None;
-    size = None;
-  }
+let default_params = Workload.default_params
 
-type spec = {
-  name : string;
-  description : string;
-  make : params -> Workload.t;
-}
+type spec = Workload.spec
 
-let all =
+open Workload.Spec
+
+let size_param ~doc ~default = sized "size" ~doc ~default
+let rounds_param ~doc ~default = sized "rounds" ~doc ~default
+
+let all : spec list =
   [
     {
       name = "dekker";
       description = "Dekker try-lock, set-scoped fences over {flag0,flag1,counter}";
-      make = (fun p -> Dekker.make ~level:p.level ~attempts:p.attempts);
+      tags = [ "paper"; "lock" ];
+      params = [ sized "attempts" ~doc:"try-lock attempts per thread" ~default:"30" ];
+      build = (fun p -> Dekker.make ~level:p.level ~attempts:p.attempts);
     };
     {
       name = "wsq";
       description = "Chase-Lev work-stealing deque under the Fig. 12 harness";
-      make = (fun p -> Wsq.make ?rounds:p.rounds ~scope:p.scope ~level:p.level ());
+      tags = [ "paper"; "deque" ];
+      params = [ rounds_param ~doc:"owner put/take rounds" ~default:"12" ];
+      build = (fun p -> Wsq.make ?threads:p.threads ?rounds:p.rounds ~scope:p.scope ~level:p.level ());
     };
     {
       name = "wsq-flavored";
       description = "wsq with directional (store-store/store-load) fence flavours";
-      make =
+      tags = [ "paper"; "deque"; "flavored" ];
+      params = [ rounds_param ~doc:"owner put/take rounds" ~default:"12" ];
+      build =
         (fun p ->
-          Wsq.make ?rounds:p.rounds ~flavored:true ~scope:p.scope ~level:p.level ());
+          Wsq.make ?threads:p.threads ?rounds:p.rounds ~flavored:true ~scope:p.scope
+            ~level:p.level ());
     };
     {
       name = "msn";
       description = "Michael-Scott non-blocking queue under the Fig. 12 harness";
-      make = (fun p -> Msn.make ?per_producer:p.size ~scope:p.scope ~level:p.level ());
+      tags = [ "paper"; "queue" ];
+      params = [ size_param ~doc:"values enqueued per producer" ~default:"16" ];
+      build =
+        (fun p ->
+          Msn.make ?threads:p.threads ?per_producer:p.size ~scope:p.scope ~level:p.level ());
     };
     {
       name = "harris";
       description = "Harris lock-free sorted-list set under the Fig. 12 harness";
-      make = (fun p -> Harris.make ?keys_per_thread:p.size ~scope:p.scope ~level:p.level ());
+      tags = [ "paper"; "list" ];
+      params = [ size_param ~doc:"keys inserted per thread" ~default:"2" ];
+      build =
+        (fun p -> Harris.make ?keys_per_thread:p.size ~scope:p.scope ~level:p.level ());
     };
     {
       name = "pst";
       description = "parallel spanning tree over work-stealing deques (Fig. 3)";
-      make = (fun p -> Pst.make ?nodes:p.size ~scope:p.scope ());
+      tags = [ "paper"; "app"; "graph" ];
+      params = [ size_param ~doc:"graph nodes" ~default:"1024" ];
+      build = (fun p -> Pst.make ?nodes:p.size ~scope:p.scope ());
     };
     {
       name = "ptc";
       description = "parallel transitive closure over work-stealing deques";
-      make = (fun p -> Ptc.make ?nodes:p.size ~scope:p.scope ());
+      tags = [ "paper"; "app"; "graph" ];
+      params = [ size_param ~doc:"graph nodes" ~default:"320" ];
+      build = (fun p -> Ptc.make ?nodes:p.size ~scope:p.scope ());
     };
     {
       name = "barnes";
       description = "Barnes-Hut-style force kernel, SC enforced by set-scoped fences";
-      make = (fun p -> Barnes.make ?bodies:p.size ());
+      tags = [ "paper"; "app" ];
+      params = [ size_param ~doc:"bodies" ~default:"256" ];
+      build = (fun p -> Barnes.make ?bodies:p.size ());
     };
     {
       name = "radiosity";
       description = "radiosity-style patch interactions, SC enforced by set-scoped fences";
-      make = (fun p -> Radiosity.make ?patches:p.size ());
+      tags = [ "paper"; "app" ];
+      params = [ size_param ~doc:"patches" ~default:"192" ];
+      build = (fun p -> Radiosity.make ?patches:p.size ());
     };
     {
       name = "nested-scopes";
       description = "6-deep class-scope nesting chain";
-      make = (fun p -> Nested.make ?rounds:p.rounds ());
+      tags = [ "ablation" ];
+      params = [ rounds_param ~doc:"chain rounds" ~default:"16" ];
+      build = (fun p -> Nested.make ?rounds:p.rounds ());
     };
     {
       name = "spin-barrier";
       description = "master/worker round barrier; workers busy-spin on the round stamp";
-      make = (fun p -> Spin_barrier.make ?threads:p.size ?rounds:p.rounds ());
+      tags = [ "spin"; "barrier" ];
+      params =
+        [
+          size_param ~doc:"threads (master + workers)" ~default:"4";
+          rounds_param ~doc:"barrier rounds" ~default:"12";
+        ];
+      build =
+        (fun p ->
+          let threads = match p.threads with Some _ as t -> t | None -> p.size in
+          Spin_barrier.make ?threads ?rounds:p.rounds ());
+    };
+    {
+      name = "server-mpmc";
+      description = "MPMC request-dispatch queue: bursty producers feeding worker cores";
+      tags = [ "server"; "queue"; "traffic" ];
+      params =
+        [
+          size_param ~doc:"requests per producer" ~default:"16";
+          sized "threads" ~doc:"total cores (1/4 producers, rest workers)" ~default:"8";
+          sized "seed" ~doc:"traffic trace seed" ~default:"1";
+        ];
+      build =
+        (fun p ->
+          Mpmc.make ?threads:p.threads ?per_producer:p.size ~seed:p.seed ~scope:p.scope ());
+    };
+    {
+      name = "server-cache";
+      description = "concurrent hash-map cache with epoch-based reclamation under skewed gets/puts";
+      tags = [ "server"; "cache"; "epoch"; "traffic" ];
+      params =
+        [
+          size_param ~doc:"requests per thread" ~default:"24";
+          sized "threads" ~doc:"cores" ~default:"8";
+          sized "seed" ~doc:"traffic trace seed" ~default:"1";
+        ];
+      build =
+        (fun p ->
+          Cache_server.make ?threads:p.threads ?per_thread:p.size ~seed:p.seed
+            ~scope:p.scope ());
+    };
+    {
+      name = "server-steal";
+      description = "work-stealing scheduler: skewed bursty arrivals over per-core deques";
+      tags = [ "server"; "deque"; "traffic" ];
+      params =
+        [
+          size_param ~doc:"total requests" ~default:"64";
+          sized "threads" ~doc:"worker cores (one deque each)" ~default:"8";
+          sized "seed" ~doc:"traffic trace seed" ~default:"1";
+        ];
+      build =
+        (fun p ->
+          Steal.make ?workers:p.threads ?requests:p.size ~seed:p.seed ~scope:p.scope ());
     };
   ]
 
-let names = List.map (fun s -> s.name) all
-let find name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun (s : spec) -> s.name) all
+let find name = Workload.Spec.find name all
+
+(* ------------------------------------------------------------------ *)
+(* "Did you mean": nearest registry entries by edit distance.          *)
+(* ------------------------------------------------------------------ *)
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  lsub > 0 && go 0
+
+let suggest ?(max = 3) name =
+  let scored =
+    List.map (fun n -> (edit_distance name n, n)) names
+    |> List.filter (fun (d, n) ->
+           (* Close misses and substring matches ("cache" for
+              "server-cache"), not the whole registry. *)
+           d <= Stdlib.max 1 (String.length name / 3)
+           || (String.length name >= 3 && contains ~sub:name n))
+    |> List.sort compare
+  in
+  List.filteri (fun i _ -> i < max) (List.map snd scored)
+
+let unknown_message name =
+  match suggest name with
+  | [] ->
+    Printf.sprintf "unknown workload '%s' (run 'fscope list' for the registry)" name
+  | near -> Printf.sprintf "unknown workload '%s' — did you mean: %s?" name
+              (String.concat ", " near)
 
 let get name =
   match find name with
   | Some s -> s
-  | None ->
-    failwith
-      (Printf.sprintf "unknown workload %s (try: %s)" name (String.concat ", " names))
+  | None -> failwith (unknown_message name)
 
-let build ?(params = default_params) name = (get name).make params
+let build ?(params = default_params) name = (get name).build params

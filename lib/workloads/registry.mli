@@ -3,36 +3,34 @@
 
     The CLI, the bench harness and the experiment modules all
     enumerate workloads through this table instead of carrying their
-    own assoc lists; [spec.description] is static, so listing the
-    registry never compiles a program. *)
+    own assoc lists.  Entries are typed {!Workload.spec} records —
+    name, description, tags, documented size parameters and a builder
+    — so {!find} returns a first-class description instead of a bare
+    program thunk, and listing the registry never compiles a program.
 
-type params = {
+    The [params] / [default_params] / [build] / [get] surface predates
+    the typed specs and is kept as thin wrappers for source
+    compatibility.
+    @deprecated New code should consume {!Workload.spec} via {!find} /
+    {!all} and call [spec.build] directly. *)
+
+type params = Workload.params = {
   level : Privwork.level;
-      (** Fig. 12 private-workload level for the harness benchmarks
-          (dekker/wsq/msn/harris); ignored by the applications. *)
   scope : [ `Class | `Set ];
-      (** scope flavour where the workload supports both; ignored by
-          dekker/barnes/radiosity (whose scopes are fixed by the
-          paper) and nested-scopes. *)
-  attempts : int;  (** dekker try-lock attempts. *)
+  attempts : int;
   rounds : int option;
-      (** rounds for wsq / wsq-flavored / nested-scopes; [None] =
-          the workload's own default. *)
   size : int option;
-      (** the workload's principal size knob: per_producer (msn),
-          keys_per_thread (harris), nodes (pst/ptc), bodies (barnes),
-          patches (radiosity); [None] = the workload's default. *)
+  threads : int option;
+  seed : int;
 }
+(** Re-export of {!Workload.params} (see there for per-field docs), so
+    existing [{ Registry.default_params with ... }] call sites keep
+    compiling. *)
 
 val default_params : params
-(** Level 3 of {!Privwork.fig12_levels}, class scope, 30 attempts,
-    default rounds and sizes. *)
+(** Alias of {!Workload.default_params}. *)
 
-type spec = {
-  name : string;
-  description : string;  (** static — printing it builds nothing *)
-  make : params -> Workload.t;
-}
+type spec = Workload.spec
 
 val all : spec list
 (** Every registered workload, in presentation order. *)
@@ -40,8 +38,20 @@ val all : spec list
 val names : string list
 
 val find : string -> spec option
+(** Typed lookup: the full spec (tags, documented parameters,
+    builder), not a bare thunk. *)
+
+val suggest : ?max:int -> string -> string list
+(** Nearest registry names to a misspelt workload (edit distance plus
+    substring match), closest first; at most [max] (default 3). *)
+
+val unknown_message : string -> string
+(** One-line "unknown workload 'x' — did you mean: ..." message. *)
+
 val get : string -> spec
-(** Raises [Failure] with the list of valid names. *)
+(** Raises [Failure] with {!unknown_message}.
+    @deprecated Use {!find} and handle [None]. *)
 
 val build : ?params:params -> string -> Workload.t
-(** [get] + [make]; [params] defaults to {!default_params}. *)
+(** [get] + [build]; [params] defaults to {!default_params}.
+    @deprecated Use {!find} and [spec.build]. *)

@@ -30,13 +30,15 @@ let worker_body ~rounds =
    registers change every iteration, so it must never be mistaken for
    a stable spin. *)
 let master_body ~threads ~rounds ~delay =
+  let countdown = delay in
+  (* captured before [open Dsl], which has its own [delay] *)
   let open Dsl in
   [
     let_ "r" (i 1);
     while_
       (l "r" <= i rounds)
       [
-        let_ "d" (i delay);
+        let_ "d" (i countdown);
         while_ (l "d" > i 0) [ set "d" (l "d" - i 1) ];
         selem "out" tid (elem "out" tid + l "r");
         let_ "w" (i 1);

@@ -1,0 +1,188 @@
+(* server-steal: a work-stealing request scheduler under skewed load.
+
+   Each worker owns a Chase-Lev deque and replays its own Traffic
+   stream — the skewed spread gives worker 0 the bulk of the requests,
+   so the light workers drain early and live on the steal path.  A
+   worker pushes its whole (paced) stream, drains its own deque with
+   [take], then steals round-robin from every other deque until all
+   injection is done and every deque is observed empty.
+
+   The hot fences are Wsq's put/take/steal fences (Fig. 2 of the
+   paper), here under the many-thief contention a server scheduler
+   actually sees rather than the two-thread litmus shape. *)
+
+module Ast = Fscope_slang.Ast
+module Machine = Fscope_machine.Machine
+module Program = Fscope_isa.Program
+
+let q_name w = Printf.sprintf "q%d" w
+let claims_name w = Printf.sprintf "sclaims%d" w
+let gaps_name w = Printf.sprintf "sgaps%d" w
+let scratch_name w = Printf.sprintf "sscr%d" w
+
+(* Claim task [task] (an expression) and run its key-dependent service
+   work.  The handler stores into the worker's private scratch lines,
+   so the next put/take/steal fence under a traditional machine drains
+   request-handler state a scoped fence ignores.  [unique]
+   disambiguates the loop locals per call site. *)
+let exec ~me ~unique ~service task =
+  let open Dsl in
+  [ incr_elem (claims_name me) task ]
+  @ scratch_work ~unique ~arr:(scratch_name me)
+      (((elem "taskkey" task % i 4) + i 1) * i service)
+
+let worker_thread ~me ~workers ~base ~count ~n_tasks ~service =
+  let victims =
+    List.filter (fun v -> Stdlib.( <> ) v me) (List.init workers Fun.id)
+  in
+  let open Dsl in
+  Privwork.warm_array ~name:(claims_name me) ~words:(Stdlib.( + ) n_tasks 1)
+  @ [
+    (* Inject: the paced request stream goes into my own deque. *)
+    let_ "k" (i 0);
+    while_
+      (l "k" < i count)
+      ([ let_ "gap" (elem (gaps_name me) (l "k")) ]
+      @ delay ~unique:"pace" (l "gap")
+      @ [
+          call (q_name me) "put" [ i base + l "k" ];
+          set "k" (l "k" + i 1);
+        ]);
+    fence (* pushes visible before the injection-done flag *);
+    selem "done_inject" (i me) (i 1);
+    (* Drain my own deque. *)
+    let_ "t" (i 0);
+    let_ "go" (i 1);
+    while_
+      (l "go")
+      [
+        callv "t" (q_name me) "take" [];
+        if_ (l "t" > i 0)
+          (exec ~me ~unique:"own" ~service (l "t"))
+          [ set "go" (i 0) ];
+      ];
+    (* Steal until all injection is done and every deque is empty. *)
+    let_ "leave" (i 0);
+    let_ "s" (i 0);
+    while_
+      (not_ (l "leave"))
+      (List.concat_map
+         (fun v ->
+           [
+             callv "s" (q_name v) "steal" [];
+             when_ (l "s" > i 0)
+               (exec ~me ~unique:(Printf.sprintf "v%d" v) ~service (l "s")
+               @ [ set "s" (i (-1)) (* progress this round *) ]);
+           ])
+         victims
+      @ [
+          when_
+            (l "s" = i 0)
+            ([
+               let_ "chk" (i 1);
+             ]
+            @ List.map
+                (fun v -> set "chk" (l "chk" &&& elem "done_inject" (i v)))
+                (List.init workers Fun.id)
+            @ [
+                fence (* done flags strictly before the emptiness reads:
+                         a push is fenced before its done flag, so an
+                         empty deque seen after done=1 is truly drained *);
+              ]
+            @ List.map
+                (fun v ->
+                  set "chk"
+                    (l "chk" &&& (fld (q_name v) "head" >= fld (q_name v) "tail")))
+                (List.init workers Fun.id)
+            @ [ when_ (l "chk") [ set "leave" (i 1) ] ]);
+        ]);
+  ]
+
+let make ?(workers = 8) ?(requests = 64) ?(seed = 1) ?(mean_burst = 4)
+    ?(mean_gap = 250) ?(service = 20) ~scope () =
+  if workers < 2 then invalid_arg "Steal.make: need at least two workers";
+  let trace =
+    Traffic.make
+      {
+        Traffic.default with
+        seed;
+        clients = workers;
+        requests = max requests workers;
+        mean_burst;
+        mean_gap;
+        spread = Traffic.Skewed;
+      }
+  in
+  let counts = Array.init workers (Traffic.client_requests trace) in
+  let n_tasks = Traffic.total trace in
+  (* Task ids 1 .. n_tasks; worker w injects [bases.(w), bases.(w) +
+     counts.(w)).  taskkey.(id) carries the request key for
+     service-time variation. *)
+  let bases =
+    Array.init workers (fun w ->
+        1 + Array.fold_left ( + ) 0 (Array.sub counts 0 w))
+  in
+  let taskkey = Array.make (n_tasks + 1) 0 in
+  Array.iteri
+    (fun w base ->
+      Array.iteri (fun k key -> taskkey.(base + k) <- key) trace.Traffic.keys.(w))
+    bases;
+  let cap = max 256 (Array.fold_left max 0 counts + 1) in
+  let instances = List.init workers q_name in
+  let fence =
+    match scope with
+    | `Class -> Dsl.fence_class
+    | `Set -> Dsl.fence_set (Wsq_class.set_fence_vars ~instances)
+  in
+  let program_ast =
+    {
+      Ast.classes = [ Wsq_class.decl ~flavored:true ~fence ~cap () ];
+      instances = List.map (fun iname -> { Ast.iname; cls = "Wsq" }) instances;
+      globals =
+        [
+          Ast.G_array ("done_inject", workers, None);
+          Ast.G_array ("taskkey", n_tasks + 1, Some taskkey);
+        ]
+        @ List.init workers (fun w ->
+              Ast.G_array (gaps_name w, counts.(w), Some trace.Traffic.gaps.(w)))
+        @ List.init workers (fun w ->
+              Ast.G_array (claims_name w, n_tasks + 1, None))
+        @ List.init workers (fun w -> Ast.G_array (scratch_name w, 64, None));
+      threads =
+        List.init workers (fun w ->
+            worker_thread ~me:w ~workers ~base:bases.(w) ~count:counts.(w)
+              ~n_tasks ~service);
+    }
+  in
+  let program = Fscope_slang.Compile.compile_program program_ast in
+  let validate (result : Machine.result) =
+    let mem = result.Machine.mem in
+    let addr name = Program.address_of program name in
+    let problem = ref None in
+    let check cond msg = if not cond && !problem = None then problem := Some (msg ()) in
+    for task = 1 to n_tasks do
+      let total =
+        List.fold_left
+          (fun acc w -> acc + mem.(addr (claims_name w) + task))
+          0
+          (List.init workers Fun.id)
+      in
+      check (total = 1) (fun () ->
+          Printf.sprintf "task %d executed %d times" task total)
+    done;
+    for w = 0 to workers - 1 do
+      let head = mem.(addr (q_name w ^ ".head")) in
+      let tail = mem.(addr (q_name w ^ ".tail")) in
+      check (head = tail) (fun () ->
+          Printf.sprintf "deque %d not empty: head %d tail %d" w head tail)
+    done;
+    match !problem with
+    | Some msg -> Error msg
+    | None -> Ok ()
+  in
+  {
+    Workload.name = "server-steal";
+    description = "work-stealing request scheduler: skewed streams, thieves on the cold cores";
+    program;
+    validate;
+  }

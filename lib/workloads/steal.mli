@@ -1,0 +1,20 @@
+(** server-steal: a work-stealing request scheduler — one Chase-Lev
+    deque per worker, skewed {!Traffic} streams so the light workers
+    drain early and live on the steal path.
+
+    The hot fences are {!Wsq_class}'s flavored put/take/steal fences
+    under many-thief contention, scoped per [scope]. *)
+
+val make :
+  ?workers:int ->
+  ?requests:int ->
+  ?seed:int ->
+  ?mean_burst:int ->
+  ?mean_gap:int ->
+  ?service:int ->
+  scope:[ `Class | `Set ] ->
+  unit ->
+  Workload.t
+(** Defaults: 8 workers, 64 requests total (zipf split across
+    workers), seed 1.  Validation: every task executed exactly once,
+    every deque empty at exit. *)

@@ -1,0 +1,118 @@
+module Rng = Fscope_util.Rng
+
+type mode =
+  | Open_loop
+  | Closed_loop
+
+type spread =
+  | Even
+  | Skewed
+
+type spec = {
+  seed : int;
+  clients : int;
+  requests : int;
+  mean_burst : int;
+  mean_gap : int;
+  key_skew : int;
+  key_space : int;
+  spread : spread;
+  mode : mode;
+}
+
+let default =
+  {
+    seed = 1;
+    clients = 2;
+    requests = 32;
+    mean_burst = 4;
+    mean_gap = 300;
+    key_skew = 1;
+    key_space = 64;
+    spread = Even;
+    mode = Open_loop;
+  }
+
+type t = {
+  spec : spec;
+  keys : int array array;
+  gaps : int array array;
+  bursts : int array array;
+}
+
+(* Requests per client.  [Skewed] follows a zipf-1 (harmonic) split so
+   client 0 carries the most load — the work-stealing scheduler uses
+   this to manufacture imbalance; every client keeps at least one
+   request so each stream stays meaningful. *)
+let client_counts spec =
+  match spec.spread with
+  | Even ->
+    Array.init spec.clients (fun c ->
+        (spec.requests / spec.clients)
+        + if c < spec.requests mod spec.clients then 1 else 0)
+  | Skewed ->
+    let weight c = 1.0 /. float_of_int (c + 1) in
+    let total_w =
+      Array.fold_left ( +. ) 0.0 (Array.init spec.clients weight)
+    in
+    let counts =
+      Array.init spec.clients (fun c ->
+          max 1 (int_of_float (float_of_int spec.requests *. weight c /. total_w)))
+    in
+    (* Give any rounding remainder to the heaviest client so the total
+       is exact. *)
+    let assigned = Array.fold_left ( + ) 0 counts in
+    counts.(0) <- counts.(0) + max 0 (spec.requests - assigned);
+    counts
+
+(* Zipf-ish skewed key draw: u^(skew+1) concentrates mass near key 0;
+   skew 0 is uniform. *)
+let draw_key rng spec =
+  let u = Rng.float rng 1.0 in
+  let rec pow acc n = if n <= 0 then acc else pow (acc *. u) (n - 1) in
+  let v = int_of_float (float_of_int spec.key_space *. pow u spec.key_skew) in
+  min (spec.key_space - 1) (max 0 v)
+
+let make spec =
+  if spec.clients < 1 then invalid_arg "Traffic.make: need at least one client";
+  if spec.requests < spec.clients then
+    invalid_arg "Traffic.make: need at least one request per client";
+  if spec.mean_burst < 1 then invalid_arg "Traffic.make: mean_burst must be >= 1";
+  if spec.key_space < 1 then invalid_arg "Traffic.make: key_space must be >= 1";
+  let master = Rng.create spec.seed in
+  let counts = client_counts spec in
+  let per_client = Array.map (fun n -> (n, Rng.split master)) counts in
+  let keys = Array.make spec.clients [||] in
+  let gaps = Array.make spec.clients [||] in
+  let bursts = Array.make spec.clients [||] in
+  Array.iteri
+    (fun c (n, rng) ->
+      let ks = Array.init n (fun _ -> draw_key rng spec) in
+      let gs = Array.make n 0 in
+      let bs = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let b = min (n - !i) (Rng.int_in rng 1 ((2 * spec.mean_burst) - 1)) in
+        bs := b :: !bs;
+        (match spec.mode with
+        | Open_loop when spec.mean_gap > 0 ->
+          gs.(!i) <- Rng.int_in rng ((spec.mean_gap + 1) / 2) (spec.mean_gap * 3 / 2)
+        | Open_loop | Closed_loop -> ());
+        i := !i + b
+      done;
+      keys.(c) <- ks;
+      gaps.(c) <- gs;
+      bursts.(c) <- Array.of_list (List.rev !bs))
+    per_client;
+  { spec; keys; gaps; bursts }
+
+let total t = Array.fold_left (fun acc ks -> acc + Array.length ks) 0 t.keys
+let client_requests t c = Array.length t.keys.(c)
+
+let digest t =
+  let h = ref 0x9E3779B9 in
+  let mix v = h := ((!h * 31) + v) land max_int in
+  Array.iter (fun ks -> Array.iter mix ks) t.keys;
+  Array.iter (fun gs -> Array.iter mix gs) t.gaps;
+  Array.iter (fun bs -> Array.iter mix bs) t.bursts;
+  !h

@@ -1,0 +1,65 @@
+(** Deterministic bursty-arrival trace generator for the high-traffic
+    server workload suite.
+
+    A trace is a pure function of its {!spec} (seeded splitmix64, one
+    split stream per client), so every server workload — and therefore
+    every BENCH_server artefact — reproduces bit-for-bit.  Workloads
+    bake the per-client arrays into their compiled programs as
+    initialized globals: [keys] drive request payloads / service-time
+    variation, [gaps] are open-loop inter-burst delay-loop iterations,
+    and [bursts] give the burst structure for schedulers that inject a
+    burst at a time. *)
+
+type mode =
+  | Open_loop  (** arrivals at trace-determined times: a delay loop of
+                   [gaps.(c).(i)] iterations precedes request [i] *)
+  | Closed_loop
+      (** clients re-inject as soon as the system absorbs the previous
+          burst; all gaps are generated as 0 and pacing comes from the
+          workload's own completion feedback *)
+
+type spread =
+  | Even  (** requests split evenly across clients *)
+  | Skewed
+      (** zipf-1 split — client 0 carries the most load (used by the
+          work-stealing scheduler to manufacture imbalance) *)
+
+type spec = {
+  seed : int;
+  clients : int;  (** independent arrival streams *)
+  requests : int;  (** total, split per {!spread} *)
+  mean_burst : int;  (** burst length is uniform on [1, 2*mean_burst-1] *)
+  mean_gap : int;
+      (** open-loop delay between bursts, uniform on
+          [mean_gap/2, 3*mean_gap/2] delay-loop iterations *)
+  key_skew : int;  (** 0 = uniform keys; k concentrates on low keys as u^(k+1) *)
+  key_space : int;  (** keys are drawn from [0, key_space) *)
+  spread : spread;
+  mode : mode;
+}
+
+val default : spec
+(** seed 1, 2 clients, 32 requests, mean burst 4, mean gap 300,
+    key skew 1 over 64 keys, even spread, open loop. *)
+
+type t = {
+  spec : spec;
+  keys : int array array;  (** [keys.(c).(i)]: request i of client c *)
+  gaps : int array array;
+      (** delay-loop iterations before request i; 0 within a burst *)
+  bursts : int array array;  (** burst lengths per client; sums to the client's requests *)
+}
+
+val make : spec -> t
+(** Deterministic: equal specs give bit-equal traces.  Raises
+    [Invalid_argument] on empty clients / requests < clients /
+    mean_burst < 1 / key_space < 1. *)
+
+val total : t -> int
+(** Total requests across all clients. *)
+
+val client_requests : t -> int -> int
+
+val digest : t -> int
+(** Order-sensitive hash over all three arrays — a cheap equality
+    witness for determinism tests. *)

@@ -18,3 +18,52 @@ let run_validated ?obs config t =
   | Error msg -> failwith (Printf.sprintf "workload %s: validation failed: %s" t.name msg)
 
 let addr t name = Fscope_isa.Program.address_of t.program name
+
+(* ------------------------------------------------------------------ *)
+(* Typed construction surface: one params record every builder
+   understands, and a spec record describing a registered workload.    *)
+(* ------------------------------------------------------------------ *)
+
+type params = {
+  level : Privwork.level;
+  scope : [ `Class | `Set ];
+  attempts : int;
+  rounds : int option;
+  size : int option;
+  threads : int option;
+  seed : int;
+}
+
+let default_params =
+  {
+    level = Privwork.fig12_levels.(2);
+    scope = `Class;
+    attempts = 30;
+    rounds = None;
+    size = None;
+    threads = None;
+    seed = 1;
+  }
+
+module Spec = struct
+  type param = {
+    key : string;
+    doc : string;
+    default : string;
+  }
+
+  type nonrec t = {
+    name : string;
+    description : string;
+    tags : string list;
+    params : param list;
+    build : params -> t;
+  }
+
+  let sized key ~doc ~default = { key; doc; default }
+  let find name specs = List.find_opt (fun s -> s.name = name) specs
+end
+
+type spec = Spec.t
+
+let build (s : spec) params = s.Spec.build params

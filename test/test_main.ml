@@ -15,4 +15,5 @@ let () =
       ("profile", Test_profile.tests);
       ("differential", Test_differential.tests);
       ("engine", Test_engine.tests);
+      ("server", Test_server.tests);
     ]

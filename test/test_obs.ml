@@ -245,10 +245,15 @@ let test_registry_lookup () =
   Alcotest.(check bool) "find hit" true (Registry.find "wsq" <> None);
   Alcotest.(check bool) "find miss" true (Registry.find "nope" = None);
   Alcotest.check_raises "get miss raises"
-    (Failure
-       (Printf.sprintf "unknown workload nope (try: %s)"
-          (String.concat ", " Registry.names)))
-    (fun () -> ignore (Registry.get "nope"))
+    (Failure "unknown workload 'nope' (run 'fscope list' for the registry)")
+    (fun () -> ignore (Registry.get "nope"));
+  (* Close misses and substring matches get "did you mean". *)
+  Alcotest.(check (list string)) "suggest close miss" [ "msn" ] (Registry.suggest "msm");
+  Alcotest.(check bool) "suggest substring" true
+    (List.mem "server-cache" (Registry.suggest "cache"));
+  Alcotest.check_raises "get near-miss suggests"
+    (Failure "unknown workload 'server-mpnc' — did you mean: server-mpmc?")
+    (fun () -> ignore (Registry.get "server-mpnc"))
 
 let tests =
   [
