@@ -24,7 +24,7 @@ let level_of_int n =
 let find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed =
   let scope = if set_scope then `Set else `Class in
   let default = Registry.default_params in
-  Registry.build
+  E.Exp_run.workload
     ~params:
       {
         default with
@@ -45,10 +45,11 @@ let guard f =
     Printf.eprintf "fscope: %s\n" msg;
     1
 
-let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff =
+let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+    ~shard_domains =
   Config.v ~sfence:(not traditional) ~speculation:speculate ?mem_latency ?rob_size:rob
     ?fsb_entries:fsb ~mem_model
-    ~spin_fastforward:(not no_spin_ff) ()
+    ~spin_fastforward:(not no_spin_ff) ~shard_domains ()
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -69,11 +70,12 @@ let cmd_list () =
   0
 
 let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
-    no_spin_ff rounds size threads seed =
+    no_spin_ff shard_domains rounds size threads seed =
   guard @@ fun () ->
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+      ~shard_domains
   in
   let result = Machine.run config w.W.Workload.program in
   if result.Machine.timed_out then begin
@@ -128,12 +130,12 @@ let cmd_compare name level set_scope jobs =
   0
 
 let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem_model
-    format output ring_capacity rounds size threads seed =
+    shard_domains format output ring_capacity rounds size threads seed =
   guard @@ fun () ->
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model
-      ~no_spin_ff:false
+      ~no_spin_ff:false ~shard_domains
   in
   let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
   let trace = Obs.Trace.create ~ring_capacity ~cores () in
@@ -162,11 +164,13 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem
     else 0
 
 let cmd_profile name level set_scope traditional speculate no_fence mem_latency rob fsb
-    mem_model no_spin_ff max_cycles profile_format output rounds size threads seed =
+    mem_model no_spin_ff shard_domains max_cycles profile_format output rounds size
+    threads seed =
   guard @@ fun () ->
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+      ~shard_domains
   in
   let config = if no_fence then Config.with_nop_fences true config else config in
   let config =
@@ -236,6 +240,16 @@ let mem_model_arg =
            $(b,ideal) (every access a 1-cycle hit — isolates pipeline effects from the \
            memory system).")
 
+let shard_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shard-domains" ] ~docv:"N"
+        ~doc:
+          "Split the simulated machine's cores across $(docv) OCaml domains (default 1: \
+           the sequential engine loop).  Timing-neutral: the sharded engine is \
+           bit-identical to the sequential one — this only trades simulator \
+           wall-clock on multi-core hosts.")
+
 let no_spin_ff_arg =
   Arg.(
     value & flag
@@ -289,7 +303,8 @@ let run_cmd =
     Term.(
       const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ no_spin_ff_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
+      $ no_spin_ff_arg $ shard_domains_arg $ rounds_arg $ size_arg $ threads_arg
+      $ seed_arg)
 
 let compare_cmd =
   Cmd.v
@@ -303,8 +318,8 @@ let trace_cmd =
     Term.(
       const cmd_trace $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ format_arg $ output_arg $ ring_arg $ rounds_arg $ size_arg $ threads_arg
-      $ seed_arg)
+      $ shard_domains_arg $ format_arg $ output_arg $ ring_arg $ rounds_arg $ size_arg
+      $ threads_arg $ seed_arg)
 
 let no_fence_arg =
   Arg.(value & flag & info [ "no-fence" ] ~doc:"Retire fences as nops (timing-only ablation; validation is skipped).")
@@ -335,8 +350,9 @@ let profile_cmd =
     Term.(
       const cmd_profile $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ no_fence_arg $ mem_latency_arg $ rob_arg $ fsb_arg
-      $ mem_model_arg $ no_spin_ff_arg $ max_cycles_arg $ profile_format_arg
-      $ output_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
+      $ mem_model_arg $ no_spin_ff_arg $ shard_domains_arg $ max_cycles_arg
+      $ profile_format_arg $ output_arg $ rounds_arg $ size_arg $ threads_arg
+      $ seed_arg)
 
 let disasm_cmd =
   Cmd.v

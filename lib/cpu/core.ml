@@ -161,6 +161,51 @@ let spin_poll = Core_spin.poll
 let spin_cancel = Core_spin.cancel
 let spin_replay (t : t) ~stable ~k = Core_spin.replay t ~stable ~k
 
+(* Shard-classification predicates for the domain-sharded engine: may
+   the core's next sub-step touch state shared between cores?  Each
+   over-approximates (a [true] only costs parallelism; a missed [true]
+   would break bit-identity), and each is exact enough to matter. *)
+
+(* Phase 1 (complete-writes) touches shared memory iff a store-buffer
+   entry drains this cycle or a CAS reaches its completion point.
+   Exact at the time the engine asks (phase-1 start): phase 1 never
+   creates new completions. *)
+let writes_pending (t : t) ~cycle =
+  let pending = ref false in
+  Store_buffer.iter t.sb (fun en -> if en.done_at <= cycle then pending := true);
+  if not !pending then
+    Rob.iter t.rob (fun e ->
+        match (e.instr, e.state) with
+        | Fscope_isa.Instr.Cas _, Rob.Executing d -> if d <= cycle then pending := true
+        | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ());
+  !pending
+
+(* Phase 3 (pipeline) reaches the memory port — and under the cache
+   hierarchy model, shared directory/stats state even on an L1 hit —
+   in exactly three places: a store committing into the store buffer,
+   a load issuing, a CAS issuing.  Stores can commit from any ROB
+   state; loads and CAS issue only out of [Waiting].  Dispatch runs
+   after issue within the step, so entries appearing this cycle cannot
+   also issue this cycle and the phase-start answer is sound. *)
+let may_touch_mem (t : t) =
+  (not t.halted)
+  &&
+  let touch = ref false in
+  Rob.iter t.rob (fun e ->
+      match (e.instr, e.state) with
+      | Fscope_isa.Instr.Store _, _ -> touch := true
+      | (Fscope_isa.Instr.Load _ | Fscope_isa.Instr.Cas _), Rob.Waiting -> touch := true
+      | _, (Rob.Waiting | Rob.Executing _ | Rob.Done) -> ());
+  !touch
+
+(* Can this phase-3 step end with an armed spin-stability certificate
+   (and therefore a sleep transition, which registers shared watches)?
+   Arming inside [Core_spin.on_boundary] compares against a snapshot
+   taken at a PREVIOUS boundary, so [pr_snap = None] at phase start
+   guarantees {!spin_poll} returns [None] this cycle. *)
+let spin_may_arm (t : t) =
+  t.spin_probe.pr_enabled && t.spin_probe.pr_snap <> None
+
 let next_wake (t : t) ~cycle =
   let m = ref max_int in
   let consider d = if d > cycle && d < !m then m := d in

@@ -37,7 +37,7 @@ let take_completed t ~cycle =
     List.iter
       (fun e ->
         Fscope_obs.Trace.emit t.trace ~core:t.core
-          (Fscope_obs.Event.Sb_drain { addr = e.addr }))
+          (Fscope_obs.Event.Sb_drain { addr = e.addr; value = e.value }))
       done_;
   done_
 

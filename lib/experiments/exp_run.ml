@@ -10,6 +10,14 @@ type measurement = {
   avg_rob_occupancy : float;
 }
 
+(* Registry lookup shared by the experiment tables, the CLI and the
+   bench harness: find + build, with the registry's uniform
+   unknown-workload failure text. *)
+let workload ?(params = Fscope_workloads.Registry.default_params) name =
+  match Fscope_workloads.Registry.find name with
+  | Some spec -> Workload.build spec params
+  | None -> failwith (Fscope_workloads.Registry.unknown_message name)
+
 let t_config c = Config.v ~base:c ~sfence:false ()
 let s_config c = Config.v ~base:c ~sfence:true ()
 let t_plus c = Config.v ~base:c ~sfence:false ~speculation:true ()
@@ -47,6 +55,14 @@ let speedup ~baseline m = float_of_int baseline.cycles /. float_of_int m.cycles
 let jobs_ref = ref 1
 let set_jobs n = jobs_ref := max 1 n
 let jobs () = !jobs_ref
+
+(* Intra-run parallelism: how many domains a single big simulated
+   machine is sharded across (Config.shard_domains for the points that
+   opt in, e.g. the server suite's 64-core point).  Orthogonal to
+   [jobs], which fans out across independent points. *)
+let shard_domains_ref = ref 1
+let set_shard_domains n = shard_domains_ref := max 1 n
+let shard_domains () = !shard_domains_ref
 
 let parmap ~jobs f (inputs : _ array) =
   let n = Array.length inputs in

@@ -1,6 +1,12 @@
 (** Shared plumbing for the experiment modules: the four machine
     variants of the evaluation and a measured-run record. *)
 
+val workload :
+  ?params:Fscope_workloads.Workload.params -> string -> Fscope_workloads.Workload.t
+(** Registry lookup + build; raises [Failure] with
+    {!Fscope_workloads.Registry.unknown_message} on an unknown name.
+    [params] defaults to {!Fscope_workloads.Workload.default_params}. *)
+
 type measurement = {
   cycles : int;
   fence_stall_fraction : float;
@@ -41,6 +47,17 @@ val set_jobs : int -> unit
     the CLI's [--jobs] flag sets it once at startup. *)
 
 val jobs : unit -> int
+
+val set_shard_domains : int -> unit
+(** Number of domains a single simulated machine's cores are split
+    across, for the experiment points that opt in (the server suite's
+    big-machine point applies it via [Config.with_shard_domains]).
+    Clamped to at least 1; default 1 = the sequential engine loop.
+    Process-global: the CLIs' [--shard-domains] flag sets it once at
+    startup.  Orthogonal to {!set_jobs}, which fans out across
+    independent points. *)
+
+val shard_domains : unit -> int
 
 val parmap : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Generic deterministic fan-out over domains: applies [f] to every

@@ -19,7 +19,7 @@ let benches ~quick =
   let rounds = if quick then 6 else 12 in
   let per_producer = if quick then 8 else 16 in
   let cell ?rounds ?size name level =
-    W.Registry.build
+    Exp_run.workload
       ~params:{ W.Registry.default_params with level; attempts; rounds; size }
       name
   in

@@ -12,7 +12,7 @@ type bar = {
 let apps ?(quick = false) () =
   let app name size =
     ( name,
-      W.Registry.build
+      Exp_run.workload
         ~params:{ W.Registry.default_params with size = Some size }
         name )
   in

@@ -16,7 +16,7 @@ let benches ~quick =
   let nodes = if quick then 256 else 768 in
   let ptc_nodes = if quick then 128 else 256 in
   let cell ?rounds ?size name scope =
-    W.Registry.build ~params:{ W.Registry.default_params with scope; rounds; size } name
+    Exp_run.workload ~params:{ W.Registry.default_params with scope; rounds; size } name
   in
   [
     ("wsq", cell ~rounds "wsq");

@@ -38,6 +38,11 @@ type row = {
   sv_stall_p90 : int;
   sv_stall_p99 : int;
   sv_stall_max : int;  (* floors of the log2 stall histogram *)
+  sv_lat_samples : int;
+  sv_lat_p50 : int;
+  sv_lat_p90 : int;
+  sv_lat_p99 : int;
+  sv_lat_max : int;  (* exact per-request inject-to-retire latencies *)
 }
 
 type point = {
@@ -46,6 +51,10 @@ type point = {
   pt_requests : int;
   pt_machine : Config.t;
   pt_build : unit -> W.Workload.t;
+  (* [Some threads] on workloads with per-request latency markers
+     (currently server-mpmc): run an extra drain-filtered trace and
+     extract inject-to-retire latencies. *)
+  pt_lat_threads : int option;
 }
 
 (* The engine's spin fast-forward counters describe how a result was
@@ -71,6 +80,40 @@ let percentile (h : Obs.Metrics.hist_snapshot) q =
 
 let max_floor (h : Obs.Metrics.hist_snapshot) =
   List.fold_left (fun acc (floor, _) -> max acc floor) 0 h.buckets
+
+(* Exact nearest-rank percentile over an ascending sample list. *)
+let rank_percentile sorted q =
+  match sorted with
+  | [] -> 0
+  | _ ->
+    let n = List.length sorted in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    List.nth sorted (rank - 1)
+
+(* Per-request latencies from a dedicated traced run that retains only
+   the workload's inject/retire drain markers.  The filtered ring keeps
+   at most one event per marker, so even a 10k-request point fits with
+   room to spare; tracing stays timing-neutral, which we assert. *)
+let request_latencies pt program ~threads ~cycles =
+  let requests = pt.pt_requests in
+  let keep = W.Mpmc.keep_latency ~requests ~threads program in
+  let trace =
+    Obs.Trace.create
+      ~ring_capacity:(max 1024 (requests + 2))
+      ~keep
+      ~cores:(Fscope_isa.Program.thread_count program)
+      ()
+  in
+  let r = Machine.run ~obs:trace pt.pt_machine program in
+  if r.Machine.cycles <> cycles then
+    failwith
+      (Printf.sprintf "server %s (%s): latency trace not timing-neutral"
+         pt.pt_workload pt.pt_config);
+  if Obs.Trace.dropped trace <> 0 then
+    failwith
+      (Printf.sprintf "server %s (%s): latency trace dropped markers" pt.pt_workload
+         pt.pt_config);
+  W.Mpmc.latency_of_events ~requests ~threads program (Obs.Trace.events trace)
 
 let eval pt =
   let w = pt.pt_build () in
@@ -104,6 +147,12 @@ let eval pt =
       | None -> { Obs.Metrics.count = 0; sum = 0; buckets = [] })
     | None -> failwith "server: traced run carried no metrics"
   in
+  let lats =
+    match pt.pt_lat_threads with
+    | None -> []
+    | Some threads ->
+      request_latencies pt program ~threads ~cycles:engine_r.Machine.cycles
+  in
   {
     sv_workload = pt.pt_workload;
     sv_config = pt.pt_config;
@@ -121,6 +170,11 @@ let eval pt =
     sv_stall_p90 = percentile h 0.90;
     sv_stall_p99 = percentile h 0.99;
     sv_stall_max = max_floor h;
+    sv_lat_samples = List.length lats;
+    sv_lat_p50 = rank_percentile lats 0.50;
+    sv_lat_p90 = rank_percentile lats 0.90;
+    sv_lat_p99 = rank_percentile lats 0.99;
+    sv_lat_max = (match List.rev lats with [] -> 0 | m :: _ -> m);
   }
 
 (* Three machine configurations per workload.  The set-scope point
@@ -130,25 +184,57 @@ let points ~quick =
   let threads = if quick then 4 else 8 in
   let per = if quick then 8 else 24 in
   let steal_reqs = if quick then 24 else 96 in
-  let t = Exp_run.t_config Config.default in
-  let s = Exp_run.s_config Config.default in
-  let per_workload name requests build =
+  (* Server machines honour the global --shard-domains knob: every
+     point then runs the domain-sharded engine, and eval's
+     engine-vs-reference check becomes a sharded-vs-sequential
+     bit-identity assertion. *)
+  let shard c = Config.with_shard_domains (Exp_run.shard_domains ()) c in
+  let t = shard (Exp_run.t_config Config.default) in
+  let s = shard (Exp_run.s_config Config.default) in
+  let per_workload ?lat_threads name requests build =
     [
       (name, "T", t, (fun () -> build `Class));
       (name, "S", s, (fun () -> build `Class));
       (name, "S-set", s, (fun () -> build `Set));
     ]
     |> List.map (fun (pt_workload, pt_config, pt_machine, pt_build) ->
-           { pt_workload; pt_config; pt_machine; pt_build; pt_requests = requests })
+           {
+             pt_workload;
+             pt_config;
+             pt_machine;
+             pt_build;
+             pt_requests = requests;
+             pt_lat_threads = lat_threads;
+           })
   in
+  (* The scale point: one 64-core MPMC machine, the shape the sharded
+     engine exists for.  Quick keeps the request count small so the
+     point still runs everywhere; full is the 64-core x 10k-request
+     configuration from the issue.  Sharding comes from the global
+     --shard-domains knob via the config, like every other point. *)
+  let big_threads = 64 in
+  let big_per = if quick then 4 else 625 in
   per_workload "server-mpmc"
     (W.Mpmc.requests ~threads ~per_producer:per ())
+    ~lat_threads:threads
     (fun scope -> W.Mpmc.make ~threads ~per_producer:per ~scope ())
   @ per_workload "server-cache"
       (threads * per)
       (fun scope -> W.Cache_server.make ~threads ~per_thread:per ~scope ())
   @ per_workload "server-steal" steal_reqs (fun scope ->
         W.Steal.make ~workers:threads ~requests:steal_reqs ~scope ())
+  @ [
+      {
+        pt_workload = "server-mpmc-64";
+        pt_config = "S";
+        pt_machine = s;
+        pt_requests = W.Mpmc.requests ~threads:big_threads ~per_producer:big_per ();
+        pt_build =
+          (fun () ->
+            W.Mpmc.make ~threads:big_threads ~per_producer:big_per ~scope:`Class ());
+        pt_lat_threads = Some big_threads;
+      };
+    ]
 
 let run ?(quick = false) () =
   Array.to_list
@@ -160,7 +246,7 @@ let table rows =
       ~header:
         [
           "workload"; "config"; "cycles"; "reqs"; "req/kcyc"; "fence%"; "stalls";
-          "p50"; "p90"; "p99"; "max";
+          "p50"; "p90"; "p99"; "max"; "lat p50"; "lat p90"; "lat p99";
         ]
   in
   List.iter
@@ -178,6 +264,9 @@ let table rows =
           string_of_int r.sv_stall_p90;
           string_of_int r.sv_stall_p99;
           string_of_int r.sv_stall_max;
+          (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p50);
+          (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p90);
+          (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p99);
         ])
     rows;
   t
@@ -198,7 +287,7 @@ let json ~quick ~jobs rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-server/v1\",\n";
+  add "  \"schema\": \"fence-scoping/bench-server/v2\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"rows\": [";
@@ -208,11 +297,14 @@ let json ~quick ~jobs rows =
         "%s\n    {\"workload\": %S, \"config\": %S, \"sim_cycles\": %d, \
          \"requests\": %d, \"requests_per_kcycle\": %.4f, \"fence_share_pct\": %.2f, \
          \"stall_episodes\": %d, \"stall_cycles\": %d, \"stall_mean\": %.2f, \
-         \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d}"
+         \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d, \
+         \"latency_samples\": %d, \"latency_p50\": %d, \"latency_p90\": %d, \
+         \"latency_p99\": %d, \"latency_max\": %d}"
         (if i = 0 then "" else ",")
         r.sv_workload r.sv_config r.sv_cycles r.sv_requests r.sv_rpk r.sv_fence_share
         r.sv_stall_episodes r.sv_stall_cycles r.sv_stall_mean r.sv_stall_p50
-        r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max)
+        r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max r.sv_lat_samples r.sv_lat_p50
+        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max)
     rows;
   add "\n  ],\n";
   add "  \"throughput_gain_over_T\": [";

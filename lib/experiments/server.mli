@@ -25,12 +25,25 @@ type row = {
   sv_stall_max : int;
       (** percentiles are log2-bucket lower bounds — the histogram's
           native resolution *)
+  sv_lat_samples : int;
+  sv_lat_p50 : int;
+  sv_lat_p90 : int;
+  sv_lat_p99 : int;
+  sv_lat_max : int;
+      (** exact nearest-rank percentiles over per-request
+          inject-to-retire latencies (simulated cycles), from a
+          dedicated drain-marker trace; zero samples on workloads
+          without latency markers *)
 }
 
 val run : ?quick:bool -> unit -> row list
-(** Nine points (3 workloads x T/S/S-set), fanned across
-    {!Exp_run.jobs} domains; results are in point order and
-    independent of the job count. *)
+(** Ten points (3 workloads x T/S/S-set, plus one 64-core MPMC scale
+    point), fanned across {!Exp_run.jobs} domains; results are in
+    point order and independent of the job count.  Machine configs
+    honour {!Exp_run.shard_domains}, so with [--shard-domains N] every
+    point runs the domain-sharded engine and the per-point
+    engine-vs-reference check asserts sharded/sequential
+    bit-identity. *)
 
 val table : row list -> Fscope_util.Table.t
 
@@ -40,4 +53,4 @@ val gains : row list -> (string * string * float) list
 
 val json : quick:bool -> jobs:int -> row list -> string
 (** The BENCH_server.json document
-    (schema ["fence-scoping/bench-server/v1"]). *)
+    (schema ["fence-scoping/bench-server/v2"]). *)

@@ -8,12 +8,14 @@ type t = {
   mem_model : mem_model;
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;
+  shard_domains : int;
 }
 
 let make ?(exec = Fscope_cpu.Exec_config.default)
     ?(mem = Fscope_mem.Hierarchy.default_config) ?(mem_model = Hierarchy)
-    ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000) () =
-  { exec; mem; mem_model; scope; max_cycles }
+    ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000)
+    ?(shard_domains = 1) () =
+  { exec; mem; mem_model; scope; max_cycles; shard_domains }
 
 let mem_model_name = function Hierarchy -> "hierarchy" | Ideal -> "ideal"
 
@@ -30,7 +32,8 @@ let default = make ()
    base's value untouched, so refinements compose:
    [v ~base:(v ~sfence:false ()) ~mem_latency:500 ()]. *)
 let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_model
-    ?mem_latency ?rob_size ?fsb_entries ?fss_entries ?mt_entries ?max_cycles () =
+    ?mem_latency ?rob_size ?fsb_entries ?fss_entries ?mt_entries ?max_cycles
+    ?shard_domains () =
   let opt v dflt = Option.value v ~default:dflt in
   {
     exec =
@@ -51,6 +54,7 @@ let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_
         mt_entries = opt mt_entries base.scope.mt_entries;
       };
     max_cycles = opt max_cycles base.max_cycles;
+    shard_domains = opt shard_domains base.shard_domains;
   }
 
 let traditional t = v ~base:t ~sfence:false ()
@@ -65,3 +69,4 @@ let with_mt_entries n t = v ~base:t ~mt_entries:n ()
 let with_max_cycles n t = v ~base:t ~max_cycles:n ()
 let with_mem_model m t = v ~base:t ~mem_model:m ()
 let with_spin_fastforward on t = v ~base:t ~spin_fastforward:on ()
+let with_shard_domains n t = v ~base:t ~shard_domains:n ()

@@ -23,6 +23,11 @@ type t = {
   mem_model : mem_model;
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;  (** runaway guard; a run reaching it is reported as timed out *)
+  shard_domains : int;
+      (** partition the machine's cores across this many OCaml domains
+          (default 1 = the sequential engine).  Results are
+          bit-identical for any value — this only trades simulator
+          wall-clock; see DESIGN.md §13. *)
 }
 
 val make :
@@ -31,6 +36,7 @@ val make :
   ?mem_model:mem_model ->
   ?scope:Fscope_core.Scope_unit.config ->
   ?max_cycles:int ->
+  ?shard_domains:int ->
   unit ->
   t
 
@@ -60,6 +66,7 @@ val v :
   ?fss_entries:int ->
   ?mt_entries:int ->
   ?max_cycles:int ->
+  ?shard_domains:int ->
   unit ->
   t
 (** The one keyword constructor: start from [base] ({!default} when
@@ -122,3 +129,8 @@ val with_spin_fastforward : bool -> t -> t
 (** Toggle the engine's spin fast-forward (default on; off = the
     engine steps spinning cores cycle by cycle as before).  Results
     are bit-identical either way — this only trades wall-clock. *)
+
+val with_shard_domains : int -> t -> t
+(** Partition the machine's cores across [n] OCaml domains (default 1
+    = the sequential engine).  Bit-identical for any [n]; wall-clock
+    only.  Values above the core count are clamped by the engine. *)

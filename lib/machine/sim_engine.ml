@@ -80,7 +80,7 @@ let step_all cores ~cycle =
   Array.iter (fun core -> if Core.step_pipeline core ~cycle then progress := true) cores;
   !progress
 
-let run ?(obs = Obs.Trace.null) (config : Config.t) program =
+let run_sequential ?(obs = Obs.Trace.null) (config : Config.t) program =
   let cores, mem, hierarchy, on_store = build ~obs config program in
   let n = Array.length cores in
   let traced = Obs.Trace.on obs in
@@ -122,7 +122,9 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
   let spin_on = config.Config.exec.Exec_config.spin_fastforward && not traced in
   if spin_on then Array.iter (fun core -> Core.set_spin_ff core true) cores;
   let sleeping : Core.spin_stable option array = Array.make n None in
-  let watches : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* watched address -> sorted list of sleeping watcher cores (a list,
+     not a bitmask, so the machine is not capped at 62 cores) *)
+  let watches : (int, int list) Hashtbl.t = Hashtbl.create 16 in
   (* where in the current cycle the step loops are, so a wake fired
      from inside another core's step can splice the sleeper back into
      the phase order it would have had in the naive loop *)
@@ -131,8 +133,8 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
   let register_watches i (st : Core.spin_stable) =
     List.iter
       (fun addr ->
-        let cur = match Hashtbl.find_opt watches addr with Some m -> m | None -> 0 in
-        Hashtbl.replace watches addr (cur lor (1 lsl i)))
+        let cur = Option.value (Hashtbl.find_opt watches addr) ~default:[] in
+        Hashtbl.replace watches addr (List.sort_uniq compare (i :: cur)))
       st.Core.footprint
   in
   let unregister_watches i (st : Core.spin_stable) =
@@ -140,9 +142,10 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
       (fun addr ->
         match Hashtbl.find_opt watches addr with
         | None -> ()
-        | Some m ->
-          let m = m land lnot (1 lsl i) in
-          if m = 0 then Hashtbl.remove watches addr else Hashtbl.replace watches addr m)
+        | Some l ->
+          (match List.filter (fun j -> j <> i) l with
+          | [] -> Hashtbl.remove watches addr
+          | l' -> Hashtbl.replace watches addr l'))
       st.Core.footprint
   in
   (* Catch a woken sleeper up through cycle [through]: replay whole
@@ -251,10 +254,7 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
       (fun addr ->
         match Hashtbl.find_opt watches addr with
         | None -> ()
-        | Some mask ->
-          for i = 0 to n - 1 do
-            if mask land (1 lsl i) <> 0 then wake_core i
-          done);
+        | Some l -> List.iter wake_core l (* ascending core order *));
     (* a write/RMW/eviction about to invalidate or downgrade a
        sleeper's L1 line could change what its loop observes (values
        or latencies) — wake it first *)
@@ -305,6 +305,293 @@ let run ?(obs = Obs.Trace.null) (config : Config.t) program =
         catch_up i st ~through:(max_cycles - 1)
     done;
   { cycles = !cycle; timed_out = !drained_count < n; cores; mem; hierarchy; spin }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded loop                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One machine's cores split cyclically across [d] OCaml domains (core
+   i belongs to shard [i mod d]), running the same three-phase step
+   protocol with a barrier at every phase boundary.  Within a phase,
+   each shard classifies its owned cores' steps as ORDERED — may touch
+   state shared between cores (memory writes, the cache directory and
+   its stats, wakes, traced events) — or FREE (provably commutes with
+   every other step of the phase).  Ordered steps execute at their
+   exact global ascending-core-order turn, serialised by the
+   {!Shard_sync} cursor token; free steps run immediately on their
+   owner.  Since every shared-state interaction happens at the same
+   global position as in the sequential loop, and free steps depend
+   only on their own core's state (plus phase-2 memory reads, which no
+   phase-2 step can change), the whole run — cycles, every CPI leaf,
+   final memory, traces — is bit-identical to {!run_sequential} and
+   therefore to {!run_naive}.
+
+   Classification per phase (see DESIGN §13 for the argument):
+   - phase 1: ordered iff traced, or the core was spin-sleeping at
+     cycle start (a cross-shard wake may touch its slots), or
+     {!Core.writes_pending} (a drain or CAS completion writes memory);
+   - phase 2: read-only — everything is free unless traced;
+   - phase 3: ordered iff traced, was sleeping, may arm a spin
+     certificate (a sleep transition registers shared watches), or —
+     under the hierarchy model, where even an L1 hit bumps shared
+     directory stats — {!Core.may_touch_mem}.
+
+   Cross-shard spin wakes fire only from inside ordered steps (the
+   disturbing store / invalidation is itself shared-state work), so
+   the sequential [wake_core] logic carries over verbatim: the waker
+   holds the global order token at the disturber's position, exactly
+   like the naive loop's program point.  Sleeping cores are always
+   ordered, so their owner's (skipping) turns synchronise with any
+   wake that lands on them.
+
+   Per-core slots ([wake], [progress], [drained], [sleeping]) are
+   written only by their owner or, for sleeping cores, by a
+   token-holding waker — never concurrently, with happens-before
+   through the cursor atomics and the phase barriers.  [phase] is
+   written redundantly by every domain at phase entry (same-value);
+   [phase_core] only by token holders; [cycle] and [finished] only by
+   shard 0 in the publish window between the phase-3 barrier and the
+   cycle barrier.  [drained_count] is an atomic because a core can
+   drain inside a free step. *)
+let run_sharded ?(obs = Obs.Trace.null) ~domains (config : Config.t) program =
+  let cores, mem, hierarchy, on_store = build ~obs config program in
+  let n = Array.length cores in
+  let d = max 1 (min domains n) in
+  let traced = Obs.Trace.on obs in
+  let max_cycles = config.Config.max_cycles in
+  let hier_mem = config.Config.mem_model = Config.Hierarchy in
+  let wake = Array.make n 0 in
+  let progress = Array.make n false in
+  let drained = Array.make n false in
+  let drained_count = Atomic.make 0 in
+  let cycle = ref 0 in
+  let finished = ref false in
+  let spin = fresh_spin_stats () in
+  let spin_on = config.Config.exec.Exec_config.spin_fastforward && not traced in
+  if spin_on then Array.iter (fun core -> Core.set_spin_ff core true) cores;
+  let sleeping : Core.spin_stable option array = Array.make n None in
+  (* Stable per-cycle snapshot of [sleeping], refreshed by each owner
+     in the publish window: classification must not read [sleeping]
+     itself, which a token-holding waker may flip mid-phase. *)
+  let was_sleeping = Array.make n false in
+  let ordered = Array.make n false in
+  let watches : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let phase = ref 0 in
+  let phase_core = ref 0 in
+  let sync = Shard_sync.create ~domains:d ~cores:n in
+  let register_watches i (st : Core.spin_stable) =
+    List.iter
+      (fun addr ->
+        let cur = Option.value (Hashtbl.find_opt watches addr) ~default:[] in
+        Hashtbl.replace watches addr (List.sort_uniq compare (i :: cur)))
+      st.Core.footprint
+  in
+  let unregister_watches i (st : Core.spin_stable) =
+    List.iter
+      (fun addr ->
+        match Hashtbl.find_opt watches addr with
+        | None -> ()
+        | Some l ->
+          (match List.filter (fun j -> j <> i) l with
+          | [] -> Hashtbl.remove watches addr
+          | l' -> Hashtbl.replace watches addr l'))
+      st.Core.footprint
+  in
+  (* catch_up / step3 / wake_core are the sequential loop's logic
+     verbatim (see the comments there); in this loop they only ever run
+     under the order token or, for [step3], on a step classified free
+     — whose spin poll is then guaranteed [None]. *)
+  let catch_up i (st : Core.spin_stable) ~through =
+    let b = st.Core.armed_cycle in
+    let k = if through <= b then 0 else (through - b) / st.Core.period in
+    if k > 0 then begin
+      Core.spin_replay cores.(i) ~stable:st ~k;
+      (match config.Config.mem_model with
+      | Config.Hierarchy ->
+        let s = Hierarchy.stats hierarchy in
+        s.Hierarchy.l1_hits <- s.Hierarchy.l1_hits + (k * st.Core.loads_per_period)
+      | Config.Ideal -> ());
+      spin.cycles_skipped <- spin.cycles_skipped + (k * st.Core.period)
+    end;
+    for x = b + (k * st.Core.period) + 1 to through do
+      ignore (Core.step_complete_writes cores.(i) ~cycle:x);
+      ignore (Core.step_complete_reads cores.(i) ~cycle:x);
+      ignore (Core.step_pipeline cores.(i) ~cycle:x)
+    done;
+    Core.spin_cancel cores.(i)
+  in
+  let rec step3 i c =
+    if Core.step_pipeline cores.(i) ~cycle:c then progress.(i) <- true;
+    if progress.(i) then begin
+      wake.(i) <- c + 1;
+      if (not drained.(i)) && Core.drained cores.(i) then begin
+        drained.(i) <- true;
+        Atomic.incr drained_count;
+        wake.(i) <- max_cycles
+      end
+      else if spin_on then begin
+        match Core.spin_poll cores.(i) ~cycle:c with
+        | Some st ->
+          sleeping.(i) <- Some st;
+          register_watches i st;
+          wake.(i) <- max_cycles;
+          spin.sleeps <- spin.sleeps + 1
+        | None -> ()
+      end
+    end
+    else begin
+      let dd =
+        match Core.next_wake cores.(i) ~cycle:c with
+        | Some dd -> min dd max_cycles
+        | None -> max_cycles
+      in
+      Core.account_stall_span cores.(i) ~cycle:c ~cycles:(dd - c - 1);
+      wake.(i) <- dd
+    end
+  and wake_core i =
+    match sleeping.(i) with
+    | None -> ()
+    | Some st ->
+      sleeping.(i) <- None;
+      unregister_watches i st;
+      Core.spin_cancel cores.(i);
+      spin.wakes <- spin.wakes + 1;
+      let t = !cycle in
+      if t = st.Core.armed_cycle then wake.(i) <- t + 1
+      else begin
+        catch_up i st ~through:(t - 1);
+        if !phase = 3 then begin
+          if Core.step_complete_reads cores.(i) ~cycle:t then progress.(i) <- true;
+          if i < !phase_core then step3 i t else wake.(i) <- t
+        end
+        else begin
+          progress.(i) <- false;
+          wake.(i) <- t
+        end
+      end
+  in
+  if spin_on then begin
+    on_store :=
+      (fun addr ->
+        match Hashtbl.find_opt watches addr with
+        | None -> ()
+        | Some l -> List.iter wake_core l);
+    Hierarchy.set_remote_victim_hook hierarchy (fun ~core ->
+        match sleeping.(core) with Some _ -> wake_core core | None -> ())
+  end;
+  if traced then Obs.Trace.set_now obs 0;
+  let shard_body me =
+    (* Phase round counter: +1 per phase, in lockstep across shards by
+       construction (every shard runs the same phase sequence). *)
+    let round = ref 0 in
+    let next_owned_ordered i =
+      let k = ref (i + d) in
+      while !k < n && not ordered.(!k) do k := !k + d done;
+      if !k < n then !k else n
+    in
+    let run_phase ~pred ~step =
+      let r = !round in
+      incr round;
+      let first = ref n in
+      let i = ref me in
+      while !i < n do
+        let o = pred !i in
+        ordered.(!i) <- o;
+        if o && !first = n then first := !i;
+        i := !i + d
+      done;
+      Shard_sync.set_cursor sync ~shard:me ~round:r !first;
+      let i = ref me in
+      while !i < n do
+        let core = !i in
+        if ordered.(core) then begin
+          Shard_sync.await_prefix sync ~shard:me ~round:r core;
+          phase_core := core;
+          step core;
+          Shard_sync.set_cursor sync ~shard:me ~round:r (next_owned_ordered core)
+        end
+        else step core;
+        i := !i + d
+      done
+    in
+    while (not !finished) && !cycle < max_cycles do
+      let c = !cycle in
+      phase := 1;
+      run_phase
+        ~pred:(fun i ->
+          traced || was_sleeping.(i) || Core.writes_pending cores.(i) ~cycle:c)
+        ~step:(fun i ->
+          progress.(i) <- wake.(i) <= c && Core.step_complete_writes cores.(i) ~cycle:c);
+      Shard_sync.barrier sync;
+      phase := 2;
+      run_phase
+        ~pred:(fun _ -> traced)
+        ~step:(fun i ->
+          if wake.(i) <= c && Core.step_complete_reads cores.(i) ~cycle:c then
+            progress.(i) <- true);
+      Shard_sync.barrier sync;
+      phase := 3;
+      run_phase
+        ~pred:(fun i ->
+          traced || was_sleeping.(i)
+          || (spin_on && Core.spin_may_arm cores.(i))
+          || (hier_mem && Core.may_touch_mem cores.(i)))
+        ~step:(fun i -> if wake.(i) <= c then step3 i c);
+      Shard_sync.barrier sync;
+      phase := 0;
+      (* Publish window: no step runs, so owners can snapshot their
+         cores' sleep state and shard 0 can advance the shared clock. *)
+      let i = ref me in
+      while !i < n do
+        was_sleeping.(!i) <- sleeping.(!i) <> None;
+        i := !i + d
+      done;
+      if me = 0 then begin
+        if Atomic.get drained_count = n then begin
+          cycle := c + 1;
+          finished := true
+        end
+        else begin
+          let target = Array.fold_left min max_int wake in
+          cycle := max target (c + 1)
+        end;
+        if traced then Obs.Trace.set_now obs !cycle
+      end;
+      Shard_sync.barrier sync
+    done
+  in
+  let guarded me () =
+    try shard_body me with e -> Shard_sync.poison sync e
+  in
+  let others = Array.init (d - 1) (fun k -> Domain.spawn (guarded (k + 1))) in
+  guarded 0 ();
+  Array.iter Domain.join others;
+  Shard_sync.check sync;
+  if Atomic.get drained_count < n then
+    for i = 0 to n - 1 do
+      match sleeping.(i) with
+      | None -> ()
+      | Some st ->
+        sleeping.(i) <- None;
+        unregister_watches i st;
+        catch_up i st ~through:(max_cycles - 1)
+    done;
+  {
+    cycles = !cycle;
+    timed_out = Atomic.get drained_count < n;
+    cores;
+    mem;
+    hierarchy;
+    spin;
+  }
+
+(* Entry point: shard when the config asks for it and the program has
+   cores to spread; a single-core or single-domain run takes the
+   sequential event-horizon loop. *)
+let run ?(obs = Obs.Trace.null) (config : Config.t) program =
+  let d = config.Config.shard_domains in
+  if d > 1 && Program.thread_count program > 1 then run_sharded ~obs ~domains:d config program
+  else run_sequential ~obs config program
 
 (* The retained naive loop: one cycle at a time, no fast-forward.  The
    differential suite holds [run] to bit-identical results against

@@ -39,7 +39,14 @@ type raw = {
 }
 
 val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
-(** Event-horizon fast-forward loop. *)
+(** Event-horizon fast-forward loop.  With [Config.shard_domains > 1]
+    (and a multi-core program) the cores are partitioned cyclically
+    across that many OCaml domains, which run the same three-phase
+    protocol with barriers at phase boundaries and a global-order
+    token serialising exactly the steps that touch shared state —
+    results stay bit-identical to the sequential loop (and to
+    {!run_naive}) except for the spin fast-forward counters, which
+    every consumer already treats as engine diagnostics. *)
 
 val run_naive : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
 (** The naive one-cycle-at-a-time reference loop. *)

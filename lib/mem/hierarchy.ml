@@ -35,7 +35,7 @@ type l1_state =
   | Modified
 
 type dir_entry = {
-  mutable sharers : int; (* bitmask over cores *)
+  sharers : Bitset.t; (* set of cores holding the line *)
   mutable owner : int; (* core holding the line Modified, or -1 *)
 }
 
@@ -63,7 +63,7 @@ type t = {
 }
 
 let create ?(trace = Fscope_obs.Trace.null) ~cores config =
-  if cores <= 0 || cores > 62 then invalid_arg "Hierarchy.create: bad core count";
+  if cores <= 0 then invalid_arg "Hierarchy.create: bad core count";
   {
     config;
     cores;
@@ -97,7 +97,7 @@ let on_l1_eviction t ~core line state =
   match Cache.peek t.l2 line with
   | None -> () (* the L2 line was recalled first; nothing to update *)
   | Some dir ->
-    dir.sharers <- dir.sharers land lnot (1 lsl core);
+    Bitset.remove dir.sharers core;
     if state = Modified && dir.owner = core then dir.owner <- -1
 
 let insert_l1 t ~core line state =
@@ -108,7 +108,7 @@ let insert_l1 t ~core line state =
 (* Inclusive L2: evicting an L2 line recalls every L1 copy. *)
 let on_l2_eviction t line dir =
   for core = 0 to t.cores - 1 do
-    if dir.sharers land (1 lsl core) <> 0 then begin
+    if Bitset.mem dir.sharers core then begin
       t.on_remote_victim ~core;
       ignore (Cache.invalidate t.l1.(core) line)
     end
@@ -124,13 +124,13 @@ let insert_l2 t line dir =
 let invalidate_remotes t ~core dir line =
   let dirty_remote = dir.owner >= 0 && dir.owner <> core in
   for c = 0 to t.cores - 1 do
-    if c <> core && dir.sharers land (1 lsl c) <> 0 then begin
+    if c <> core && Bitset.mem dir.sharers c then begin
       t.on_remote_victim ~core:c;
       ignore (Cache.invalidate t.l1.(c) line);
       t.stats.invalidations <- t.stats.invalidations + 1
     end
   done;
-  dir.sharers <- dir.sharers land (1 lsl core);
+  Bitset.retain_only dir.sharers core;
   if dir.owner <> core then dir.owner <- -1;
   if dirty_remote then t.stats.c2c_transfers <- t.stats.c2c_transfers + 1;
   dirty_remote
@@ -160,13 +160,13 @@ let read t ~core addr =
         end
         else 0
       in
-      dir.sharers <- dir.sharers lor (1 lsl core);
+      Bitset.add dir.sharers core;
       insert_l1 t ~core line Shared;
       (cfg.l1_latency + cfg.l2_latency + c2c, Fscope_obs.Event.L2_hit)
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
       emit_access t ~core ~addr ~write:false Fscope_obs.Event.L2_miss;
-      insert_l2 t line { sharers = 1 lsl core; owner = -1 };
+      insert_l2 t line { sharers = Bitset.singleton ~bits:t.cores core; owner = -1 };
       insert_l1 t ~core line Shared;
       (cfg.l1_latency + cfg.l2_latency + cfg.mem_latency, Fscope_obs.Event.L2_miss))
 
@@ -197,7 +197,8 @@ let write t ~core addr =
       t.stats.l2_hits <- t.stats.l2_hits + 1;
       emit_access t ~core ~addr ~write:true Fscope_obs.Event.L2_hit;
       let dirty_remote = invalidate_remotes t ~core dir line in
-      dir.sharers <- 1 lsl core;
+      Bitset.retain_only dir.sharers core;
+      Bitset.add dir.sharers core;
       dir.owner <- core;
       insert_l1 t ~core line Modified;
       ( cfg.l1_latency + cfg.l2_latency + (if dirty_remote then cfg.c2c_latency else 0),
@@ -205,7 +206,7 @@ let write t ~core addr =
     | None ->
       t.stats.l2_misses <- t.stats.l2_misses + 1;
       emit_access t ~core ~addr ~write:true Fscope_obs.Event.L2_miss;
-      insert_l2 t line { sharers = 1 lsl core; owner = core };
+      insert_l2 t line { sharers = Bitset.singleton ~bits:t.cores core; owner = core };
       insert_l1 t ~core line Modified;
       (cfg.l1_latency + cfg.l2_latency + cfg.mem_latency, Fscope_obs.Event.L2_miss))
 
@@ -230,7 +231,7 @@ let check_invariants t =
           | None ->
             fail (Printf.sprintf "line %d in L1 of core %d but not in L2" line core)
           | Some dir ->
-            if dir.sharers land (1 lsl core) = 0 then
+            if not (Bitset.mem dir.sharers core) then
               fail
                 (Printf.sprintf "line %d in L1 of core %d but not in directory sharers"
                    line core));
@@ -251,10 +252,10 @@ let check_invariants t =
   (* 2. Directory sharers only name cores that actually hold the line. *)
   Cache.iter t.l2 (fun line dir ->
       for core = 0 to t.cores - 1 do
-        if dir.sharers land (1 lsl core) <> 0 && not (Cache.resident t.l1.(core) line)
+        if Bitset.mem dir.sharers core && not (Cache.resident t.l1.(core) line)
         then fail (Printf.sprintf "directory says core %d shares line %d; L1 disagrees" core line)
       done;
-      if dir.owner >= 0 && dir.sharers land (1 lsl dir.owner) = 0 then
+      if dir.owner >= 0 && not (Bitset.mem dir.sharers dir.owner) then
         fail (Printf.sprintf "line %d owner %d not in sharers" line dir.owner));
   match !result with
   | Ok () -> Ok "ok"

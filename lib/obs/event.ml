@@ -19,7 +19,7 @@ type t =
   | Rob_dispatch of { pc : int; cls : instr_class }
   | Rob_commit of { pc : int; cls : instr_class }
   | Sb_insert of { addr : int }
-  | Sb_drain of { addr : int }
+  | Sb_drain of { addr : int; value : int }
   | Scope_push of { column : int option }
   | Scope_pop
   | Mem_access of { addr : int; write : bool; outcome : mem_outcome }
@@ -83,7 +83,9 @@ let args = function
     [ ("pc", string_of_int pc); ("cycles", string_of_int cycles) ]
   | Rob_dispatch { pc; cls } | Rob_commit { pc; cls } ->
     [ ("pc", string_of_int pc); ("cls", quoted (instr_class_name cls)) ]
-  | Sb_insert { addr } | Sb_drain { addr } -> [ ("addr", string_of_int addr) ]
+  | Sb_insert { addr } -> [ ("addr", string_of_int addr) ]
+  | Sb_drain { addr; value } ->
+    [ ("addr", string_of_int addr); ("value", string_of_int value) ]
   | Scope_push { column } ->
     [ ("column", match column with Some c -> string_of_int c | None -> "null") ]
   | Scope_pop -> []

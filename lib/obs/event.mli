@@ -36,7 +36,7 @@ type t =
   | Rob_dispatch of { pc : int; cls : instr_class }
   | Rob_commit of { pc : int; cls : instr_class }
   | Sb_insert of { addr : int }
-  | Sb_drain of { addr : int }
+  | Sb_drain of { addr : int; value : int }
   | Scope_push of { column : int option }
       (** FS_START entered a scope; [None] = overflow/counter push *)
   | Scope_pop  (** FS_END left a scope *)

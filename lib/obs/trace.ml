@@ -3,20 +3,24 @@ type t = {
   mutable current : int;
   rings : Event.timed Ring.t array;
   registry : Metrics.t;
+  keep : Event.t -> bool;
 }
 
 let default_ring_capacity = 65536
+let keep_all (_ : Event.t) = true
 
-let create ?(ring_capacity = default_ring_capacity) ~cores () =
+let create ?(ring_capacity = default_ring_capacity) ?(keep = keep_all) ~cores () =
   if cores <= 0 then invalid_arg "Trace.create: need at least one core";
   {
     live = true;
     current = 0;
     rings = Array.init cores (fun _ -> Ring.create ~capacity:ring_capacity);
     registry = Metrics.create ();
+    keep;
   }
 
-let null = { live = false; current = 0; rings = [||]; registry = Metrics.create () }
+let null =
+  { live = false; current = 0; rings = [||]; registry = Metrics.create (); keep = keep_all }
 
 let on t = t.live
 let set_now t n = if t.live then t.current <- n
@@ -28,7 +32,8 @@ let emit t ~core ev =
   if t.live then begin
     if core < 0 || core >= Array.length t.rings then
       invalid_arg "Trace.emit: core out of range";
-    Ring.push t.rings.(core) { Event.cycle = t.current; core; event = ev }
+    if t.keep ev then
+      Ring.push t.rings.(core) { Event.cycle = t.current; core; event = ev }
   end
 
 let events t =

@@ -14,9 +14,12 @@
 
 type t
 
-val create : ?ring_capacity:int -> cores:int -> unit -> t
+val create : ?ring_capacity:int -> ?keep:(Event.t -> bool) -> cores:int -> unit -> t
 (** A live collector with one ring per core.  [ring_capacity] is per
-    core and defaults to 65536 events. *)
+    core and defaults to 65536 events.  [keep] filters events at the
+    emission site (default: keep everything); a selective filter lets a
+    long run retain one sparse event family without the ring cycling
+    it out. *)
 
 val null : t
 (** The disabled collector: [on null = false]; [emit]/[set_now] on it

@@ -192,3 +192,76 @@ let make ?(threads = 8) ?(per_producer = 16) ?(seed = 1) ?(mean_burst = 4)
 
 let requests ?(threads = 8) ?(per_producer = 16) () =
   max 1 (threads / 4) * per_producer
+
+(* -- per-request latency from the store-buffer drain stream ----------
+
+   A request's life is bracketed by two plain stores the simulator
+   already traces as [Sb_drain] events:
+
+   - inject: the enqueue's [qval] initialisation of the node carrying
+     the request.  Node [slot + 2] holds value [slot + 1002] (node
+     indices start at 2), so the drain at [q.qval + slot + 2] with
+     exactly that value is the moment the request enters the queue's
+     memory.
+   - retire: the claiming worker's increment of its [claims] slot.
+     The warm-up pass writes zeros over the same array, so the first
+     drain with a non-zero value at [claimsT + slot] (any worker T) is
+     the claim itself.
+
+   Both marker families live in disjoint address regions of length at
+   least [requests], so the (address, value) tests below cannot
+   confuse them with each other or with any other store. *)
+
+let latency_markers ~requests ~threads program =
+  let qval = Program.address_of program "q.qval" in
+  let claims =
+    Array.init threads (fun t -> Program.address_of program (claims_name t))
+  in
+  let inject_slot addr value =
+    let s = addr - qval - 2 in
+    if s >= 0 && s < requests && value = s + 1002 then Some s else None
+  in
+  let retire_slot addr value =
+    if value = 0 then None
+    else
+      Array.fold_left
+        (fun acc base ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let s = addr - base in
+            if s >= 0 && s < requests then Some s else None)
+        None claims
+  in
+  (inject_slot, retire_slot)
+
+let keep_latency ~requests ~threads program =
+  let inject_slot, retire_slot = latency_markers ~requests ~threads program in
+  fun (ev : Fscope_obs.Event.t) ->
+    match ev with
+    | Fscope_obs.Event.Sb_drain { addr; value } ->
+      inject_slot addr value <> None || retire_slot addr value <> None
+    | _ -> false
+
+let latency_of_events ~requests ~threads program events =
+  let inject_slot, retire_slot = latency_markers ~requests ~threads program in
+  let inject = Array.make requests max_int in
+  let retire = Array.make requests max_int in
+  List.iter
+    (fun (ev : Fscope_obs.Event.timed) ->
+      match ev.Fscope_obs.Event.event with
+      | Fscope_obs.Event.Sb_drain { addr; value } ->
+        (match inject_slot addr value with
+        | Some s -> if ev.cycle < inject.(s) then inject.(s) <- ev.cycle
+        | None -> ());
+        (match retire_slot addr value with
+        | Some s -> if ev.cycle < retire.(s) then retire.(s) <- ev.cycle
+        | None -> ())
+      | _ -> ())
+    events;
+  let lats = ref [] in
+  for s = requests - 1 downto 0 do
+    if inject.(s) < max_int && retire.(s) >= inject.(s) && retire.(s) < max_int then
+      lats := (retire.(s) - inject.(s)) :: !lats
+  done;
+  List.sort compare !lats

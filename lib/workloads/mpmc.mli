@@ -31,3 +31,22 @@ val make :
 val requests : ?threads:int -> ?per_producer:int -> unit -> int
 (** Total requests the corresponding [make] will inject — used by the
     server experiment to report requests per kilocycle. *)
+
+val keep_latency :
+  requests:int -> threads:int -> Fscope_isa.Program.t -> Fscope_obs.Event.t -> bool
+(** Trace keep-filter retaining exactly the store-buffer drains that
+    mark a request's injection (the enqueue's [qval] node store) or
+    retirement (a worker's [claims] increment).  Pass to
+    {!Fscope_obs.Trace.create} so a long run keeps every marker in a
+    small ring. *)
+
+val latency_of_events :
+  requests:int ->
+  threads:int ->
+  Fscope_isa.Program.t ->
+  Fscope_obs.Event.timed list ->
+  int list
+(** Per-request inject-to-retire latencies (simulated cycles),
+    ascending.  A request appears once both its markers were retained;
+    with an undropped {!keep_latency}-filtered trace that is all of
+    them. *)

@@ -46,6 +46,7 @@ let decl ~fence ~pool =
         let_ "res" (i 0);
         let_ "done_" (i 0);
         let_ "ok" (i 0);
+        let_ "tries" (i 0);
         while_
           (not_ (l "done_"))
           [
@@ -63,13 +64,29 @@ let decl ~fence ~pool =
                       [ cas_fld "ok" "self" "qtail" (l "t") (l "n") (* help *) ];
                   ]
                   [
-                    let_ "v" (fldelem "self" "qval" (l "n"));
-                    cas_fld "ok" "self" "qhead" (l "h") (l "n");
-                    when_ (l "ok")
+                    (* h <> t with n = 0 is an inconsistent snapshot:
+                       the core may issue the qnext[h] load before the
+                       qtail load, so n can predate t.  Dereferencing
+                       node 0 would CAS qhead to 0 and sever the queue,
+                       so retry (the classic algorithm skips this guard
+                       only because it assumes in-order loads).  With
+                       fences in place a stale n survives at most a
+                       couple of re-reads, so a persistent mismatch
+                       means the chain itself is corrupt — possible
+                       only under the no-fence ablation — and retrying
+                       forever would livelock; past the bound, fall
+                       through to the unguarded dereference. *)
+                    if_ ((l "n" > i 0) ||| (l "tries" >= i 8))
                       [
-                        set "res" (l "v");
-                        set "done_" (i 1);
-                      ];
+                        let_ "v" (fldelem "self" "qval" (l "n"));
+                        cas_fld "ok" "self" "qhead" (l "h") (l "n");
+                        when_ (l "ok")
+                          [
+                            set "res" (l "v");
+                            set "done_" (i 1);
+                          ];
+                      ]
+                      [ set "tries" (l "tries" + i 1) ];
                   ];
               ];
           ];

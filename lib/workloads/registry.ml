@@ -199,9 +199,3 @@ let unknown_message name =
   | near -> Printf.sprintf "unknown workload '%s' — did you mean: %s?" name
               (String.concat ", " near)
 
-let get name =
-  match find name with
-  | Some s -> s
-  | None -> failwith (unknown_message name)
-
-let build ?(params = default_params) name = (get name).build params

@@ -8,11 +8,11 @@
     — so {!find} returns a first-class description instead of a bare
     program thunk, and listing the registry never compiles a program.
 
-    The [params] / [default_params] / [build] / [get] surface predates
-    the typed specs and is kept as thin wrappers for source
-    compatibility.
-    @deprecated New code should consume {!Workload.spec} via {!find} /
-    {!all} and call [spec.build] directly. *)
+    Construction goes through {!find} plus {!Workload.build} (or the
+    spec's [build] field directly); there is deliberately no
+    raise-on-unknown lookup here — callers that want one compose
+    {!find} with {!unknown_message} so the failure text stays
+    uniform. *)
 
 type params = Workload.params = {
   level : Privwork.level;
@@ -47,11 +47,3 @@ val suggest : ?max:int -> string -> string list
 
 val unknown_message : string -> string
 (** One-line "unknown workload 'x' — did you mean: ..." message. *)
-
-val get : string -> spec
-(** Raises [Failure] with {!unknown_message}.
-    @deprecated Use {!find} and handle [None]. *)
-
-val build : ?params:params -> string -> Workload.t
-(** [get] + [build]; [params] defaults to {!default_params}.
-    @deprecated Use {!find} and [spec.build]. *)

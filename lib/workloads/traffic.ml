@@ -75,8 +75,12 @@ let draw_key rng spec =
 
 let make spec =
   if spec.clients < 1 then invalid_arg "Traffic.make: need at least one client";
-  if spec.requests < spec.clients then
-    invalid_arg "Traffic.make: need at least one request per client";
+  if spec.requests < 0 then invalid_arg "Traffic.make: requests must be >= 0";
+  (* An even spread degrades gracefully to empty streams (an idle
+     server is a legitimate trace); the skewed split's invariant is
+     that every client carries load, so it keeps the floor. *)
+  if spec.spread = Skewed && spec.requests < spec.clients then
+    invalid_arg "Traffic.make: skewed spread needs at least one request per client";
   if spec.mean_burst < 1 then invalid_arg "Traffic.make: mean_burst must be >= 1";
   if spec.key_space < 1 then invalid_arg "Traffic.make: key_space must be >= 1";
   let master = Rng.create spec.seed in

@@ -51,9 +51,11 @@ type t = {
 }
 
 val make : spec -> t
-(** Deterministic: equal specs give bit-equal traces.  Raises
-    [Invalid_argument] on empty clients / requests < clients /
-    mean_burst < 1 / key_space < 1. *)
+(** Deterministic: equal specs give bit-equal traces.  An even spread
+    accepts any [requests >= 0] (zero requests yields empty streams);
+    a skewed spread needs [requests >= clients] so every client
+    carries load.  Raises [Invalid_argument] on empty clients /
+    negative requests / mean_burst < 1 / key_space < 1. *)
 
 val total : t -> int
 (** Total requests across all clients. *)

@@ -501,6 +501,55 @@ let prop_spin_ff_identity =
         QCheck2.Test.fail_report "FF off must not skip cycles"
       else true)
 
+(* ------------------------------------------------------------------ *)
+(* Shard-count invariance: splitting one machine's cores across OCaml
+   domains must be invisible in the results.  Sweeps shard counts over
+   both program families (flag handshakes exercising cross-shard
+   spin-sleep wakes, and disjoint 4-thread programs), composed with
+   spin fast-forward on/off, both memory models and truncating cycle
+   limits; every case must be bit-identical to the naive reference
+   loop in all result fields except the spin diagnostics. *)
+
+let shard_case_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 10_000 in
+  let* handshake = bool in
+  let* shards = oneofl [ 1; 2; 4 ] in
+  let* spin_ff = bool in
+  let* ideal = bool in
+  let* max_c = oneofl [ None; Some 200; Some 5000 ] in
+  return (seed, handshake, shards, spin_ff, ideal, max_c)
+
+let print_shard_case (seed, handshake, shards, spin_ff, ideal, max_c) =
+  Printf.sprintf "seed=%d program=%s shards=%d spin_ff=%b mem=%s max_cycles=%s" seed
+    (if handshake then "handshake" else "disjoint")
+    shards spin_ff
+    (if ideal then "ideal" else "hierarchy")
+    (match max_c with None -> "default" | Some n -> string_of_int n)
+
+let prop_shard_invariance =
+  QCheck2.Test.make ~count:70 ~name:"sharded engine == naive reference loop"
+    ~print:print_shard_case shard_case_gen
+    (fun (seed, handshake, shards, spin_ff, ideal, max_c) ->
+      let program =
+        if handshake then handshake_program (Rng.create seed)
+        else fst (Compile.compile (gen_disjoint_program seed ~threads:4))
+      in
+      let config =
+        Config.v ~base:(Config.scoped Config.default) ~spin_fastforward:spin_ff
+          ~mem_model:(if ideal then Config.Ideal else Config.Hierarchy)
+          ?max_cycles:max_c ~shard_domains:shards ()
+      in
+      let sharded = Machine.run config program in
+      let reference = Machine.run_reference config program in
+      if strip_spin sharded = strip_spin reference then true
+      else
+        QCheck2.Test.fail_report
+          (Printf.sprintf "shards=%d: %s" shards
+             (explain_mismatch
+                (if handshake then "handshake" else "disjoint")
+                seed sharded reference)))
+
 let tests =
   [
     Alcotest.test_case "random programs 1-60" `Quick (test_differential_batch 1 60);
@@ -510,4 +559,5 @@ let tests =
     Alcotest.test_case "4-core disjoint programs 41-100" `Slow (test_disjoint_batch 41 100);
     QCheck_alcotest.to_alcotest prop_engine_matches_reference;
     QCheck_alcotest.to_alcotest prop_spin_ff_identity;
+    QCheck_alcotest.to_alcotest prop_shard_invariance;
   ]

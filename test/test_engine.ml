@@ -27,27 +27,56 @@ let test_jobs_identical name render () =
   let par = with_jobs 4 render in
   Alcotest.(check string) (name ^ ": --jobs 1 and --jobs 4 render identically") seq par
 
-let test_traced_identical () =
-  let w = Registry.build ~params:{ Registry.default_params with rounds = Some 4 } "wsq" in
-  let program = w.Fscope_workloads.Workload.program in
+let traced_run config program runner =
   let cores = Fscope_isa.Program.thread_count program in
-  let config = E.Exp_run.s_config Config.default in
-  let traced runner =
-    let trace = Obs.Trace.create ~ring_capacity:65536 ~cores () in
-    let result = runner ~obs:trace config program in
-    match result.Machine.obs with
-    | Some report -> (result, report)
-    | None -> Alcotest.fail "traced run produced no report"
+  let trace = Obs.Trace.create ~ring_capacity:65536 ~cores () in
+  let result = runner ~obs:trace config program in
+  match result.Machine.obs with
+  | Some report -> (result, report)
+  | None -> Alcotest.fail "traced run produced no report"
+
+let check_traced_matches_reference ~label config program =
+  let engine_r, engine_rep =
+    traced_run config program (fun ~obs c p -> Machine.run ~obs c p)
   in
-  let engine_r, engine_rep = traced (fun ~obs c p -> Machine.run ~obs c p) in
-  let ref_r, ref_rep = traced (fun ~obs c p -> Machine.run_reference ~obs c p) in
-  Alcotest.(check int) "cycles" ref_r.Machine.cycles engine_r.Machine.cycles;
-  Alcotest.(check int) "events" (Obs.Report.events_count ref_rep)
+  let ref_r, ref_rep =
+    traced_run config program (fun ~obs c p -> Machine.run_reference ~obs c p)
+  in
+  Alcotest.(check int) (label ^ ": cycles") ref_r.Machine.cycles engine_r.Machine.cycles;
+  Alcotest.(check int)
+    (label ^ ": events")
+    (Obs.Report.events_count ref_rep)
     (Obs.Report.events_count engine_rep);
-  Alcotest.(check string) "event stream (jsonl)" (Obs.Sink.jsonl ref_rep)
-    (Obs.Sink.jsonl engine_rep);
-  Alcotest.(check string) "metrics summary" (Obs.Sink.summary ref_rep)
-    (Obs.Sink.summary engine_rep)
+  Alcotest.(check string)
+    (label ^ ": event stream (jsonl)")
+    (Obs.Sink.jsonl ref_rep) (Obs.Sink.jsonl engine_rep);
+  Alcotest.(check string)
+    (label ^ ": metrics summary")
+    (Obs.Sink.summary ref_rep) (Obs.Sink.summary engine_rep)
+
+let test_traced_identical () =
+  let w = E.Exp_run.workload ~params:{ Registry.default_params with rounds = Some 4 } "wsq" in
+  let program = w.Fscope_workloads.Workload.program in
+  let config = E.Exp_run.s_config Config.default in
+  check_traced_matches_reference ~label:"seq" config program
+
+(* The sharded engine must be invisible to the observability layer
+   too: with the machine's cores split across domains, a traced run
+   still produces the same event stream and metrics as the traced
+   sequential reference — wakes, drains and fence stalls land on the
+   same cycles in the same order. *)
+let test_sharded_traced_identical () =
+  let w = E.Exp_run.workload ~params:{ Registry.default_params with rounds = Some 4 } "wsq" in
+  let program = w.Fscope_workloads.Workload.program in
+  List.iter
+    (fun shards ->
+      let config =
+        Config.with_shard_domains shards (E.Exp_run.s_config Config.default)
+      in
+      check_traced_matches_reference
+        ~label:(Printf.sprintf "%d shards" shards)
+        config program)
+    [ 2; 4 ]
 
 (* Spin fast-forward regression: a two-core flag handshake.  Core 0
    counts down a few thousand iterations (a counting loop whose ARF
@@ -107,6 +136,8 @@ let tests =
       (test_jobs_identical "fig13" render_fig13);
     Alcotest.test_case "traced engine run matches traced reference" `Quick
       test_traced_identical;
+    Alcotest.test_case "traced sharded run matches traced reference" `Quick
+      test_sharded_traced_identical;
     Alcotest.test_case "spin fast-forward sleeps and stays bit-identical" `Quick
       test_spin_fastforward;
   ]

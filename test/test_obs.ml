@@ -234,7 +234,7 @@ let small_params name =
 let test_registry_round_trip () =
   List.iter
     (fun (spec : Registry.spec) ->
-      let w = Registry.build ~params:(small_params spec.name) spec.name in
+      let w = W.Workload.build spec (small_params spec.name) in
       let result = W.Workload.run_validated Config.default w in
       Alcotest.(check bool)
         (Printf.sprintf "%s finished" spec.name)
@@ -244,16 +244,20 @@ let test_registry_round_trip () =
 let test_registry_lookup () =
   Alcotest.(check bool) "find hit" true (Registry.find "wsq" <> None);
   Alcotest.(check bool) "find miss" true (Registry.find "nope" = None);
-  Alcotest.check_raises "get miss raises"
-    (Failure "unknown workload 'nope' (run 'fscope list' for the registry)")
-    (fun () -> ignore (Registry.get "nope"));
+  Alcotest.(check string) "miss message"
+    "unknown workload 'nope' (run 'fscope list' for the registry)"
+    (Registry.unknown_message "nope");
   (* Close misses and substring matches get "did you mean". *)
   Alcotest.(check (list string)) "suggest close miss" [ "msn" ] (Registry.suggest "msm");
   Alcotest.(check bool) "suggest substring" true
     (List.mem "server-cache" (Registry.suggest "cache"));
-  Alcotest.check_raises "get near-miss suggests"
-    (Failure "unknown workload 'server-mpnc' — did you mean: server-mpmc?")
-    (fun () -> ignore (Registry.get "server-mpnc"))
+  Alcotest.(check string) "near-miss message suggests"
+    "unknown workload 'server-mpnc' — did you mean: server-mpmc?"
+    (Registry.unknown_message "server-mpnc");
+  (* The shared lookup helper composes find + unknown_message. *)
+  Alcotest.check_raises "Exp_run.workload miss raises"
+    (Failure "unknown workload 'nope' (run 'fscope list' for the registry)")
+    (fun () -> ignore (Fscope_experiments.Exp_run.workload "nope"))
 
 let tests =
   [

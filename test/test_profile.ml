@@ -18,7 +18,7 @@ module Reg = Fscope_isa.Reg
 let level1 = W.Privwork.fig12_levels.(0)
 
 let small name =
-  Registry.build
+  E.Exp_run.workload
     ~params:{ Registry.default_params with level = level1; attempts = 3; size = Some 16 }
     name
 

@@ -59,6 +59,31 @@ let test_traffic_skew_and_modes () =
     (Array.iter (fun g -> Alcotest.(check int) "closed loop has no gaps" 0 g))
     closed.Traffic.gaps
 
+(* Degenerate shapes: a zero-request trace is an idle server (empty
+   streams, still deterministic), a single client owns every request,
+   and the skewed spread keeps its at-least-one-request-per-client
+   floor. *)
+let test_traffic_edge_cases () =
+  let idle = Traffic.make { spec with Traffic.requests = 0 } in
+  Alcotest.(check int) "0 requests: total" 0 (Traffic.total idle);
+  List.iteri
+    (fun c n -> Alcotest.(check int) (Printf.sprintf "0 requests: client %d" c) 0 n)
+    (List.init spec.Traffic.clients (Traffic.client_requests idle));
+  Alcotest.(check int) "0 requests: deterministic" (Traffic.digest idle)
+    (Traffic.digest (Traffic.make { spec with Traffic.requests = 0 }));
+  let solo = Traffic.make { spec with Traffic.clients = 1 } in
+  Alcotest.(check int) "1 client: total" spec.Traffic.requests (Traffic.total solo);
+  Alcotest.(check int) "1 client: owns every request" spec.Traffic.requests
+    (Traffic.client_requests solo 0);
+  Alcotest.(check int) "1 client: burst lengths conserve" spec.Traffic.requests
+    (Array.fold_left ( + ) 0 solo.Traffic.bursts.(0));
+  Alcotest.check_raises "skewed spread keeps the per-client floor"
+    (Invalid_argument "Traffic.make: skewed spread needs at least one request per client")
+    (fun () ->
+      ignore
+        (Traffic.make
+           { spec with Traffic.spread = Traffic.Skewed; clients = 5; requests = 3 }))
+
 (* -- registry round-trip: engine == reference, bit for bit ------------- *)
 
 let strip_spin (r : Machine.result) =
@@ -70,7 +95,11 @@ let small_params =
 let test_registry_roundtrip () =
   List.iter
     (fun name ->
-      let w = Registry.build ~params:small_params name in
+      let w =
+        match Registry.find name with
+        | Some spec -> W.Workload.build spec small_params
+        | None -> Alcotest.failf "workload %s missing from registry" name
+      in
       let config = Config.v ~base:(Config.scoped Config.default) ~max_cycles:1000 () in
       let engine = Machine.run config w.W.Workload.program in
       let reference = Machine.run_reference config w.W.Workload.program in
@@ -135,6 +164,7 @@ let tests =
     Alcotest.test_case "traffic seed-sensitive" `Quick test_traffic_seed_sensitive;
     Alcotest.test_case "traffic conservation" `Quick test_traffic_conservation;
     Alcotest.test_case "traffic skew and modes" `Quick test_traffic_skew_and_modes;
+    Alcotest.test_case "traffic edge cases" `Quick test_traffic_edge_cases;
     Alcotest.test_case "registry round-trip engine==reference" `Quick
       test_registry_roundtrip;
     Alcotest.test_case "mpmc validates on T and S" `Quick test_mpmc_validates;
