@@ -264,9 +264,10 @@ let run_profile ~quick () =
     inputs;
   Table.print t
 
-let write_profile_json path =
+let write_profile_json ~quick path =
   let buf = Buffer.create 65536 in
-  Buffer.add_string buf "{\n  \"schema\": \"fence-scoping/bench-profile/v1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"fence-scoping/bench-profile/v2\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf "  \"profiles\": [";
   List.iteri
     (fun i p ->
@@ -650,7 +651,7 @@ let () =
         run_artefact (name, f))
       (artefacts ~quick);
     write_bench_json ~quick ~jobs "BENCH_engine.json";
-    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json";
+    if !profile_inputs <> [] then write_profile_json ~quick "BENCH_profile.json";
     if !server_rows <> [] then write_server_json ~quick ~jobs "BENCH_server.json"
   | names ->
     List.iter
@@ -662,5 +663,5 @@ let () =
             (String.concat ", " (List.map fst (artefacts ~quick))))
       names;
     write_bench_json ~quick ~jobs "BENCH_engine.json";
-    if !profile_inputs <> [] then write_profile_json "BENCH_profile.json";
+    if !profile_inputs <> [] then write_profile_json ~quick "BENCH_profile.json";
     if !server_rows <> [] then write_server_json ~quick ~jobs "BENCH_server.json"

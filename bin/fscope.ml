@@ -143,6 +143,13 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem
   match result.Machine.obs with
   | None -> Printf.eprintf "internal error: traced run produced no report\n"; 1
   | Some report ->
+    (* Server workloads carry an occupancy gauge recoverable from the
+       drain stream; folding it into the report's registry surfaces it
+       in every sink (partial if the ring dropped events — the summary
+       warns). *)
+    (match W.Gauges.for_workload ~name:w.W.Workload.name w.W.Workload.program with
+    | Some g -> g.W.Gauges.fold report.Obs.Report.metrics report.Obs.Report.events
+    | None -> ());
     let text =
       match format with
       | `Jsonl -> Obs.Sink.jsonl report
@@ -190,6 +197,76 @@ let cmd_profile name level set_scope traditional speculate no_fence mem_latency 
     close_out oc;
     Printf.eprintf "wrote %s\n" file);
   0
+
+let cmd_advise name level set_scope mem_latency rob fsb mem_model no_spin_ff
+    shard_domains jobs max_cycles advise_format output rounds size threads seed =
+  guard @@ fun () ->
+  E.Exp_run.set_jobs jobs;
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
+  let config =
+    build_config ~traditional:false ~speculate:false ~mem_latency ~rob ~fsb ~mem_model
+      ~no_spin_ff ~shard_domains
+  in
+  let config =
+    match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
+  in
+  let t_input, s_input = E.Profiling.advise_inputs config w in
+  let advice = Obs.Advisor.analyze ~scoped:s_input t_input in
+  let text =
+    match advise_format with
+    | `Text -> Obs.Advisor.text advice
+    | `Json -> Obs.Advisor.json advice ^ "\n"
+  in
+  (match output with
+  | None -> print_string text
+  | Some file ->
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s\n" file);
+  0
+
+(* Compare the current BENCH_* artefacts against a baseline generation:
+   exit 0 when nothing regressed, 2 when a gated metric moved past the
+   threshold, 1 when an artefact fails to load. *)
+let cmd_report against current threshold wall_threshold =
+  guard @@ fun () ->
+  let bench_names = [ "BENCH_engine.json"; "BENCH_profile.json"; "BENCH_server.json" ] in
+  let pairs =
+    if Sys.file_exists against && Sys.is_directory against then begin
+      let cur_dir = Option.value current ~default:"." in
+      let pairs =
+        List.filter_map
+          (fun n ->
+            let b = Filename.concat against n and c = Filename.concat cur_dir n in
+            if Sys.file_exists b && Sys.file_exists c then Some (b, c) else None)
+          bench_names
+      in
+      if pairs = [] then
+        failwith
+          (Printf.sprintf "no BENCH_*.json pair found under %s and %s" against cur_dir);
+      pairs
+    end
+    else begin
+      if not (Sys.file_exists against) then
+        failwith (Printf.sprintf "baseline %s does not exist" against);
+      let cur = Option.value current ~default:(Filename.basename against) in
+      if not (Sys.file_exists cur) then
+        failwith (Printf.sprintf "current artefact %s does not exist" cur);
+      [ (against, cur) ]
+    end
+  in
+  let regressed = ref false in
+  List.iter
+    (fun (b, c) ->
+      let baseline = E.Trend.load_file b and current = E.Trend.load_file c in
+      let verdict = E.Trend.diff ~threshold ?wall_threshold ~baseline ~current () in
+      Fscope_util.Table.print (E.Trend.table ~verdict ~baseline ~current);
+      print_endline (E.Trend.summary_line ~verdict ~baseline ~current);
+      print_newline ();
+      if verdict.E.Trend.v_regressions <> [] then regressed := true)
+    pairs;
+  if !regressed then 2 else 0
 
 let cmd_disasm name level set_scope =
   guard @@ fun () ->
@@ -354,6 +431,71 @@ let profile_cmd =
       $ profile_format_arg $ output_arg $ rounds_arg $ size_arg $ threads_arg
       $ seed_arg)
 
+let advise_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format"; "f" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (ranked table) or $(b,json) (one object).")
+
+let advise_cmd =
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Profile a workload under traditional and scoped fences and rank its static \
+          fence sites by the cycles expected back if each became scoped, with a \
+          whole-run speedup prediction")
+    Term.(
+      const cmd_advise $ workload_arg $ level_arg $ set_scope_arg $ mem_latency_arg
+      $ rob_arg $ fsb_arg $ mem_model_arg $ no_spin_ff_arg $ shard_domains_arg
+      $ jobs_arg $ max_cycles_arg $ advise_format_arg $ output_arg $ rounds_arg
+      $ size_arg $ threads_arg $ seed_arg)
+
+let against_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "against" ] ~docv:"DIR|JSON"
+        ~doc:
+          "Baseline to diff against: a directory holding BENCH_*.json artefacts \
+           (matched by name against the current directory, or $(b,--current)) or one \
+           artefact file.")
+
+let current_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "current" ] ~docv:"DIR|JSON"
+        ~doc:
+          "Current artefacts to compare (default: the working directory when \
+           $(b,--against) is a directory, else the baseline's basename).")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:
+          "Regression threshold for deterministic metrics, in percent worsening \
+           (default 5).")
+
+let wall_threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wall-threshold" ] ~docv:"PCT"
+        ~doc:
+          "Also gate wall-clock metrics at $(docv) percent worsening (default: \
+           wall-clock rows are advisory).")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Diff BENCH_* artefacts against a baseline generation and render the trend \
+          table; exits 2 when a gated metric worsened past the threshold")
+    Term.(
+      const cmd_report $ against_arg $ current_arg $ threshold_arg $ wall_threshold_arg)
+
 let disasm_cmd =
   Cmd.v
     (Cmd.info "disasm" ~doc:"Print the compiled program of a workload")
@@ -362,6 +504,9 @@ let disasm_cmd =
 let main_cmd =
   let doc = "cycle-level simulator for scoped fences (SC '14 'Fence Scoping')" in
   Cmd.group (Cmd.info "fscope" ~doc)
-    [ list_cmd; run_cmd; compare_cmd; trace_cmd; profile_cmd; disasm_cmd ]
+    [
+      list_cmd; run_cmd; compare_cmd; trace_cmd; profile_cmd; advise_cmd; report_cmd;
+      disasm_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

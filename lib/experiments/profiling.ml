@@ -101,3 +101,17 @@ let profile ?label (config : Config.t) (workload : Workload.t) =
     spin_pcs = spin_pcs program;
     spin_ff;
   }
+
+(* The advisor wants the same workload profiled under traditional and
+   scoped fences: the first is the subject, the second the residual
+   model.  Both runs are independent, so they fan across the global
+   --jobs domains like any experiment sweep. *)
+let advise_inputs (config : Config.t) (workload : Workload.t) =
+  let t = Exp_run.t_config config and s = Exp_run.s_config config in
+  let inputs =
+    Exp_run.parmap
+      ~jobs:(Exp_run.jobs ())
+      (fun c -> profile c workload)
+      [| t; s |]
+  in
+  (inputs.(0), inputs.(1))

@@ -32,3 +32,13 @@ val profile :
     ablation fails it by design), and because tracing is
     timing-neutral the profiled cycle count is bit-identical to an
     unprofiled run.  [label] overrides the config tag. *)
+
+val advise_inputs :
+  Fscope_machine.Config.t ->
+  Fscope_workloads.Workload.t ->
+  Fscope_obs.Profile.input * Fscope_obs.Profile.input
+(** [(traditional, sfence)] profiles of the workload, derived from the
+    given base config with {!Exp_run.t_config} / {!Exp_run.s_config}
+    and fanned across {!Exp_run.jobs} domains — the pair
+    {!Fscope_obs.Advisor.analyze} consumes.  Deterministic: the pair
+    is bit-identical for any job count or shard count. *)

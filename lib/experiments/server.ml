@@ -24,6 +24,15 @@ module Table = Fscope_util.Table
 module Obs = Fscope_obs
 module W = Fscope_workloads
 
+type gauge_row = {
+  gv_name : string;  (* short gauge label, e.g. "queue_depth" *)
+  gv_samples : int;
+  gv_p50 : int;
+  gv_p90 : int;
+  gv_p99 : int;
+  gv_max : int;  (* floors of the log2 occupancy histogram *)
+}
+
 type row = {
   sv_workload : string;
   sv_config : string;
@@ -43,6 +52,7 @@ type row = {
   sv_lat_p90 : int;
   sv_lat_p99 : int;
   sv_lat_max : int;  (* exact per-request inject-to-retire latencies *)
+  sv_gauge : gauge_row option;  (* live occupancy gauge, when the workload has one *)
 }
 
 type point = {
@@ -115,6 +125,51 @@ let request_latencies pt program ~threads ~cycles =
          pt.pt_config);
   W.Mpmc.latency_of_events ~requests ~threads program (Obs.Trace.events trace)
 
+(* Live occupancy gauge (queue depth / deque occupancy / limbo length)
+   from a second dedicated drain-marker trace, folded post-hoc in the
+   trace's deterministic order — same timing-neutrality and no-drop
+   contract as the latency trace.  The 64-core scale point reuses the
+   base workload's sampler. *)
+let workload_gauge pt program ~cycles =
+  let name =
+    if pt.pt_workload = "server-mpmc-64" then "server-mpmc" else pt.pt_workload
+  in
+  match W.Gauges.for_workload ~name program with
+  | None -> None
+  | Some g ->
+    let trace =
+      Obs.Trace.create
+        ~ring_capacity:(max 1024 ((4 * pt.pt_requests) + 64))
+        ~keep:g.W.Gauges.keep
+        ~cores:(Fscope_isa.Program.thread_count program)
+        ()
+    in
+    let r = Machine.run ~obs:trace pt.pt_machine program in
+    if r.Machine.cycles <> cycles then
+      failwith
+        (Printf.sprintf "server %s (%s): gauge trace not timing-neutral"
+           pt.pt_workload pt.pt_config);
+    if Obs.Trace.dropped trace <> 0 then
+      failwith
+        (Printf.sprintf "server %s (%s): gauge trace dropped markers" pt.pt_workload
+           pt.pt_config);
+    let m = Obs.Metrics.create () in
+    g.W.Gauges.fold m (Obs.Trace.events trace);
+    let h =
+      match Obs.Metrics.find_histogram m g.W.Gauges.hist with
+      | Some h -> h
+      | None -> { Obs.Metrics.count = 0; sum = 0; buckets = [] }
+    in
+    Some
+      {
+        gv_name = g.W.Gauges.label;
+        gv_samples = h.Obs.Metrics.count;
+        gv_p50 = percentile h 0.50;
+        gv_p90 = percentile h 0.90;
+        gv_p99 = percentile h 0.99;
+        gv_max = max_floor h;
+      }
+
 let eval pt =
   let w = pt.pt_build () in
   let program = w.W.Workload.program in
@@ -175,6 +230,7 @@ let eval pt =
     sv_lat_p90 = rank_percentile lats 0.90;
     sv_lat_p99 = rank_percentile lats 0.99;
     sv_lat_max = (match List.rev lats with [] -> 0 | m :: _ -> m);
+    sv_gauge = workload_gauge pt program ~cycles:engine_r.Machine.cycles;
   }
 
 (* Three machine configurations per workload.  The set-scope point
@@ -246,7 +302,8 @@ let table rows =
       ~header:
         [
           "workload"; "config"; "cycles"; "reqs"; "req/kcyc"; "fence%"; "stalls";
-          "p50"; "p90"; "p99"; "max"; "lat p50"; "lat p90"; "lat p99";
+          "p50"; "p90"; "p99"; "max"; "lat p50"; "lat p90"; "lat p99"; "gauge";
+          "g-p50"; "g-p99"; "g-max";
         ]
   in
   List.iter
@@ -267,6 +324,10 @@ let table rows =
           (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p50);
           (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p90);
           (if r.sv_lat_samples = 0 then "-" else string_of_int r.sv_lat_p99);
+          (match r.sv_gauge with None -> "-" | Some g -> g.gv_name);
+          (match r.sv_gauge with None -> "-" | Some g -> string_of_int g.gv_p50);
+          (match r.sv_gauge with None -> "-" | Some g -> string_of_int g.gv_p99);
+          (match r.sv_gauge with None -> "-" | Some g -> string_of_int g.gv_max);
         ])
     rows;
   t
@@ -287,7 +348,7 @@ let json ~quick ~jobs rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-server/v2\",\n";
+  add "  \"schema\": \"fence-scoping/bench-server/v3\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"rows\": [";
@@ -299,12 +360,19 @@ let json ~quick ~jobs rows =
          \"stall_episodes\": %d, \"stall_cycles\": %d, \"stall_mean\": %.2f, \
          \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d, \
          \"latency_samples\": %d, \"latency_p50\": %d, \"latency_p90\": %d, \
-         \"latency_p99\": %d, \"latency_max\": %d}"
+         \"latency_p99\": %d, \"latency_max\": %d%s}"
         (if i = 0 then "" else ",")
         r.sv_workload r.sv_config r.sv_cycles r.sv_requests r.sv_rpk r.sv_fence_share
         r.sv_stall_episodes r.sv_stall_cycles r.sv_stall_mean r.sv_stall_p50
         r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max r.sv_lat_samples r.sv_lat_p50
-        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max)
+        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max
+        (match r.sv_gauge with
+        | None -> ""
+        | Some g ->
+          Printf.sprintf
+            ", \"gauge\": {\"name\": %S, \"samples\": %d, \"p50\": %d, \"p90\": %d, \
+             \"p99\": %d, \"max\": %d}"
+            g.gv_name g.gv_samples g.gv_p50 g.gv_p90 g.gv_p99 g.gv_max))
     rows;
   add "\n  ],\n";
   add "  \"throughput_gain_over_T\": [";

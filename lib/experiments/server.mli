@@ -9,6 +9,17 @@
     row, so a row is identical for any loop, any [--jobs] count and
     any host — BENCH_server.json can be diffed byte-for-byte. *)
 
+type gauge_row = {
+  gv_name : string;  (** short gauge label, e.g. ["queue_depth"] *)
+  gv_samples : int;
+  gv_p50 : int;
+  gv_p90 : int;
+  gv_p99 : int;
+  gv_max : int;
+      (** log2-bucket lower bounds over every occupancy transition the
+          workload's {!Fscope_workloads.Gauges} sampler observed *)
+}
+
 type row = {
   sv_workload : string;
   sv_config : string;  (** ["T"], ["S"] or ["S-set"] *)
@@ -34,6 +45,10 @@ type row = {
           inject-to-retire latencies (simulated cycles), from a
           dedicated drain-marker trace; zero samples on workloads
           without latency markers *)
+  sv_gauge : gauge_row option;
+      (** live data-structure occupancy (queue depth / deque occupancy /
+          limbo-ring length) from a second dedicated drain-marker trace;
+          [None] on workloads without a gauge sampler *)
 }
 
 val run : ?quick:bool -> unit -> row list
@@ -53,4 +68,5 @@ val gains : row list -> (string * string * float) list
 
 val json : quick:bool -> jobs:int -> row list -> string
 (** The BENCH_server.json document
-    (schema ["fence-scoping/bench-server/v2"]). *)
+    (schema ["fence-scoping/bench-server/v3"] — v2 plus a per-row
+    ["gauge"] summary object on workloads that have one). *)

@@ -91,7 +91,7 @@ let snapshot_stats trace r =
   set "engine/spin_ff_wakes" r.spin.wakes;
   set "machine/cycles" r.cycles
 
-let finish ~obs (raw : Sim_engine.raw) =
+let finish ~obs ~shard_domains (raw : Sim_engine.raw) =
   let result =
     {
       cycles = raw.Sim_engine.cycles;
@@ -113,13 +113,17 @@ let finish ~obs (raw : Sim_engine.raw) =
     snapshot_stats obs result;
     {
       result with
-      obs = Some (Obs.Report.of_trace ~cycles:result.cycles ~timed_out:result.timed_out obs);
+      obs =
+        Some
+          (Obs.Report.of_trace ~cycles:result.cycles ~timed_out:result.timed_out
+             ~shard_domains obs);
     }
   end
   else result
 
 let run ?(obs = Obs.Trace.null) (config : Config.t) program =
-  finish ~obs (Sim_engine.run ~obs config program)
+  finish ~obs ~shard_domains:config.Config.shard_domains (Sim_engine.run ~obs config program)
 
 let run_reference ?(obs = Obs.Trace.null) (config : Config.t) program =
-  finish ~obs (Sim_engine.run_naive ~obs config program)
+  finish ~obs ~shard_domains:config.Config.shard_domains
+    (Sim_engine.run_naive ~obs config program)

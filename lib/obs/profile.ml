@@ -123,6 +123,17 @@ let text input =
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let active = active_cycles input in
   let agg = aggregate input in
+  (* Column widths follow the data: a 64-core run has 2-digit core ids
+     and 5-digit pcs, which the fixed widths of the first renderer
+     silently misaligned. *)
+  let digits n = String.length (string_of_int (max 0 n)) in
+  let core_w = max 4 (digits (Array.length input.cpi - 1)) in
+  let pc_w =
+    List.fold_left
+      (fun acc (site : fence_site) -> max acc (digits site.pc))
+      (List.fold_left (fun acc (_, pc) -> max acc (digits pc)) 5 input.spin_pcs)
+      input.fence_sites
+  in
   p "cycle-accounting profile — %s [%s]  cores=%d  cycles=%d  active-cycles=%d%s\n"
     input.label input.config (Array.length input.cpi) input.cycles active
     (if input.timed_out then "  [TIMED OUT at cycle cap]" else "");
@@ -141,20 +152,20 @@ let text input =
     (fun i t ->
       let sum = Cpi.total t in
       let active_i = if i < Array.length input.core_active then input.core_active.(i) else 0 in
-      p "  core %-2d %12d / %-12d %s\n" i sum active_i
+      p "  core %-*d %12d / %-12d %s\n" (max 2 (digits (Array.length input.cpi - 1))) i sum active_i
         (if sum = active_i then "ok" else "MISMATCH"))
     input.cpi;
   (match site_rows input with
   | [] -> p "\nfence sites: (untraced run — no site attribution)\n"
   | rows ->
     p "\nfence sites:\n";
-    p "  %-4s %-5s %-18s %9s %7s %8s %11s %9s %7s\n" "core" "pc" "kind" "commits"
-      "scoped" "stalls" "stall-cyc" "mean" "max>=";
+    p "  %-*s %-*s %-18s %9s %7s %8s %11s %9s %7s\n" core_w "core" pc_w "pc" "kind"
+      "commits" "scoped" "stalls" "stall-cyc" "mean" "max>=";
     List.iter
       (fun r ->
-        p "  %-4d %-5d %-18s %9d %7d %8d %11d %9.1f %7d\n" r.site.core r.site.pc
-          r.site.kind r.commits r.scoped_commits r.stall.episodes r.stall.stall_cycles
-          r.stall.mean r.stall.max_floor)
+        p "  %-*d %-*d %-18s %9d %7d %8d %11d %9.1f %7d\n" core_w r.site.core pc_w
+          r.site.pc r.site.kind r.commits r.scoped_commits r.stall.episodes
+          r.stall.stall_cycles r.stall.mean r.stall.max_floor)
       rows);
   (match cid_rows input with
   | [] -> ()
@@ -170,8 +181,8 @@ let text input =
   | [] -> ()
   | rows ->
     p "\nspin candidates (backward edges re-taken with no visible write):\n";
-    p "  %-4s %-5s %12s\n" "core" "pc" "iterations";
-    List.iter (fun (core, pc, n) -> p "  %-4d %-5d %12d\n" core pc n) rows);
+    p "  %-*s %-*s %12s\n" core_w "core" pc_w "pc" "iterations";
+    List.iter (fun (core, pc, n) -> p "  %-*d %-*d %12d\n" core_w core pc_w pc n) rows);
   (match input.spin_ff with
   | None -> ()
   | Some (sleeps, skipped, wakes) ->

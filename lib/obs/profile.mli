@@ -43,6 +43,26 @@ type input = {
           optimisation is off in the profiled config). *)
 }
 
+type stall_summary = {
+  episodes : int;
+  stall_cycles : int;
+  mean : float;
+  max_floor : int;  (** floor of the highest non-empty log2 bucket *)
+}
+
+type site_row = {
+  site : fence_site;
+  commits : int;
+  scoped_commits : int;
+  stall : stall_summary;
+}
+
+val site_rows : input -> site_row list
+(** Per-static-site attribution read back from the metrics registry
+    ([core<i>/fence_pc<p>/...]); empty for untraced runs.  One row per
+    static site, in program order — the table both renderers print and
+    the {!Advisor} ranks. *)
+
 val text : input -> string
 (** Human-readable profile: aggregate CPI stack with shares and a
     sum check, per-core sums, fence-site / scope / spin tables. *)

@@ -39,15 +39,30 @@ let jsonl (r : Report.t) =
 (* Chrome trace_event (JSON array format)                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Under --shard-domains N each simulated core belongs to domain
+   (core mod N); giving every shard its own chrome process lays the
+   trace out as one track per domain, which is how the sharded engine
+   actually interleaves the work.  N = 1 keeps the legacy single
+   "fscope" process byte-for-byte. *)
 let chrome (r : Report.t) =
+  let shards = max 1 r.shard_domains in
+  let pid_of core = if shards = 1 then 0 else core mod shards in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[\n";
-  Printf.bprintf buf
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"fscope\"}}";
+  if shards = 1 then
+    Printf.bprintf buf
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"fscope\"}}"
+  else
+    for k = 0 to shards - 1 do
+      Printf.bprintf buf
+        "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"fscope shard %d\"}}"
+        (if k = 0 then "" else ",\n")
+        k k
+    done;
   for core = 0 to r.cores - 1 do
     Printf.bprintf buf
-      ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"core %d\"}}"
-      core core
+      ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"core %d\"}}"
+      (pid_of core) core core
   done;
   List.iter
     (fun (te : Event.timed) ->
@@ -57,12 +72,12 @@ let chrome (r : Report.t) =
         | `End -> ("fence_stall", "E")
         | `Instant -> (Event.name te.event, "i")
       in
-      Printf.bprintf buf ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"%s,\"ts\":%d,\"pid\":0,\"tid\":%d,\"args\":{"
+      Printf.bprintf buf ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"%s,\"ts\":%d,\"pid\":%d,\"tid\":%d,\"args\":{"
         name
         (Event.category te.event)
         ph
         (if ph = "i" then ",\"s\":\"t\"" else "")
-        te.cycle te.core;
+        te.cycle (pid_of te.core) te.core;
       (match Event.args te.event with
       | [] -> ()
       | (k, v) :: rest ->
@@ -79,14 +94,38 @@ let chrome (r : Report.t) =
 
 let pct num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
 
+(* Nearest-rank percentile over the log2-bucket histogram, reported as
+   the bucket lower bound (the histogram's native resolution). *)
+let hist_percentile (h : Metrics.hist_snapshot) q =
+  if h.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec go seen = function
+      | [] -> 0
+      | (floor, n) :: rest ->
+        let seen = seen + n in
+        if seen >= rank then floor else go seen rest
+    in
+    go 0 h.buckets
+  end
+
+let hist_max_floor (h : Metrics.hist_snapshot) =
+  List.fold_left (fun acc (floor, _) -> max acc floor) 0 h.buckets
+
 let summary (r : Report.t) =
   let buf = Buffer.create 1024 in
   let c name = Report.counter r name in
   let core_c i field = c (Printf.sprintf "core%d/%s" i field) in
   Printf.bprintf buf "fscope trace summary — %d cores, %d cycles (%s)\n" r.cores r.cycles
     (if r.timed_out then "TIMED OUT" else "completed");
-  Printf.bprintf buf "events: %d captured, %d dropped\n\n" (Report.events_count r)
+  Printf.bprintf buf "events: %d captured, %d dropped\n" (Report.events_count r)
     r.dropped;
+  if r.dropped > 0 then
+    Printf.bprintf buf
+      "warning: the ring overwrote %d events — event-derived counts below are \
+       partial; rerun with a larger --ring-capacity\n"
+      r.dropped;
+  Buffer.add_char buf '\n';
   Printf.bprintf buf "%-5s %10s %10s %12s %7s %9s %10s %9s\n" "core" "active"
     "committed" "fence-stall" "share" "rob-load" "rob-store" "sb-drain";
   for i = 0 to r.cores - 1 do
@@ -134,4 +173,27 @@ let summary (r : Report.t) =
   if pushes > 0 || pops > 0 then
     Printf.bprintf buf "scopes: %d pushes, %d pops%s\n" pushes pops
       (if r.dropped > 0 then " (ring dropped events; counts partial)" else "");
+  let gauges =
+    List.filter_map
+      (fun (name, s) ->
+        match s with
+        | Metrics.Histogram_v h
+          when String.length name > 6 && String.sub name 0 6 = "gauge/" ->
+          Some (name, h)
+        | _ -> None)
+      (Metrics.snapshot r.metrics)
+  in
+  if gauges <> [] then begin
+    Printf.bprintf buf "\nworkload gauges (occupancy transitions; log2-bucket floors):\n";
+    Printf.bprintf buf "%-44s %8s %8s %5s %5s %5s %5s\n" "gauge" "samples" "mean" "p50"
+      "p90" "p99" "max";
+    List.iter
+      (fun (name, (h : Metrics.hist_snapshot)) ->
+        Printf.bprintf buf "%-44s %8d %8.2f %5d %5d %5d %5d\n" name h.count
+          (if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count)
+          (hist_percentile h 0.50) (hist_percentile h 0.90) (hist_percentile h 0.99)
+          (hist_max_floor h)
+      )
+      gauges
+  end;
   Buffer.contents buf

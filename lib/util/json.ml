@@ -1,0 +1,261 @@
+(* A minimal JSON reader/writer for the bench-trajectory tooling.
+
+   The repo's dependency set has no JSON library, and the BENCH_*
+   artefacts the trend differ consumes are all written by our own
+   printf-style emitters, so a small recursive-descent parser over the
+   full JSON grammar is all that's needed.  Numbers keep their textual
+   class: an integer literal parses to [Int], anything with a fraction
+   or exponent to [Float] — so [render] round-trips every artefact the
+   repo emits ([parse (render v) = v]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st.pos (Printf.sprintf "expected %c, found %c" c d)
+  | None -> fail st.pos (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "expected %s" word)
+
+(* Decode one codepoint to UTF-8 bytes; the artefacts are ASCII, this
+   just keeps \u escapes from crashing the loader. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+      | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+      | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+      | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+      | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.s then fail st.pos "truncated \\u escape";
+        let hex = String.sub st.s st.pos 4 in
+        let cp =
+          try int_of_string ("0x" ^ hex)
+          with _ -> fail st.pos (Printf.sprintf "bad \\u escape %s" hex)
+        in
+        st.pos <- st.pos + 4;
+        add_utf8 buf cp;
+        go ()
+      | _ -> fail st.pos "bad escape")
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st; go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.s start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail start (Printf.sprintf "bad number %s" text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> fail start (Printf.sprintf "bad number %s" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin advance st; Obj [] end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; members ()
+        | Some '}' -> advance st
+        | _ -> fail st.pos "expected , or } in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin advance st; Arr [] end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> advance st; elements ()
+        | Some ']' -> advance st
+        | _ -> fail st.pos "expected , or ] in array"
+      in
+      elements ();
+      Arr (List.rev !items)
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st.pos "trailing content after JSON value";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_text f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec render_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_text f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        render_into buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        render_into buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let render v =
+  let buf = Buffer.create 256 in
+  render_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None

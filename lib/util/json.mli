@@ -1,0 +1,41 @@
+(** A minimal JSON reader/writer.
+
+    Covers the full JSON grammar with one deliberate refinement:
+    numbers keep their textual class, so an integer literal parses to
+    {!Int} and anything with a fraction or exponent to {!Float}.
+    Because of that, [parse (render v) = v] holds structurally for
+    every value this module produces — the property the trend differ's
+    artefact round-trip tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} / {!of_file} with an offset-tagged message. *)
+
+val parse : string -> t
+(** Parse one JSON value; trailing non-whitespace content is an
+    error. *)
+
+val of_file : string -> t
+(** [parse] the entire contents of a file. *)
+
+val render : t -> string
+(** Compact (single-line) rendering. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on a missing key or a non-object. *)
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Numeric value as a float; accepts both {!Int} and {!Float}. *)

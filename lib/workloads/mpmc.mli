@@ -32,6 +32,17 @@ val requests : ?threads:int -> ?per_producer:int -> unit -> int
 (** Total requests the corresponding [make] will inject — used by the
     server experiment to report requests per kilocycle. *)
 
+val latency_markers :
+  requests:int ->
+  threads:int ->
+  Fscope_isa.Program.t ->
+  (int -> int -> int option) * (int -> int -> int option)
+(** [(inject_slot, retire_slot)] marker classifiers: each maps a
+    drained store's [(addr, value)] to the request slot it marks, or
+    [None].  The building blocks of {!keep_latency} and
+    {!latency_of_events}, also reused by {!Gauges} to derive queue
+    depth from the same drains. *)
+
 val keep_latency :
   requests:int -> threads:int -> Fscope_isa.Program.t -> Fscope_obs.Event.t -> bool
 (** Trace keep-filter retaining exactly the store-buffer drains that

@@ -16,4 +16,6 @@ let () =
       ("differential", Test_differential.tests);
       ("engine", Test_engine.tests);
       ("server", Test_server.tests);
+      ("advisor", Test_advisor.tests);
+      ("trend", Test_trend.tests);
     ]

@@ -259,6 +259,88 @@ let test_registry_lookup () =
     (Failure "unknown workload 'nope' (run 'fscope list' for the registry)")
     (fun () -> ignore (Fscope_experiments.Exp_run.workload "nope"))
 
+(* ------------------------------------------------------------------ *)
+(* Drop warning and shard lanes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_summary_drop_warning () =
+  let w = W.Dekker.make ~level:level1 ~attempts:8 in
+  let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
+  (* A 4-event ring is guaranteed to overflow on any real run. *)
+  let trace = Obs.Trace.create ~ring_capacity:4 ~cores () in
+  let result = Machine.run ~obs:trace Config.default w.W.Workload.program in
+  let report = Option.get result.Machine.obs in
+  Alcotest.(check bool) "tiny ring drops" true (report.Obs.Report.dropped > 0);
+  let s = Obs.Sink.summary report in
+  Alcotest.(check bool) "summary warns about the drops" true
+    (contains ~needle:"warning:" s && contains ~needle:"--ring-capacity" s);
+  (* and a drop-free run stays warning-free *)
+  let _, clean = traced_run w in
+  Alcotest.(check bool) "clean run has no warning" false
+    (contains ~needle:"warning:" (Obs.Sink.summary clean))
+
+let test_chrome_shard_lanes () =
+  let w = tiny_dekker () in
+  let run config =
+    let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
+    let trace = Obs.Trace.create ~ring_capacity:(1 lsl 20) ~cores () in
+    let result = Machine.run ~obs:trace config w.W.Workload.program in
+    Option.get result.Machine.obs
+  in
+  let plain = Obs.Sink.chrome (run Config.default) in
+  Alcotest.(check bool) "one process at --shard-domains 1" true
+    (contains ~needle:"{\"name\":\"fscope\"}" plain
+    && not (contains ~needle:"shard" plain));
+  let sharded = Obs.Sink.chrome (run (Config.with_shard_domains 2 Config.default)) in
+  Alcotest.(check bool) "one process track per shard" true
+    (contains ~needle:"{\"name\":\"fscope shard 0\"}" sharded
+    && contains ~needle:"{\"name\":\"fscope shard 1\"}" sharded);
+  (* dekker: core 0 -> shard 0, core 1 -> shard 1 *)
+  Alcotest.(check bool) "cores land on their shard's pid" true
+    (contains ~needle:"\"pid\":1,\"tid\":1,\"args\":{\"name\":\"core 1\"}" sharded);
+  (* metadata aside, the two renderings describe the same events *)
+  Alcotest.(check int) "same event count either way"
+    (List.length (String.split_on_char '\n' plain))
+    (List.length (String.split_on_char '\n' sharded) - 1)
+
+(* Gauge samplers: a traced server run's drain stream must replay into
+   non-empty occupancy histograms, deterministically. *)
+let test_gauge_fold_deterministic () =
+  List.iter
+    (fun (name, build) ->
+      let w : W.Workload.t = build () in
+      let program = w.W.Workload.program in
+      let g = Option.get (W.Gauges.for_workload ~name program) in
+      let run () =
+        let cores = Fscope_isa.Program.thread_count program in
+        let trace =
+          Obs.Trace.create ~ring_capacity:(1 lsl 16) ~keep:g.W.Gauges.keep ~cores ()
+        in
+        let _ = Machine.run ~obs:trace Config.default program in
+        Alcotest.(check int) (name ^ " gauge trace undropped") 0
+          (Obs.Trace.dropped trace);
+        let m = Obs.Metrics.create () in
+        g.W.Gauges.fold m (Obs.Trace.events trace);
+        Obs.Metrics.snapshot m
+      in
+      let a = run () and b = run () in
+      Alcotest.(check bool) (name ^ " gauge fold deterministic") true (a = b);
+      match List.assoc_opt g.W.Gauges.hist a with
+      | Some (Obs.Metrics.Histogram_v h) ->
+        Alcotest.(check bool) (name ^ " gauge non-empty") true (h.Obs.Metrics.count > 0)
+      | _ -> Alcotest.fail (name ^ ": aggregate gauge histogram missing"))
+    [
+      ("server-mpmc", fun () -> W.Mpmc.make ~threads:4 ~per_producer:4 ~scope:`Class ());
+      ("server-steal", fun () -> W.Steal.make ~workers:4 ~requests:12 ~scope:`Class ());
+      ( "server-cache",
+        fun () -> W.Cache_server.make ~threads:4 ~per_thread:6 ~scope:`Class () );
+    ]
+
 let tests =
   [
     Alcotest.test_case "metrics counter" `Quick test_metrics_counter;
@@ -273,6 +355,9 @@ let tests =
     Alcotest.test_case "jsonl golden head" `Quick test_jsonl_golden;
     Alcotest.test_case "chrome trace shape" `Quick test_chrome_shape;
     Alcotest.test_case "summary quotes legacy total" `Quick test_summary_totals;
+    Alcotest.test_case "summary drop warning" `Quick test_summary_drop_warning;
+    Alcotest.test_case "chrome shard lanes" `Quick test_chrome_shard_lanes;
+    Alcotest.test_case "gauge fold deterministic" `Quick test_gauge_fold_deterministic;
     Alcotest.test_case "registry round-trip" `Slow test_registry_round_trip;
     Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
   ]

@@ -188,6 +188,52 @@ let test_profile_timing_neutral () =
         plain.Machine.cycles input.Obs.Profile.cycles)
     configs
 
+(* A 64-core run has 2-digit core ids and 5-digit pcs: every data row
+   of a rendered table must stay as wide as its neighbours — the
+   original fixed-width renderer silently overflowed its columns. *)
+let test_text_columns_survive_64_cores () =
+  let w = W.Mpmc.make ~threads:64 ~per_producer:4 ~scope:`Class () in
+  let config = Config.with_max_cycles 100_000 (E.Exp_run.s_config Config.default) in
+  let input = E.Profiling.profile config w in
+  let lines = String.split_on_char '\n' (Obs.Profile.text input) in
+  (* fence-site rows: everything between the "fence sites:" header and
+     the next blank line, header row included *)
+  let rec section acc = function
+    | [] -> List.rev acc
+    | l :: rest ->
+      if l = "" then List.rev acc else section (l :: acc) rest
+  in
+  let after marker =
+    let rec go = function
+      | [] -> Alcotest.fail (Printf.sprintf "no %S section" marker)
+      | l :: rest -> if l = marker then rest else go rest
+    in
+    go lines
+  in
+  let check_equal_widths what rows =
+    match rows with
+    | [] -> Alcotest.fail (what ^ ": empty section")
+    | first :: _ ->
+      List.iter
+        (fun row ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s row widths equal (%s)" what (String.trim row))
+            (String.length first) (String.length row))
+        rows
+  in
+  check_equal_widths "fence sites" (section [] (after "fence sites:"));
+  (* per-core lines must align too: same "core <id>" prefix width *)
+  let core_rows =
+    List.filter
+      (fun l ->
+        String.length l > 7
+        && String.sub l 0 7 = "  core "
+        && (match l.[7] with '0' .. '9' -> true | _ -> false))
+      lines
+  in
+  Alcotest.(check int) "64 per-core rows" 64 (List.length core_rows);
+  check_equal_widths "per-core sums" core_rows
+
 let tests =
   [
     Alcotest.test_case "CPI leaves sum to active cycles" `Quick test_cpi_sums_to_active;
@@ -197,4 +243,6 @@ let tests =
       test_profile_text_names_sites;
     Alcotest.test_case "profile json shape" `Quick test_profile_json_shape;
     Alcotest.test_case "profiling is timing-neutral" `Quick test_profile_timing_neutral;
+    Alcotest.test_case "text columns survive 64 cores" `Slow
+      test_text_columns_survive_64_cores;
   ]

@@ -1,0 +1,228 @@
+(* Trend-differ tests: the JSON layer round-trips, every committed
+   baseline artefact loads under its schema, self-diff is clean, an
+   injected regression trips the gate, and mismatched quick flags turn
+   the gate off. *)
+
+module Json = Fscope_util.Json
+module Trend = Fscope_experiments.Trend
+
+(* ------------------------------------------------------------------ *)
+(* Locating the committed baselines.  dune copies the source tree into
+   _build/default, so walking up from the test's cwd finds the
+   bench/baseline directory either in the sandbox or in the source
+   checkout. *)
+
+let rec find_dir dir candidate =
+  let path = Filename.concat dir candidate in
+  if Sys.file_exists path && Sys.is_directory path then Some path
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_dir parent candidate
+
+let baseline_dir () =
+  match find_dir (Sys.getcwd ()) (Filename.concat "bench" "baseline") with
+  | Some d -> d
+  | None -> Alcotest.fail "bench/baseline not found above the test cwd"
+
+let baseline_files () =
+  let dir = baseline_dir () in
+  Sys.readdir dir
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+(* ------------------------------------------------------------------ *)
+(* JSON layer                                                          *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "[1,-2,3.5,1e3]";
+      "{\"a\":{\"b\":[true,false,null]},\"s\":\"he\\\"llo\\n\\u00e9\"}";
+      "{\"big\":123456789012345,\"neg\":-0.125}";
+      "[]";
+      "{}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = Json.parse s in
+      Alcotest.(check bool)
+        (Printf.sprintf "parse(render(%s)) stable" s)
+        true
+        (Json.parse (Json.render v) = v))
+    cases;
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" bad))
+    [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_committed_artefacts_roundtrip () =
+  let files = baseline_files () in
+  Alcotest.(check bool)
+    "committed baselines present (engine, profile, profile_v1, server)" true
+    (List.length files >= 4);
+  List.iter
+    (fun file ->
+      let v = Json.of_file file in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s JSON round-trips" (Filename.basename file))
+        true
+        (Json.parse (Json.render v) = v);
+      let a = Trend.load ~file v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s loads points" (Filename.basename file))
+        true
+        (a.Trend.a_points <> []))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Diffing                                                             *)
+
+let load_server_baseline () =
+  let file =
+    Filename.concat (baseline_dir ()) "BENCH_server.json"
+  in
+  (file, Json.of_file file)
+
+let test_self_diff_clean () =
+  List.iter
+    (fun file ->
+      let a = Trend.load_file file in
+      let v = Trend.diff ~baseline:a ~current:a () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s self-diff comparable" (Filename.basename file))
+        true v.Trend.v_comparable;
+      Alcotest.(check int)
+        (Printf.sprintf "%s self-diff regression-free" (Filename.basename file))
+        0
+        (List.length v.Trend.v_regressions);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s self-diff compared something" (Filename.basename file))
+        true
+        (v.Trend.v_deltas <> [] && v.Trend.v_missing = [] && v.Trend.v_added = []))
+    (baseline_files ())
+
+(* Rewrite one field of the first row of a parsed server artefact. *)
+let tamper_first_row field f j =
+  let map_obj g = function Json.Obj fields -> Json.Obj (g fields) | v -> v in
+  map_obj
+    (List.map (fun (k, v) ->
+         if k <> "rows" then (k, v)
+         else
+           match v with
+           | Json.Arr (row0 :: rest) ->
+             ( k,
+               Json.Arr
+                 (map_obj
+                    (List.map (fun (rk, rv) -> if rk = field then (rk, f rv) else (rk, rv)))
+                    row0
+                 :: rest) )
+           | v -> (k, v)))
+    j
+
+let double = function
+  | Json.Int n -> Json.Int (2 * n)
+  | Json.Float x -> Json.Float (2.0 *. x)
+  | v -> v
+
+let test_injected_regression_gates () =
+  let file, j = load_server_baseline () in
+  let baseline = Trend.load ~file j in
+  let current = Trend.load ~file:"tampered" (tamper_first_row "sim_cycles" double j) in
+  let v = Trend.diff ~threshold:5.0 ~baseline ~current () in
+  Alcotest.(check bool) "doubled sim_cycles trips the gate" true
+    (v.Trend.v_regressions <> []);
+  Alcotest.(check bool) "the regression names the tampered metric" true
+    (List.exists
+       (fun (d : Trend.delta) -> d.Trend.d_metric = "sim_cycles" && d.Trend.d_worse_pct > 99.0)
+       v.Trend.v_regressions)
+
+let test_gauge_metrics_never_gate () =
+  let file, j = load_server_baseline () in
+  let baseline = Trend.load ~file j in
+  let tampered =
+    tamper_first_row "gauge"
+      (function
+        | Json.Obj fields ->
+          Json.Obj (List.map (fun (k, v) -> if k = "p99" then (k, double v) else (k, v)) fields)
+        | v -> v)
+      j
+  in
+  let current = Trend.load ~file:"tampered" tampered in
+  let v = Trend.diff ~threshold:5.0 ~baseline ~current () in
+  Alcotest.(check (list string)) "gauge summaries are context, not regressions" []
+    (List.map (fun (d : Trend.delta) -> d.Trend.d_metric) v.Trend.v_regressions);
+  Alcotest.(check bool) "the gauge delta is still reported" true
+    (List.exists
+       (fun (d : Trend.delta) ->
+         d.Trend.d_gate = Trend.Gate_never && d.Trend.d_worse_pct > 99.0)
+       v.Trend.v_deltas)
+
+let test_quick_mismatch_disarms_gate () =
+  let file, j = load_server_baseline () in
+  let baseline = Trend.load ~file j in
+  let full =
+    match tamper_first_row "sim_cycles" double j with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map (fun (k, v) -> if k = "quick" then (k, Json.Bool false) else (k, v)) fields)
+    | v -> v
+  in
+  let current = Trend.load ~file:"full-size" full in
+  let v = Trend.diff ~threshold:5.0 ~baseline ~current () in
+  Alcotest.(check bool) "quick-vs-full is not comparable" false v.Trend.v_comparable;
+  Alcotest.(check int) "and can never regress" 0 (List.length v.Trend.v_regressions);
+  Alcotest.(check bool) "deltas still rendered for information" true
+    (v.Trend.v_deltas <> [])
+
+let test_wall_threshold_arms_wall_metrics () =
+  let file =
+    Filename.concat (baseline_dir ()) "BENCH_engine.json"
+  in
+  let j = Json.of_file file in
+  let baseline = Trend.load ~file j in
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "engine_total_seconds" then (k, double v) else (k, v))
+           fields)
+    | v -> v
+  in
+  let current = Trend.load ~file:"slow" tampered in
+  let off = Trend.diff ~baseline ~current () in
+  Alcotest.(check int) "wall metrics advisory by default" 0
+    (List.length off.Trend.v_regressions);
+  let on = Trend.diff ~wall_threshold:50.0 ~baseline ~current () in
+  Alcotest.(check bool) "armed by --wall-threshold" true
+    (on.Trend.v_regressions <> [])
+
+let test_unknown_schema_rejected () =
+  (match Trend.load ~file:"x" (Json.parse "{\"schema\":\"fence-scoping/unheard-of/v9\"}") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown schema accepted");
+  match Trend.load ~file:"x" (Json.parse "{\"rows\":[]}") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "schema-less artefact accepted"
+
+let tests =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "committed artefacts round-trip" `Quick
+      test_committed_artefacts_roundtrip;
+    Alcotest.test_case "self-diff clean" `Quick test_self_diff_clean;
+    Alcotest.test_case "injected regression gates" `Quick test_injected_regression_gates;
+    Alcotest.test_case "gauge metrics never gate" `Quick test_gauge_metrics_never_gate;
+    Alcotest.test_case "quick mismatch disarms gate" `Quick
+      test_quick_mismatch_disarms_gate;
+    Alcotest.test_case "wall threshold arms wall metrics" `Quick
+      test_wall_threshold_arms_wall_metrics;
+    Alcotest.test_case "unknown schema rejected" `Quick test_unknown_schema_rejected;
+  ]
