@@ -293,6 +293,14 @@ let write_profile_json ~quick path =
 
 let server_rows = ref ([] : E.Server.row list)
 
+(* Artefacts that decided to skip themselves (e.g. jobs-scaling on a
+   1-CPU host) still land in the artefacts list for completeness, but
+   carry an explicit "skipped" marker so the trend differ knows their
+   near-zero seconds are not a wall-clock improvement to gate
+   against. *)
+let skipped_artefacts = ref ([] : string list)
+let mark_skipped name = skipped_artefacts := name :: !skipped_artefacts
+
 let run_server ~quick () =
   let cpus = Domain.recommended_domain_count () in
   let saved = E.Exp_run.jobs () in
@@ -341,7 +349,10 @@ let jobs_scaling_row = ref (None : jobs_scaling option)
 
 let run_jobs_scaling ~quick () =
   let cpus = Domain.recommended_domain_count () in
-  if cpus < 2 then say "jobs-scaling: skipped (host reports %d CPU)" cpus
+  if cpus < 2 then begin
+    mark_skipped "jobs-scaling";
+    say "jobs-scaling: skipped (host reports %d CPU)" cpus
+  end
   else begin
     let specs =
       List.concat_map
@@ -426,6 +437,110 @@ let run_shard_scaling ~quick () =
         ss_shard_s = shard_s }
 
 (* ------------------------------------------------------------------ *)
+(* Sampled-simulation artefact: the SMARTS-style interval estimator
+   against the detailed engine on the 64-core MPMC point, asserting
+   the per-metric error bound DESIGN §15 promises and (at full size)
+   the >=10x wall-clock win; then the sampled server rows, including
+   the 256-core machine that only exists sampled.  The sampled rows
+   are appended to the server artefact's, so BENCH_server.json carries
+   both generations of the scale point.                                *)
+(* ------------------------------------------------------------------ *)
+
+type sampled_cmp = {
+  sm_workload : string;
+  sm_detailed_cycles : int;
+  sm_sampled_cycles : int;
+  sm_cycles_err_pct : float;
+  sm_fence_err_pp : float;  (* |fence share delta| in percentage points *)
+  sm_detailed_s : float;
+  sm_sampled_s : float;
+  sm_speedup : float;
+}
+
+let sampled_cmp_row = ref (None : sampled_cmp option)
+
+(* The tested error contract (DESIGN §15): estimated cycles within 25%
+   of the detailed run, fence share within 10 percentage points.  CI
+   asserts these on every run; the wall-clock win is asserted only at
+   full size, where the fast-forward leg dominates. *)
+let sampled_cycles_err_bound = 25.0
+let sampled_fence_err_bound = 10.0
+
+let run_sampled_sim ~quick () =
+  let threads = 64 in
+  let per = if quick then 4 else 625 in
+  let w = W.Mpmc.make ~threads ~per_producer:per ~scope:`Class () in
+  let s = E.Exp_run.s_config Config.default in
+  let sampled_config =
+    Config.with_sampling (Some (E.Server.sampled_sampling ~quick)) s
+  in
+  let detailed_r, detailed_s =
+    timed (fun () -> Machine.run s w.W.Workload.program)
+  in
+  let sampled_r, sampled_s =
+    timed (fun () -> Machine.run sampled_config w.W.Workload.program)
+  in
+  List.iter
+    (fun (label, r) ->
+      if r.Machine.timed_out then failwith ("sampled-sim: " ^ label ^ " run timed out");
+      match w.W.Workload.validate r with
+      | Ok () -> ()
+      | Error msg ->
+        failwith (Printf.sprintf "sampled-sim: %s validation failed — %s" label msg))
+    [ ("detailed", detailed_r); ("sampled", sampled_r) ];
+  let fence_share (r : Machine.result) =
+    let active = Machine.total_active_cycles r in
+    let fence =
+      Array.fold_left
+        (fun acc c -> acc + Obs.Cpi.fence_cycles c)
+        0 r.Machine.core_cpi
+    in
+    100. *. Fscope_util.Stats.ratio ~num:fence ~den:active
+  in
+  let cycles_err =
+    100.
+    *. Float.abs
+         (float_of_int (sampled_r.Machine.cycles - detailed_r.Machine.cycles))
+    /. float_of_int detailed_r.Machine.cycles
+  in
+  let fence_err = Float.abs (fence_share sampled_r -. fence_share detailed_r) in
+  let speedup = detailed_s /. sampled_s in
+  say
+    "sampled-sim: 64-core mpmc — detailed %d cycles %.2fs, sampled %d cycles %.2fs \
+     (%.2fx wall-clock, cycle error %.1f%%, fence-share error %.1fpp)"
+    detailed_r.Machine.cycles detailed_s sampled_r.Machine.cycles sampled_s speedup
+    cycles_err fence_err;
+  if cycles_err > sampled_cycles_err_bound then
+    failwith
+      (Printf.sprintf "sampled-sim: cycle estimate off by %.1f%% (bound %.0f%%)"
+         cycles_err sampled_cycles_err_bound);
+  if fence_err > sampled_fence_err_bound then
+    failwith
+      (Printf.sprintf "sampled-sim: fence share off by %.1fpp (bound %.0fpp)" fence_err
+         sampled_fence_err_bound);
+  if (not quick) && speedup < 10.0 then
+    failwith
+      (Printf.sprintf
+         "sampled-sim: %.2fx wall-clock over detailed at full size — sampling buys \
+          less than the promised 10x"
+         speedup);
+  sampled_cmp_row :=
+    Some
+      {
+        sm_workload = "server-mpmc-64";
+        sm_detailed_cycles = detailed_r.Machine.cycles;
+        sm_sampled_cycles = sampled_r.Machine.cycles;
+        sm_cycles_err_pct = cycles_err;
+        sm_fence_err_pp = fence_err;
+        sm_detailed_s = detailed_s;
+        sm_sampled_s = sampled_s;
+        sm_speedup = speedup;
+      };
+  let rows = E.Server.run_sampled ~quick () in
+  server_rows := !server_rows @ rows;
+  Table.print (E.Server.table rows)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_engine.json: machine-readable record of the invocation —
    wall-clock per artefact, simulation throughput, and the
    engine-vs-naive rows when the [engine] artefact ran.                *)
@@ -461,14 +576,17 @@ let write_bench_json ~quick ~jobs path =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-engine/v2\",\n";
+  add "  \"schema\": \"fence-scoping/bench-engine/v3\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"shard_domains\": %d,\n" (E.Exp_run.shard_domains ());
   add "  \"artefacts\": [";
   List.iteri
     (fun i (name, s) ->
-      add "%s\n    {\"name\": %S, \"seconds\": %.3f}" (if i = 0 then "" else ",") name s)
+      add "%s\n    {\"name\": %S, \"seconds\": %.3f%s}"
+        (if i = 0 then "" else ",")
+        name s
+        (if List.mem name !skipped_artefacts then ", \"skipped\": true" else ""))
     (List.rev !artefact_times);
   add "\n  ],\n";
   add "  \"engine_vs_naive\": [";
@@ -506,6 +624,16 @@ let write_bench_json ~quick ~jobs path =
        \"bit_identical\": true}"
       ss.ss_cpus ss.ss_cores ss.ss_shards ss.ss_seq_s ss.ss_shard_s
       (ss.ss_seq_s /. ss.ss_shard_s));
+  (match !sampled_cmp_row with
+  | None -> ()
+  | Some sm ->
+    add ",\n";
+    add
+      "  \"sampled_sim\": {\"workload\": %S, \"detailed_cycles\": %d, \
+       \"sampled_cycles\": %d, \"cycles_err_pct\": %.2f, \"fence_err_pp\": %.2f, \
+       \"detailed_seconds\": %.3f, \"sampled_seconds\": %.3f, \"speedup\": %.2f}"
+      sm.sm_workload sm.sm_detailed_cycles sm.sm_sampled_cycles sm.sm_cycles_err_pct
+      sm.sm_fence_err_pp sm.sm_detailed_s sm.sm_sampled_s sm.sm_speedup);
   (match !engine_rows with
   | [] -> add "\n"
   | rows ->
@@ -604,6 +732,7 @@ let artefacts ~quick =
     ("engine", run_engine ~quick);
     ("profile", run_profile ~quick);
     ("server", run_server ~quick);
+    ("sampled", run_sampled_sim ~quick);
     ("jobs-scaling", run_jobs_scaling ~quick);
     ("shard-scaling", run_shard_scaling ~quick);
   ]

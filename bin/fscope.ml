@@ -10,6 +10,8 @@
 
 module Config = Fscope_machine.Config
 module Machine = Fscope_machine.Machine
+module Checkpoint = Fscope_machine.Checkpoint
+module Json = Fscope_util.Json
 module Obs = Fscope_obs
 module W = Fscope_workloads
 module Registry = Fscope_workloads.Registry
@@ -39,10 +41,19 @@ let find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed =
 
 (* Registry misses (and bad flag values) raise [Failure] with a
    one-line message — "did you mean" included; render it without a
-   backtrace. *)
+   backtrace.  IO and parse errors from artefact / checkpoint files
+   get the same treatment: a missing baseline is a usage error, not a
+   crash. *)
 let guard f =
-  try f () with Failure msg ->
+  try f () with
+  | Failure msg ->
     Printf.eprintf "fscope: %s\n" msg;
+    1
+  | Sys_error msg ->
+    Printf.eprintf "fscope: %s\n" msg;
+    1
+  | Json.Parse_error msg ->
+    Printf.eprintf "fscope: invalid JSON: %s\n" msg;
     1
 
 let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
@@ -50,6 +61,23 @@ let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_s
   Config.v ~sfence:(not traditional) ~speculation:speculate ?mem_latency ?rob_size:rob
     ?fsb_entries:fsb ~mem_model
     ~spin_fastforward:(not no_spin_ff) ~shard_domains ()
+
+(* --sample accepts "default" or WARMUP:DETAILED:FF (instruction count
+   for the fast-forward leg, cycles for the two windows). *)
+let parse_sampling = function
+  | None -> None
+  | Some "default" -> Some Config.sampling_default
+  | Some spec -> (
+    match String.split_on_char ':' spec with
+    | [ w; d; f ] -> (
+      match (int_of_string_opt w, int_of_string_opt d, int_of_string_opt f) with
+      | Some warmup, Some detailed, Some ff_instrs ->
+        Some { Config.warmup; detailed; ff_instrs }
+      | _ -> failwith (Printf.sprintf "bad --sample spec %S: non-integer field" spec))
+    | _ ->
+      failwith
+        (Printf.sprintf
+           "bad --sample spec %S: expected WARMUP:DETAILED:FF or 'default'" spec))
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -69,22 +97,19 @@ let cmd_list () =
     specs;
   0
 
-let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
-    no_spin_ff shard_domains rounds size threads seed =
-  guard @@ fun () ->
-  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
-  let config =
-    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-      ~shard_domains
-  in
-  let result = Machine.run config w.W.Workload.program in
+(* Shared tail of [run] and [checkpoint resume]: print the run summary
+   and validate.  Cycle-valued lines are estimates under sampling, but
+   committed counts and final memory stay exact, so validation still
+   means something there. *)
+let print_run_summary ~speculate ~sampled w (result : Machine.result) =
   if result.Machine.timed_out then begin
     Printf.eprintf "run timed out\n";
     2
   end
   else begin
     Printf.printf "workload:      %s (%s)\n" w.W.Workload.name w.W.Workload.description;
-    Printf.printf "cycles:        %d\n" result.Machine.cycles;
+    Printf.printf "cycles:        %d%s\n" result.Machine.cycles
+      (if sampled then " (sampled estimate)" else "");
     Printf.printf "fence stalls:  %d (%.1f%% of active cycles)\n"
       (Machine.fence_stall_cycles result)
       (100. *. Machine.fence_stall_fraction result);
@@ -97,6 +122,33 @@ let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_m
        | Error msg -> Printf.printf "validation:    FAILED — %s\n" msg);
     0
   end
+
+let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
+    no_spin_ff shard_domains sample checkpoint_every checkpoint_out rounds size threads
+    seed =
+  guard @@ fun () ->
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+      ~shard_domains
+  in
+  let sampling = parse_sampling sample in
+  let config = Config.with_sampling sampling config in
+  let checkpoint =
+    match checkpoint_every with
+    | None -> None
+    | Some every ->
+      if every <= 0 then failwith "--checkpoint-every must be positive";
+      if sampling <> None then
+        failwith "--checkpoint-every cannot be combined with --sample";
+      Some (every, fun ck -> Checkpoint.save ck ~file:checkpoint_out)
+  in
+  let result = Machine.run ?checkpoint config w.W.Workload.program in
+  (match checkpoint with
+  | Some _ when Sys.file_exists checkpoint_out ->
+    Printf.eprintf "checkpoint:    %s\n" checkpoint_out
+  | _ -> ());
+  print_run_summary ~speculate ~sampled:(sampling <> None) w result
 
 let cmd_compare name level set_scope jobs =
   guard @@ fun () ->
@@ -277,6 +329,65 @@ let cmd_disasm name level set_scope =
   Format.printf "%a@." Fscope_isa.Program.pp_disassembly w.W.Workload.program;
   0
 
+(* Run the workload just far enough to capture one whole-machine
+   checkpoint at the first visited cycle >= --at, write it, and abort
+   the rest of the run (the sink raises to cut the simulation short).
+   The same machine flags must be given again at resume time — the
+   checkpoint digest covers them. *)
+exception Captured
+
+let cmd_checkpoint_save name level set_scope traditional speculate mem_latency rob fsb
+    mem_model no_spin_ff rounds size threads seed at out =
+  guard @@ fun () ->
+  if at <= 0 then failwith "--at must be positive";
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+      ~shard_domains:1
+  in
+  let saved = ref None in
+  let sink ck =
+    saved := Some ck;
+    raise Captured
+  in
+  let result =
+    try Some (Machine.run ~checkpoint:(at, sink) config w.W.Workload.program)
+    with Captured -> None
+  in
+  match !saved with
+  | Some ck ->
+    Checkpoint.save ck ~file:out;
+    Printf.printf "wrote %s (cycle %d, %d cores, %d memory words)\n" out
+      ck.Checkpoint.cycle
+      (Array.length ck.Checkpoint.cores)
+      (Array.length ck.Checkpoint.mem);
+    0
+  | None ->
+    let finished =
+      match result with
+      | Some r -> Printf.sprintf "finished at cycle %d" r.Machine.cycles
+      | None -> "finished"
+    in
+    Printf.eprintf "fscope: run %s before reaching --at %d; no checkpoint written\n"
+      finished at;
+    1
+
+let cmd_checkpoint_resume name level set_scope traditional speculate mem_latency rob fsb
+    mem_model no_spin_ff max_cycles rounds size threads seed from =
+  guard @@ fun () ->
+  let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
+  let config =
+    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
+      ~shard_domains:1
+  in
+  let config =
+    match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
+  in
+  let ck = Checkpoint.load ~file:from in
+  let result = Machine.run ~resume:ck config w.W.Workload.program in
+  Printf.eprintf "resumed from %s at cycle %d\n" from ck.Checkpoint.cycle;
+  print_run_summary ~speculate ~sampled:false w result
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -371,6 +482,57 @@ let threads_arg =
 let seed_arg =
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Traffic trace seed for the server-* workloads (default 1).")
 
+let sample_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sample" ] ~docv:"SPEC"
+        ~doc:
+          "Interval sampling: $(b,default) (2k-cycle warmup, 10k-cycle detailed window, \
+           200k-instruction functional fast-forward) or an explicit \
+           $(b,WARMUP:DETAILED:FF) triple.  Cycle-valued metrics become extrapolated \
+           estimates; committed-instruction counts, final memory and validation stay \
+           exact.  See DESIGN §15 for the error contract.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"CYCLES"
+        ~doc:
+          "Write a whole-machine checkpoint to $(b,--checkpoint-out) at (roughly) every \
+           $(docv) cycles, each overwriting the last — a crashed or cancelled run can \
+           be resumed with $(b,fscope checkpoint resume).  Forces the sequential \
+           engine; incompatible with $(b,--sample).")
+
+let checkpoint_out_arg =
+  Arg.(
+    value & opt string "fscope.ckpt.json"
+    & info [ "checkpoint-out" ] ~docv:"FILE"
+        ~doc:"Destination for $(b,--checkpoint-every) snapshots (default \
+              fscope.ckpt.json).")
+
+let at_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "at" ] ~docv:"CYCLE"
+        ~doc:
+          "Capture the checkpoint at the first visited cycle at or past $(docv) (the \
+           event-horizon engine can jump over exact multiples).")
+
+let ckpt_out_arg =
+  Arg.(
+    value & opt string "fscope.ckpt.json"
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Checkpoint file to write (default fscope.ckpt.json).")
+
+let from_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "from" ] ~docv:"FILE" ~doc:"Checkpoint file to resume from.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available workloads") Term.(const cmd_list $ const ())
 
@@ -380,8 +542,8 @@ let run_cmd =
     Term.(
       const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ no_spin_ff_arg $ shard_domains_arg $ rounds_arg $ size_arg $ threads_arg
-      $ seed_arg)
+      $ no_spin_ff_arg $ shard_domains_arg $ sample_arg $ checkpoint_every_arg
+      $ checkpoint_out_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
 
 let compare_cmd =
   Cmd.v
@@ -501,12 +663,44 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Print the compiled program of a workload")
     Term.(const cmd_disasm $ workload_arg $ level_arg $ set_scope_arg)
 
+let checkpoint_save_cmd =
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:
+         "Run a workload up to a cycle and write the whole-machine state as a \
+          checkpoint file (the rest of the run is skipped)")
+    Term.(
+      const cmd_checkpoint_save $ workload_arg $ level_arg $ set_scope_arg
+      $ traditional_arg $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg
+      $ mem_model_arg $ no_spin_ff_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg
+      $ at_arg $ ckpt_out_arg)
+
+let checkpoint_resume_cmd =
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a run from a checkpoint file and carry it to completion — \
+          bit-identical to the uninterrupted run.  Machine flags and workload knobs \
+          must match the saving run (the checkpoint digest covers them); \
+          $(b,--max-cycles) may differ, so a resume can extend the cycle budget.")
+    Term.(
+      const cmd_checkpoint_resume $ workload_arg $ level_arg $ set_scope_arg
+      $ traditional_arg $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg
+      $ mem_model_arg $ no_spin_ff_arg $ max_cycles_arg $ rounds_arg $ size_arg
+      $ threads_arg $ seed_arg $ from_arg)
+
+let checkpoint_cmd =
+  Cmd.group
+    (Cmd.info "checkpoint"
+       ~doc:"Save and resume whole-machine checkpoints (DESIGN §15)")
+    [ checkpoint_save_cmd; checkpoint_resume_cmd ]
+
 let main_cmd =
   let doc = "cycle-level simulator for scoped fences (SC '14 'Fence Scoping')" in
   Cmd.group (Cmd.info "fscope" ~doc)
     [
       list_cmd; run_cmd; compare_cmd; trace_cmd; profile_cmd; advise_cmd; report_cmd;
-      disasm_cmd;
+      disasm_cmd; checkpoint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

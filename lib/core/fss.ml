@@ -43,3 +43,8 @@ let copy_from dst src =
   dst.depth <- src.depth
 
 let to_list t = Array.to_list (Array.sub t.slots 0 t.depth)
+
+let restore t cols =
+  if List.length cols > capacity t then invalid_arg "Fss.restore: overflow";
+  t.depth <- 0;
+  List.iter (push t) cols

@@ -38,3 +38,7 @@ val copy_from : t -> t -> unit
 
 val to_list : t -> int list
 (** Bottom to top. *)
+
+val restore : t -> int list -> unit
+(** Replace the contents with the given columns (bottom to top);
+    raises [Invalid_argument] past capacity.  Checkpoint restore. *)

@@ -48,3 +48,7 @@ let cid_of_column t ~column =
 
 let occupancy t = List.length t.map
 let mappings t = t.map
+
+let set_mappings t map =
+  if List.length map > t.entries then invalid_arg "Mapping_table.set_mappings: overflow";
+  t.map <- map

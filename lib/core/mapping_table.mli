@@ -43,3 +43,7 @@ val cid_of_column : t -> column:int -> int option
 val occupancy : t -> int
 val mappings : t -> (int * int) list
 (** Current (cid, column) pairs, for tests. *)
+
+val set_mappings : t -> (int * int) list -> unit
+(** Overwrite the table with (cid, column) pairs, newest first — the
+    inverse of {!mappings}, for checkpoint restore. *)

@@ -222,3 +222,77 @@ let current_cid t =
     match Fss.top t.live.stack with
     | None -> None
     | Some col -> Mapping_table.cid_of_column t.mt ~column:col
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing and sampled-mode reseeding. *)
+
+module Json = Fscope_util.Json
+
+let event_to_json = function
+  | Ev_branch b -> Json.Arr [ Json.Str "branch"; Json.Int b.id; Json.Bool b.resolved ]
+  | Ev_op (Push (Some col)) -> Json.Arr [ Json.Str "push"; Json.Int col ]
+  | Ev_op (Push None) -> Json.Arr [ Json.Str "pushn" ]
+  | Ev_op Pop -> Json.Arr [ Json.Str "pop" ]
+
+let event_of_json j =
+  match Json.list_exn j with
+  | [ Json.Str "branch"; id; resolved ] ->
+    Ev_branch { id = Json.int_exn id; resolved = Json.bool_exn resolved }
+  | [ Json.Str "push"; col ] -> Ev_op (Push (Some (Json.int_exn col)))
+  | [ Json.Str "pushn" ] -> Ev_op (Push None)
+  | [ Json.Str "pop" ] -> Ev_op Pop
+  | _ -> failwith "checkpoint: malformed scope event"
+
+let state_to_json (st : state) =
+  Json.Obj
+    [
+      ("stack", Json.of_int_list (Fss.to_list st.stack));
+      ("counter", Json.Int st.counter);
+    ]
+
+let state_restore (st : state) j =
+  Fss.restore st.stack (Json.int_list_exn (Json.get "stack" j));
+  st.counter <- Json.int_exn (Json.get "counter" j)
+
+let to_json t =
+  Json.Obj
+    [
+      ("live", state_to_json t.live);
+      ("confirmed", state_to_json t.confirmed);
+      ( "mt",
+        Json.Arr
+          (List.map
+             (fun (cid, col) -> Json.Arr [ Json.Int cid; Json.Int col ])
+             (Mapping_table.mappings t.mt)) );
+      ("outstanding", Json.of_int_array t.outstanding);
+      ("events", Json.Arr (List.map event_to_json t.events));
+    ]
+
+let restore t j =
+  state_restore t.live (Json.get "live" j);
+  state_restore t.confirmed (Json.get "confirmed" j);
+  Mapping_table.set_mappings t.mt
+    (List.map
+       (fun p ->
+         match Json.list_exn p with
+         | [ cid; col ] -> (Json.int_exn cid, Json.int_exn col)
+         | _ -> failwith "checkpoint: malformed MT pair")
+       (Json.list_exn (Json.get "mt" j)));
+  let out = Json.int_array_exn (Json.get "outstanding" j) in
+  if Array.length out <> Array.length t.outstanding then
+    failwith "checkpoint: FSB column-count mismatch";
+  Array.blit out 0 t.outstanding 0 (Array.length out);
+  t.events <- List.map event_of_json (Json.list_exn (Json.get "events" j))
+
+(* Forget everything — stacks, counters, the MT, outstanding bits and
+   buffered events.  The sampled engine resets the unit when it
+   re-enters a detailed window from functional execution and then
+   replays the architectural scope nesting with [on_fs_start]. *)
+let reset t =
+  Fss.restore t.live.stack [];
+  Fss.restore t.confirmed.stack [];
+  t.live.counter <- 0;
+  t.confirmed.counter <- 0;
+  Mapping_table.set_mappings t.mt [];
+  Array.fill t.outstanding 0 (Array.length t.outstanding) 0;
+  t.events <- []

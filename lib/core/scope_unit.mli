@@ -110,6 +110,22 @@ val live_stack : t -> int list
 val confirmed_stack : t -> int list
 (** FSS' contents (tests). *)
 
+val to_json : t -> Fscope_util.Json.t
+(** Whole-unit checkpoint: live + confirmed FSS and overflow counters,
+    the MT mappings, outstanding FSB bit counts and the decode-order
+    event FIFO (branch ids are ROB seqs — absolute, like everything in
+    a machine checkpoint). *)
+
+val restore : t -> Fscope_util.Json.t -> unit
+(** Inverse of {!to_json} into a unit created with the same config;
+    raises [Failure] on malformed input. *)
+
+val reset : t -> unit
+(** Forget all state (stacks, counters, MT, outstanding bits, events).
+    The sampled engine resets the unit at a functional→detailed
+    transition and replays the architectural nesting via
+    {!on_fs_start}. *)
+
 val spin_fingerprint : t -> base:int -> (int * bool) list option
 (** The decode-order event FIFO as comparable data: one
     [(base - branch_id, resolved)] pair per buffered branch event, or

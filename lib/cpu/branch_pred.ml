@@ -12,6 +12,11 @@ let predict t ~pc = t.counters.(pc land t.mask) >= 2
 
 let snapshot t = Array.copy t.counters
 
+let restore t counters =
+  if Array.length counters <> Array.length t.counters then
+    invalid_arg "Branch_pred.restore: size mismatch";
+  Array.blit counters 0 t.counters 0 (Array.length counters)
+
 let update t ~pc ~taken =
   let i = pc land t.mask in
   let c = t.counters.(i) in

@@ -16,3 +16,7 @@ val snapshot : t -> int array
 (** A copy of the counter table; two snapshots compare equal iff the
     predictor would behave identically.  Used by the spin-stability
     probe. *)
+
+val restore : t -> int array -> unit
+(** Overwrite the counter table from a {!snapshot} (checkpoint
+    restore); raises [Invalid_argument] on a size mismatch. *)

@@ -61,6 +61,7 @@ let create ?(trace = Fscope_obs.Trace.null) ~id ~code ~port ~scope_config ~exec_
     fetch_resume = 0;
     fetch_stopped = false;
     halted = false;
+    arch_nest = [];
     counts = Core_state.fresh_counts ();
     cpi = Cpi.create ();
     cycle_charged = false;
@@ -220,3 +221,20 @@ let next_wake (t : t) ~cycle =
      completions write memory and gate [drained]. *)
   Store_buffer.iter t.sb (fun en -> consider en.done_at);
   if !m = max_int then None else Some !m
+
+(* ------------------------------------------------------------------ *)
+(* Whole-core checkpointing and sampled-mode support (Core_ckpt,
+   Core_func). *)
+
+let snapshot = Core_ckpt.snapshot
+let restore = Core_ckpt.restore
+let traced (t : t) = t.Core_state.obs <> None
+let flushable = Core_ckpt.flushable
+let park = Core_ckpt.park
+let unpark = Core_ckpt.unpark
+let flush_arch = Core_ckpt.flush_arch
+let reseed_scope = Core_ckpt.reseed_scope
+let counters_snapshot = Core_ckpt.counters_snapshot
+let counters_restore = Core_ckpt.counters_restore
+let extrapolate = Core_ckpt.extrapolate
+let func_step = Core_func.step

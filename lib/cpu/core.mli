@@ -205,3 +205,91 @@ val spin_replay : t -> stable:spin_stable -> k:int -> unit
     in-flight completion cycles plus a pending fetch-resume point shift
     by [k * period].  Afterwards the core's state is exactly what
     [k * period] naive steps from [armed_cycle] would have produced. *)
+
+(** {2 Whole-core checkpointing}
+
+    Unlike the spin probe's relativized snapshot, a checkpoint keeps
+    every cycle- and seq-valued field ABSOLUTE: it is taken at the top
+    of the engine's cycle loop and restored into a machine rebuilt at
+    the same cycle.  Instructions are never serialized — ROB entries
+    record their pc and restore re-reads the code image (the
+    machine-level digest check guarantees it is the same program). *)
+
+val snapshot : t -> Fscope_util.Json.t
+(** Serialize the complete core state: fetch state, ARF, rename map,
+    ROB (absolute seqs and deadlines), store buffer, branch predictor,
+    commit counters, CPI table, spin-detection state and the scope
+    unit.  The core must be untraced and hold no armed spin
+    certificate (the engine force-wakes sleepers before capturing). *)
+
+val restore : t -> Fscope_util.Json.t -> unit
+(** Inverse of {!snapshot} into a core created over the same code
+    image and configs; raises [Failure] on malformed or mismatched
+    input.  The spin probe comes back clean (re-arming needs fresh
+    loop boundaries, which never affects bit-identity). *)
+
+val traced : t -> bool
+(** Was the core created with a live trace?  Checkpointing and sampled
+    mode are untraced-run facilities. *)
+
+(** {2 Interval sampling}
+
+    The sampled engine alternates detailed windows (ordinary cycle
+    stepping) with functional fast-forward.  [flush_arch] collapses
+    the core to architectural state at a detailed->functional
+    transition; {!func_step} then interprets one instruction per call;
+    [reseed_scope] rebuilds the scope unit when detail resumes; the
+    counter snapshot pair erases warmup accounting; [extrapolate]
+    scales the measured micro-architectural metrics to the whole run
+    at the end. *)
+
+val flushable : t -> bool
+(** No completed-but-uncommitted CAS in the ROB.  A CAS performs its
+    RMW at completion, before commit: once [Done] its memory write has
+    already happened, and discarding the entry in {!flush_arch} would
+    let {!func_step} apply it a second time.  The sampled engine steps
+    a core detailed until this holds (a completed CAS is
+    non-speculative and commits within bounded cycles), then
+    flushes. *)
+
+val flush_arch : t -> unit
+(** Drain the store buffer to memory (FIFO order), discard all
+    speculative work (ROB, rename map, pending fetch-resume), set the
+    fetch pc to the architectural pc (ROB head, or the fetch pc when
+    the window was empty) and drop spin-probe state.  Timing state —
+    predictor, caches — is deliberately left warm.  Only sound when
+    {!flushable} holds. *)
+
+val park : t -> unit
+val unpark : t -> unit
+(** Fetch suppression around the flush settle loop: a freshly flushed
+    core is parked so stepping it is a no-op while slower cores reach
+    their own flush points, then unparked before the functional
+    leg. *)
+
+val func_step : t -> bool
+(** Execute one instruction architecturally: ARF and memory image
+    only, stores immediately visible, fences no-ops.  Exact event
+    counters (commits, memory ops, fences, loads, stores, CAS,
+    branches) advance; micro-architectural metrics do not.  Returns
+    [false] when the core cannot progress (halted or pc off the code
+    image). *)
+
+val reseed_scope : t -> unit
+(** Reset the scope unit and replay the committed scope nesting
+    (outermost first) via [fs_start], as tracked across both execution
+    modes. *)
+
+val counters_snapshot : t -> int array * int array
+val counters_restore : t -> int array * int array -> unit
+(** Save / restore the micro-architectural accounting only
+    (mispredicts, ROB-occupancy sum, active cycles, CPI leaves): the
+    engine brackets each detailed warmup with these so warmup cycles
+    keep the pipeline warm without polluting the measured window. *)
+
+val extrapolate : t -> total:int -> measured:int -> unit
+(** Scale every cycle-valued metric by [total / measured] (committed
+    instructions overall vs inside measured windows), re-deriving
+    [active_cycles] as the sum of the scaled CPI leaves so the
+    leaves-sum-to-active invariant survives.  No-op when [measured] is
+    zero or covers the whole run. *)

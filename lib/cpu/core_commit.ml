@@ -74,8 +74,13 @@ let commit_effects t (e : Rob.entry) =
     t.counts.cas_ops <- t.counts.cas_ops + 1;
     t.counts.committed_mem <- t.counts.committed_mem + 1
   | Instr.Fence _ -> t.counts.committed_fences <- t.counts.committed_fences + 1
+  | Instr.Fs_start cid -> t.arch_nest <- cid :: t.arch_nest
+  | Instr.Fs_end _ -> (
+    match t.arch_nest with
+    | _ :: rest -> t.arch_nest <- rest
+    | [] -> () (* unmatched fs_end: legal program, nothing to pop *))
   | Instr.Nop | Instr.Li _ | Instr.Alu _ | Instr.Tid _ | Instr.Branch _ | Instr.Jump _
-  | Instr.Fs_start _ | Instr.Fs_end _ | Instr.Halt ->
+  | Instr.Halt ->
     ()
 
 (* Why is the head fence stalled?  Charged once per stalled cycle to

@@ -1,0 +1,75 @@
+(* The functional executor the sampled engine runs between detailed
+   windows: one architectural instruction per call, in program order,
+   straight against the ARF and the memory image (no timing, no
+   speculation, no store buffer — stores become globally visible
+   immediately).  It keeps the EXACT event counters exact (committed
+   instructions, memory ops, fences, loads, stores, CAS, branches);
+   micro-architectural metrics (mispredicts, occupancy, cycles, CPI
+   leaves) are what the measured detailed windows extrapolate.
+
+   The committed scope nesting ([arch_nest]) is maintained here just
+   as commit maintains it in detailed mode, so a functional->detailed
+   transition can reseed the scope unit. *)
+
+module Instr = Fscope_isa.Instr
+module Reg = Fscope_isa.Reg
+open Core_state
+
+let reg t r = if Reg.equal r Reg.zero then 0 else t.arf.(Reg.index r)
+let set_reg t r v = if not (Reg.equal r Reg.zero) then t.arf.(Reg.index r) <- v
+
+(* Execute one instruction.  Returns [false] when the core cannot make
+   progress — halted, or the pc ran off the code image (the detailed
+   front end stops fetching there too; the core stalls, it does not
+   halt). *)
+let step (t : t) =
+  if t.halted || t.fetch_pc < 0 || t.fetch_pc >= Array.length t.code then false
+  else begin
+    let pc = t.fetch_pc in
+    let next = ref (pc + 1) in
+    (match t.code.(pc) with
+    | Instr.Nop -> ()
+    | Instr.Li (dst, v) -> set_reg t dst v
+    | Instr.Tid dst -> set_reg t dst t.id
+    | Instr.Alu (op, dst, a, b) ->
+      let bv = match b with Instr.Reg r -> reg t r | Instr.Imm v -> v in
+      set_reg t dst (eval_alu op (reg t a) bv)
+    | Instr.Load { dst; base; off; _ } ->
+      set_reg t dst (read_mem t (reg t base + off));
+      t.counts.loads <- t.counts.loads + 1;
+      t.counts.committed_mem <- t.counts.committed_mem + 1
+    | Instr.Store { src; base; off; _ } ->
+      let addr = reg t base + off in
+      if not (in_bounds t addr) then
+        invalid_arg
+          (Printf.sprintf "core %d: store to out-of-bounds address %d (pc %d)" t.id addr
+             pc);
+      Mem_port.store t.port ~addr ~value:(reg t src);
+      t.counts.stores <- t.counts.stores + 1;
+      t.counts.committed_mem <- t.counts.committed_mem + 1
+    | Instr.Cas { dst; base; off; expected; desired; _ } ->
+      let addr = reg t base + off in
+      let old = read_mem t addr in
+      let success = old = reg t expected in
+      if success && in_bounds t addr then
+        Mem_port.store t.port ~addr ~value:(reg t desired);
+      set_reg t dst (if success then 1 else 0);
+      t.counts.cas_ops <- t.counts.cas_ops + 1;
+      t.counts.committed_mem <- t.counts.committed_mem + 1
+    | Instr.Branch { cond; src; target } ->
+      let v = reg t src in
+      let taken = match cond with Instr.Eqz -> v = 0 | Instr.Nez -> v <> 0 in
+      if taken then next := target;
+      t.counts.branches <- t.counts.branches + 1
+    | Instr.Jump target -> next := target
+    | Instr.Fence _ -> t.counts.committed_fences <- t.counts.committed_fences + 1
+    | Instr.Fs_start cid -> t.arch_nest <- cid :: t.arch_nest
+    | Instr.Fs_end _ -> (
+      match t.arch_nest with _ :: rest -> t.arch_nest <- rest | [] -> ())
+    | Instr.Halt ->
+      t.halted <- true;
+      t.fetch_stopped <- true);
+    t.counts.committed <- t.counts.committed + 1;
+    t.fetch_pc <- !next;
+    true
+  end

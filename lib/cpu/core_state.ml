@@ -150,6 +150,12 @@ type t = {
   mutable fetch_resume : int;
   mutable fetch_stopped : bool;
   mutable halted : bool;
+  (* Committed scope nesting, innermost cid first.  Maintained at
+     commit of Fs_start / Fs_end (and by the functional executor), read
+     by the sampled engine to replay the architectural nesting into a
+     freshly reset scope unit at a functional->detailed transition.
+     Pure bookkeeping: never read by any pipeline stage. *)
+  mutable arch_nest : int list;
   counts : counts;
   cpi : Fscope_obs.Cpi.t;
   (* [cycle_charged] marks that commit already charged this cycle's

@@ -137,3 +137,21 @@ let fold_older t seq f init =
     if s < seq then acc := f !acc (get t s)
   done;
   !acc
+
+let head_seq t = t.head_seq
+
+(* Checkpoint restore: overwrite the whole window.  Entries must be
+   consecutive by seq starting at [head_seq] (the caller rebuilt them
+   from a serialized snapshot); emits nothing — checkpointing is an
+   untraced-run facility. *)
+let restore t ~head_seq entries =
+  if List.length entries > t.size then invalid_arg "Rob.restore: too many entries";
+  Array.fill t.slots 0 t.size None;
+  t.head_seq <- head_seq;
+  t.tail_seq <- head_seq;
+  List.iter
+    (fun e ->
+      if e.seq <> t.tail_seq then invalid_arg "Rob.restore: non-consecutive seq";
+      t.slots.(e.seq mod t.size) <- Some e;
+      t.tail_seq <- t.tail_seq + 1)
+    entries

@@ -93,3 +93,11 @@ val exists_older : t -> int -> (entry -> bool) -> bool
 
 val fold_older : t -> int -> ('a -> entry -> 'a) -> 'a -> 'a
 (** Fold over entries older than [seq], oldest first. *)
+
+val head_seq : t -> int
+(** The seq of the oldest in-flight entry (= the next to commit). *)
+
+val restore : t -> head_seq:int -> entry list -> unit
+(** Checkpoint restore: replace the whole window with [entries], which
+    must carry consecutive seqs starting at [head_seq] (oldest first).
+    Emits no events. *)

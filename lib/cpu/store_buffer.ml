@@ -52,3 +52,9 @@ let mask_overlaps t mask =
   List.exists (fun e -> not (Fscope_core.Fsb.is_empty (Fscope_core.Fsb.inter e.mask mask))) t.entries
 
 let iter t f = List.iter f t.entries
+
+(* Checkpoint restore: replace the FIFO wholesale (oldest first),
+   emitting nothing. *)
+let restore t entries =
+  if List.length entries > t.capacity then invalid_arg "Store_buffer.restore: overflow";
+  t.entries <- entries

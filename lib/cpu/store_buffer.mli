@@ -49,3 +49,7 @@ val mask_overlaps : t -> Fscope_core.Fsb.mask -> bool
 
 val iter : t -> (entry -> unit) -> unit
 (** Oldest first. *)
+
+val restore : t -> entry list -> unit
+(** Checkpoint restore: replace the contents with [entries] (oldest
+    first).  Emits no events. *)

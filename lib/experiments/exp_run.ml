@@ -24,6 +24,9 @@ let t_plus c = Config.v ~base:c ~sfence:false ~speculation:true ()
 let s_plus c = Config.v ~base:c ~sfence:true ~speculation:true ()
 let nf_config c = Config.v ~base:c ~sfence:false ~nop_fences:true ()
 
+let sampled_config ?(sampling = Config.sampling_default) c =
+  Config.with_sampling (Some sampling) c
+
 let measure (config : Config.t) workload =
   let result =
     if config.Config.exec.Fscope_cpu.Exec_config.in_window_speculation then

@@ -33,6 +33,15 @@ val nf_config : Fscope_machine.Config.t -> Fscope_machine.Config.t
     not enforced, so runs under this config skip validation).  The
     profiler's upper bound on what fence elision could buy. *)
 
+val sampled_config :
+  ?sampling:Fscope_machine.Config.sampling ->
+  Fscope_machine.Config.t ->
+  Fscope_machine.Config.t
+(** Interval-sampled variant of any machine config (default schedule:
+    {!Fscope_machine.Config.sampling_default}).  {!measure} works
+    unchanged on such a config — cycle-valued fields become estimates,
+    and validation still runs exactly (see DESIGN §15). *)
+
 val measure : Fscope_machine.Config.t -> Fscope_workloads.Workload.t -> measurement
 (** Run and summarise.  Functional validation is enforced whenever
     in-window speculation is off (speculation is modelled without the

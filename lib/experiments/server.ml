@@ -53,6 +53,7 @@ type row = {
   sv_lat_p99 : int;
   sv_lat_max : int;  (* exact per-request inject-to-retire latencies *)
   sv_gauge : gauge_row option;  (* live occupancy gauge, when the workload has one *)
+  sv_sampled : bool;  (* interval-sampled point: cycle metrics are estimates *)
 }
 
 type point = {
@@ -231,6 +232,55 @@ let eval pt =
     sv_lat_p99 = rank_percentile lats 0.99;
     sv_lat_max = (match List.rev lats with [] -> 0 | m :: _ -> m);
     sv_gauge = workload_gauge pt program ~cycles:engine_r.Machine.cycles;
+    sv_sampled = false;
+  }
+
+(* Sampled points trade the per-point triple-check for wall-clock: the
+   engine-vs-reference and timing-neutrality assertions have no
+   meaning under sampling (the estimator IS the engine, and tracing is
+   rejected), but functional validation still holds exactly — the
+   fast-forward legs execute real instructions, so the retired
+   requests and final memory are real.  The fence share comes straight
+   from the run's extrapolated CPI stacks; stall/latency tails need a
+   traced run, so those columns are zero here. *)
+let eval_sampled pt =
+  let w = pt.pt_build () in
+  let r = Machine.run pt.pt_machine w.W.Workload.program in
+  if r.Machine.timed_out then
+    failwith
+      (Printf.sprintf "server %s (%s): sampled run timed out" pt.pt_workload
+         pt.pt_config);
+  (match w.W.Workload.validate r with
+  | Ok () -> ()
+  | Error msg ->
+    failwith
+      (Printf.sprintf "server %s (%s): sampled validation failed — %s" pt.pt_workload
+         pt.pt_config msg));
+  let active = Machine.total_active_cycles r in
+  let fence =
+    Array.fold_left (fun acc c -> acc + Obs.Cpi.fence_cycles c) 0 r.Machine.core_cpi
+  in
+  {
+    sv_workload = pt.pt_workload;
+    sv_config = pt.pt_config;
+    sv_cycles = r.Machine.cycles;
+    sv_requests = pt.pt_requests;
+    sv_rpk = 1000. *. float_of_int pt.pt_requests /. float_of_int r.Machine.cycles;
+    sv_fence_share = 100. *. Fscope_util.Stats.ratio ~num:fence ~den:active;
+    sv_stall_episodes = 0;
+    sv_stall_cycles = 0;
+    sv_stall_mean = 0.;
+    sv_stall_p50 = 0;
+    sv_stall_p90 = 0;
+    sv_stall_p99 = 0;
+    sv_stall_max = 0;
+    sv_lat_samples = 0;
+    sv_lat_p50 = 0;
+    sv_lat_p90 = 0;
+    sv_lat_p99 = 0;
+    sv_lat_max = 0;
+    sv_gauge = None;
+    sv_sampled = true;
   }
 
 (* Three machine configurations per workload.  The set-scope point
@@ -296,6 +346,38 @@ let run ?(quick = false) () =
   Array.to_list
     (Exp_run.parmap ~jobs:(Exp_run.jobs ()) eval (Array.of_list (points ~quick)))
 
+(* Quick points are a few thousand cycles end to end — smaller than
+   the default 10k-cycle detailed window — so quick mode shrinks the
+   sampling schedule until the estimator actually alternates. *)
+let sampled_sampling ~quick =
+  if quick then { Config.warmup = 200; detailed = 2_000; ff_instrs = 2_000 }
+  else Config.sampling_default
+
+(* The sampled scale points: the 64-core MPMC machine again (so the
+   harness can quote sampled-vs-detailed error and wall-clock win
+   against the detailed row above), and the 256-core machine — which
+   only exists sampled; a detailed 256-core run is what the estimator
+   is for. *)
+let sampled_points ~quick =
+  let s =
+    Config.with_sampling
+      (Some (sampled_sampling ~quick))
+      (Exp_run.s_config Config.default)
+  in
+  let point threads per =
+    {
+      pt_workload = Printf.sprintf "server-mpmc-%d" threads;
+      pt_config = "S-sampled";
+      pt_machine = s;
+      pt_requests = W.Mpmc.requests ~threads ~per_producer:per ();
+      pt_build = (fun () -> W.Mpmc.make ~threads ~per_producer:per ~scope:`Class ());
+      pt_lat_threads = None;
+    }
+  in
+  [ point 64 (if quick then 4 else 625); point 256 (if quick then 1 else 156) ]
+
+let run_sampled ?(quick = false) () = List.map eval_sampled (sampled_points ~quick)
+
 let table rows =
   let t =
     Table.create ~title:"Server suite — throughput and fence-stall tails"
@@ -348,7 +430,7 @@ let json ~quick ~jobs rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-server/v3\",\n";
+  add "  \"schema\": \"fence-scoping/bench-server/v4\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"rows\": [";
@@ -360,12 +442,12 @@ let json ~quick ~jobs rows =
          \"stall_episodes\": %d, \"stall_cycles\": %d, \"stall_mean\": %.2f, \
          \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d, \
          \"latency_samples\": %d, \"latency_p50\": %d, \"latency_p90\": %d, \
-         \"latency_p99\": %d, \"latency_max\": %d%s}"
+         \"latency_p99\": %d, \"latency_max\": %d, \"sampled\": %b%s}"
         (if i = 0 then "" else ",")
         r.sv_workload r.sv_config r.sv_cycles r.sv_requests r.sv_rpk r.sv_fence_share
         r.sv_stall_episodes r.sv_stall_cycles r.sv_stall_mean r.sv_stall_p50
         r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max r.sv_lat_samples r.sv_lat_p50
-        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max
+        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max r.sv_sampled
         (match r.sv_gauge with
         | None -> ""
         | Some g ->

@@ -49,6 +49,11 @@ type row = {
       (** live data-structure occupancy (queue depth / deque occupancy /
           limbo-ring length) from a second dedicated drain-marker trace;
           [None] on workloads without a gauge sampler *)
+  sv_sampled : bool;
+      (** interval-sampled point: [sv_cycles] / [sv_rpk] /
+          [sv_fence_share] are extrapolated estimates (DESIGN §15),
+          request counts and validation are exact, and the traced tail
+          columns are zero (sampling excludes tracing) *)
 }
 
 val run : ?quick:bool -> unit -> row list
@@ -60,6 +65,20 @@ val run : ?quick:bool -> unit -> row list
     engine-vs-reference check asserts sharded/sequential
     bit-identity. *)
 
+val sampled_sampling : quick:bool -> Fscope_machine.Config.sampling
+(** The sampling schedule the sampled points run under:
+    {!Fscope_machine.Config.sampling_default} at full size, a shrunken
+    schedule in quick mode (quick points are smaller than the default
+    detailed window, so the estimator would otherwise never leave its
+    first window). *)
+
+val run_sampled : ?quick:bool -> unit -> row list
+(** The interval-sampled scale points: the 64-core MPMC machine again
+    (sampled, so the bench harness can quote the error and wall-clock
+    win against the detailed row) and the 256-core MPMC machine, which
+    only exists sampled.  Rows carry [sv_sampled = true] and validate
+    functionally like every other point. *)
+
 val table : row list -> Fscope_util.Table.t
 
 val gains : row list -> (string * string * float) list
@@ -68,5 +87,5 @@ val gains : row list -> (string * string * float) list
 
 val json : quick:bool -> jobs:int -> row list -> string
 (** The BENCH_server.json document
-    (schema ["fence-scoping/bench-server/v3"] — v2 plus a per-row
-    ["gauge"] summary object on workloads that have one). *)
+    (schema ["fence-scoping/bench-server/v4"] — v3 plus a per-row
+    ["sampled"] flag marking interval-sampled estimate rows). *)

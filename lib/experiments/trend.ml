@@ -73,13 +73,45 @@ let load_engine ~file j =
     List.map
       (fun a ->
         let name = str ~file ~ctx:"artefacts[]" a "name" in
+        (* A self-skipped artefact (v3 "skipped" marker, e.g.
+           jobs-scaling on a 1-CPU host) records near-zero seconds that
+           no later run can "regress" against — its wall-clock is
+           context, never a gate. *)
+        let skipped =
+          Option.value ~default:false
+            (Option.bind (Json.member "skipped" a) Json.to_bool)
+        in
         {
           p_key = "artefact/" ^ name;
           p_metrics =
-            [ metric ~gate:Gate_wall ~dir:Lower_better "seconds"
+            [ metric
+                ~gate:(if skipped then Gate_never else Gate_wall)
+                ~dir:Lower_better "seconds"
                 (num ~file ~ctx:name a "seconds") ];
         })
       (arr j "artefacts")
+  in
+  let sampled_points =
+    match Json.member "sampled_sim" j with
+    | None -> []
+    | Some sm ->
+      let ctx = "sampled_sim" in
+      [
+        {
+          p_key = "engine/sampled-sim";
+          p_metrics =
+            [
+              metric ~dir:Lower_better "cycles_err_pct" (num ~file ~ctx sm "cycles_err_pct");
+              metric ~dir:Lower_better "fence_err_pp" (num ~file ~ctx sm "fence_err_pp");
+              metric ~gate:Gate_wall ~dir:Lower_better "detailed_seconds"
+                (num ~file ~ctx sm "detailed_seconds");
+              metric ~gate:Gate_wall ~dir:Lower_better "sampled_seconds"
+                (num ~file ~ctx sm "sampled_seconds");
+              metric ~gate:Gate_wall ~dir:Higher_better "speedup"
+                (num ~file ~ctx sm "speedup");
+            ];
+        };
+      ]
   in
   let engine_points =
     List.map
@@ -112,7 +144,7 @@ let load_engine ~file j =
         };
       ]
   in
-  artefact_points @ engine_points @ totals
+  artefact_points @ sampled_points @ engine_points @ totals
 
 (* One profile object is Obs.Profile.json output: the fence share is
    recomputed here from the CPI leaves so older artefacts (which never

@@ -1,0 +1,84 @@
+(* Whole-machine checkpoints: the complete simulation state at the top
+   of one engine cycle, serialized as a single JSON document.
+
+   A checkpoint never stores instructions or configuration — both are
+   rebuilt by the caller (the CLI re-derives them from the workload
+   registry) and validated against a digest of the machine-defining
+   parts (pipeline / memory / scope configs plus the full program
+   image).  Wall-clock knobs — [max_cycles], [shard_domains],
+   [sampling] — are deliberately outside the digest: resuming with a
+   longer cycle budget is the point of checkpointing, and engine
+   choice never changes results.
+
+   The per-core payloads are produced by {!Fscope_cpu.Core.snapshot};
+   [wake] is the engine's event-horizon array, captured verbatim so
+   pre-charged stall spans of frozen cores are not re-charged on
+   resume (see Sim_engine). *)
+
+module Json = Fscope_util.Json
+module Program = Fscope_isa.Program
+
+type t = {
+  cycle : int;
+  digest : string;
+  wake : int array;
+  cores : Json.t array;
+  mem : int array;
+  hierarchy : Json.t;
+}
+
+let digest (config : Config.t) (program : Program.t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (config.Config.exec, config.Config.mem, config.Config.mem_model,
+           config.Config.scope, program)
+          []))
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "fscope-checkpoint/v1");
+      ("cycle", Json.Int t.cycle);
+      ("digest", Json.Str t.digest);
+      ("wake", Json.of_int_array t.wake);
+      ("cores", Json.Arr (Array.to_list t.cores));
+      ("mem", Json.of_int_array t.mem);
+      ("hierarchy", t.hierarchy);
+    ]
+
+let of_json j =
+  (match Json.get "schema" j with
+  | Json.Str "fscope-checkpoint/v1" -> ()
+  | _ -> failwith "checkpoint: unknown schema");
+  {
+    cycle = Json.int_exn (Json.get "cycle" j);
+    digest = Json.str_exn (Json.get "digest" j);
+    wake = Json.int_array_exn (Json.get "wake" j);
+    cores = Array.of_list (Json.list_exn (Json.get "cores" j));
+    mem = Json.int_array_exn (Json.get "mem" j);
+    hierarchy = Json.get "hierarchy" j;
+  }
+
+let save t ~file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.render (to_json t));
+      output_char oc '\n')
+
+let load ~file =
+  match Json.of_file file with
+  | j -> of_json j
+  | exception Sys_error msg -> failwith (Printf.sprintf "cannot read checkpoint: %s" msg)
+  | exception Json.Parse_error msg ->
+    failwith (Printf.sprintf "malformed checkpoint %s: %s" file msg)
+
+(* Refuse to restore into a machine the checkpoint was not taken
+   from. *)
+let validate t (config : Config.t) program =
+  if not (String.equal t.digest (digest config program)) then
+    failwith
+      "checkpoint: config/program digest mismatch (different workload or machine \
+       parameters)"

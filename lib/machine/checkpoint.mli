@@ -1,0 +1,39 @@
+(** Whole-machine checkpoints (DESIGN §15).
+
+    The complete simulation state at the top of one engine cycle —
+    every core ({!Fscope_cpu.Core.snapshot}), the flat memory image,
+    the cache hierarchy and the engine's wake array — as one JSON
+    document.  Configuration and instructions are not stored; the
+    caller rebuilds both and {!validate} checks them against the
+    embedded digest.  Captured and restored only by the sequential
+    engine (sound for any [shard_domains] because sharding is
+    bit-identical to sequential execution). *)
+
+type t = {
+  cycle : int;  (** the engine resumes at the top of this cycle *)
+  digest : string;
+      (** MD5 over exec/mem/scope configs and the full program image;
+          wall-clock knobs ([max_cycles], [shard_domains], [sampling])
+          are excluded so a resume may extend the budget *)
+  wake : int array;
+      (** per-core event horizons, verbatim — frozen cores' skipped
+          spans are pre-charged at freeze time and must not be
+          re-charged on resume *)
+  cores : Fscope_util.Json.t array;
+  mem : int array;
+  hierarchy : Fscope_util.Json.t;
+}
+
+val digest : Config.t -> Fscope_isa.Program.t -> string
+
+val to_json : t -> Fscope_util.Json.t
+val of_json : Fscope_util.Json.t -> t
+(** Raises [Failure] on a malformed document. *)
+
+val save : t -> file:string -> unit
+val load : file:string -> t
+(** Raises [Failure] on an unreadable or malformed file. *)
+
+val validate : t -> Config.t -> Fscope_isa.Program.t -> unit
+(** Raises [Failure] when the checkpoint's digest does not match the
+    given config and program. *)

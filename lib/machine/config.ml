@@ -2,6 +2,25 @@ type mem_model =
   | Hierarchy
   | Ideal
 
+type sampling = {
+  warmup : int;
+  detailed : int;
+  ff_instrs : int;
+}
+
+(* Many short windows beat few long ones at the same detailed duty
+   cycle: the measured windows cover phases densely, and short
+   fast-forward legs keep the sampled execution's contention dynamics
+   (queue depths, spin iteration counts) from drifting far from the
+   detailed ones between measurements. *)
+let sampling_default = { warmup = 500; detailed = 1_000; ff_instrs = 20_000 }
+
+let sampling_validate s =
+  if s.detailed <= 0 then invalid_arg "Config.sampling: detailed window must be positive";
+  if s.warmup < 0 then invalid_arg "Config.sampling: negative warmup";
+  if s.ff_instrs <= 0 then
+    invalid_arg "Config.sampling: fast-forward instruction count must be positive"
+
 type t = {
   exec : Fscope_cpu.Exec_config.t;
   mem : Fscope_mem.Hierarchy.config;
@@ -9,13 +28,15 @@ type t = {
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;
   shard_domains : int;
+  sampling : sampling option;
 }
 
 let make ?(exec = Fscope_cpu.Exec_config.default)
     ?(mem = Fscope_mem.Hierarchy.default_config) ?(mem_model = Hierarchy)
     ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000)
-    ?(shard_domains = 1) () =
-  { exec; mem; mem_model; scope; max_cycles; shard_domains }
+    ?(shard_domains = 1) ?sampling () =
+  Option.iter sampling_validate sampling;
+  { exec; mem; mem_model; scope; max_cycles; shard_domains; sampling }
 
 let mem_model_name = function Hierarchy -> "hierarchy" | Ideal -> "ideal"
 
@@ -33,8 +54,10 @@ let default = make ()
    [v ~base:(v ~sfence:false ()) ~mem_latency:500 ()]. *)
 let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_model
     ?mem_latency ?rob_size ?fsb_entries ?fss_entries ?mt_entries ?max_cycles
-    ?shard_domains () =
+    ?shard_domains ?sampling () =
   let opt v dflt = Option.value v ~default:dflt in
+  let sampling = opt sampling base.sampling in
+  Option.iter sampling_validate sampling;
   {
     exec =
       {
@@ -55,6 +78,7 @@ let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_
       };
     max_cycles = opt max_cycles base.max_cycles;
     shard_domains = opt shard_domains base.shard_domains;
+    sampling;
   }
 
 let traditional t = v ~base:t ~sfence:false ()
@@ -70,3 +94,4 @@ let with_max_cycles n t = v ~base:t ~max_cycles:n ()
 let with_mem_model m t = v ~base:t ~mem_model:m ()
 let with_spin_fastforward on t = v ~base:t ~spin_fastforward:on ()
 let with_shard_domains n t = v ~base:t ~shard_domains:n ()
+let with_sampling s t = v ~base:t ~sampling:s ()

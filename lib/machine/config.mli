@@ -17,6 +17,27 @@ type mem_model =
           with no caches or coherence traffic; useful to isolate
           pipeline effects from memory-system effects *)
 
+(** SMARTS-style interval sampling (DESIGN §15).  The engine
+    alternates measured detailed windows with functional fast-forward
+    and extrapolates cycle-valued metrics from the measured fraction;
+    exact event counters stay exact.  Estimates, not bit-identity —
+    the sampled harness tests bound the per-metric error. *)
+type sampling = {
+  warmup : int;
+      (** detailed cycles run before each measured window to re-warm
+          pipeline state; their accounting is erased *)
+  detailed : int;  (** measured detailed cycles per window *)
+  ff_instrs : int;
+      (** committed instructions each core fast-forwards functionally
+          between windows *)
+}
+
+val sampling_default : sampling
+(** 500 warmup / 1k detailed / 20k fast-forward — many short windows
+    at roughly a 5%% measured duty cycle, which samples phases densely
+    and keeps the sampled execution from drifting far from the
+    detailed dynamics between measurements. *)
+
 type t = {
   exec : Fscope_cpu.Exec_config.t;
   mem : Fscope_mem.Hierarchy.config;
@@ -28,6 +49,10 @@ type t = {
           (default 1 = the sequential engine).  Results are
           bit-identical for any value — this only trades simulator
           wall-clock; see DESIGN.md §13. *)
+  sampling : sampling option;
+      (** [Some _] selects the sampled engine (sequential, untraced
+          runs only); [None] (the default) is exact detailed
+          simulation. *)
 }
 
 val make :
@@ -37,6 +62,7 @@ val make :
   ?scope:Fscope_core.Scope_unit.config ->
   ?max_cycles:int ->
   ?shard_domains:int ->
+  ?sampling:sampling ->
   unit ->
   t
 
@@ -67,6 +93,7 @@ val v :
   ?mt_entries:int ->
   ?max_cycles:int ->
   ?shard_domains:int ->
+  ?sampling:sampling option ->
   unit ->
   t
 (** The one keyword constructor: start from [base] ({!default} when
@@ -134,3 +161,6 @@ val with_shard_domains : int -> t -> t
 (** Partition the machine's cores across [n] OCaml domains (default 1
     = the sequential engine).  Bit-identical for any [n]; wall-clock
     only.  Values above the core count are clamped by the engine. *)
+
+val with_sampling : sampling option -> t -> t
+(** Select ([Some]) or clear ([None]) interval sampling. *)

@@ -121,8 +121,9 @@ let finish ~obs ~shard_domains (raw : Sim_engine.raw) =
   end
   else result
 
-let run ?(obs = Obs.Trace.null) (config : Config.t) program =
-  finish ~obs ~shard_domains:config.Config.shard_domains (Sim_engine.run ~obs config program)
+let run ?(obs = Obs.Trace.null) ?checkpoint ?resume (config : Config.t) program =
+  finish ~obs ~shard_domains:config.Config.shard_domains
+    (Sim_engine.run ~obs ?checkpoint ?resume config program)
 
 let run_reference ?(obs = Obs.Trace.null) (config : Config.t) program =
   finish ~obs ~shard_domains:config.Config.shard_domains

@@ -45,12 +45,29 @@ type result = {
           [total/...]) *)
 }
 
-val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result
+val run :
+  ?obs:Fscope_obs.Trace.t ->
+  ?checkpoint:int * (Checkpoint.t -> unit) ->
+  ?resume:Checkpoint.t ->
+  Config.t ->
+  Fscope_isa.Program.t ->
+  result
 (** [obs] (default: the disabled {!Fscope_obs.Trace.null}) collects
     the typed event stream and metrics of the run; pass a live
     {!Fscope_obs.Trace.create} to get [result.obs].  Tracing is
     timing-neutral: the cycle count of a traced run is bit-identical
-    to an untraced one. *)
+    to an untraced one.
+
+    [checkpoint:(every, sink)] hands [sink] a whole-machine
+    {!Checkpoint.t} at (roughly) every [every] cycles; [resume]
+    continues a run from such a checkpoint — the resumed run is
+    bit-identical to the uninterrupted one.  Both force the sequential
+    engine and require an untraced run; both are rejected
+    ([Invalid_argument]) when [Config.sampling] is set.
+
+    With [Config.sampling = Some _] the run uses the interval-sampled
+    engine: exact event counters and final memory, ESTIMATED
+    cycle-valued metrics (see DESIGN §15); [spin] is then all zero. *)
 
 val run_reference : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> result
 (** Same machine, driven by the retained naive per-cycle loop instead

@@ -80,10 +80,13 @@ let step_all cores ~cycle =
   Array.iter (fun core -> if Core.step_pipeline core ~cycle then progress := true) cores;
   !progress
 
-let run_sequential ?(obs = Obs.Trace.null) (config : Config.t) program =
+let run_sequential ?(obs = Obs.Trace.null) ?checkpoint ?resume (config : Config.t)
+    program =
   let cores, mem, hierarchy, on_store = build ~obs config program in
   let n = Array.length cores in
   let traced = Obs.Trace.on obs in
+  if traced && (Option.is_some checkpoint || Option.is_some resume) then
+    invalid_arg "Sim_engine: checkpointing is an untraced-run facility";
   let max_cycles = config.Config.max_cycles in
   (* Per-core event-horizon scheduling.  A core whose three sub-steps
      all report no progress is frozen: every cycle-dependence of its
@@ -108,6 +111,32 @@ let run_sequential ?(obs = Obs.Trace.null) (config : Config.t) program =
   let drained_count = ref 0 in
   let cycle = ref 0 in
   let finished = ref false in
+  (* Resume: overwrite the freshly built machine with the checkpointed
+     state.  The wake array comes back verbatim — frozen cores had
+     their skipped spans pre-charged when they froze, so re-deriving
+     horizons here would double-charge them.  [drained] is monotonic
+     state recomputable from the cores, so it is not serialized. *)
+  (match (resume : Checkpoint.t option) with
+  | None -> ()
+  | Some ck ->
+    Checkpoint.validate ck config program;
+    if Array.length ck.Checkpoint.cores <> n then
+      failwith "checkpoint: core count mismatch";
+    if Array.length ck.Checkpoint.mem <> Array.length mem then
+      failwith "checkpoint: memory size mismatch";
+    if Array.length ck.Checkpoint.wake <> n then
+      failwith "checkpoint: wake array size mismatch";
+    Array.iteri (fun i j -> Core.restore cores.(i) j) ck.Checkpoint.cores;
+    Array.blit ck.Checkpoint.mem 0 mem 0 (Array.length mem);
+    Hierarchy.restore hierarchy ck.Checkpoint.hierarchy;
+    Array.blit ck.Checkpoint.wake 0 wake 0 n;
+    for i = 0 to n - 1 do
+      if Core.drained cores.(i) then begin
+        drained.(i) <- true;
+        incr drained_count
+      end
+    done;
+    cycle := ck.Checkpoint.cycle);
   (* Spin fast-forward (see Core's spin interface and DESIGN §11).  A
      core that is provably in a stable read-only spin loop sleeps past
      the horizon: its state can only stop being periodic when another
@@ -261,9 +290,41 @@ let run_sequential ?(obs = Obs.Trace.null) (config : Config.t) program =
     Hierarchy.set_remote_victim_hook hierarchy (fun ~core ->
         match sleeping.(core) with Some _ -> wake_core core | None -> ())
   end;
+  (* Periodic capture, at the top of the first visited cycle at or
+     past each multiple of [every] (the event-horizon clock jumps, so
+     exact multiples may never be visited).  Spin sleepers are woken
+     and caught up through the previous cycle first — waking is
+     bit-identity-neutral (certificates re-arm on fresh boundaries)
+     and keeps probe state out of the format. *)
+  let ckpt_digest = lazy (Checkpoint.digest config program) in
+  let next_ckpt = ref (match checkpoint with Some (every, _) -> !cycle + every | None -> max_int) in
+  let capture c sink every =
+    for i = 0 to n - 1 do
+      match sleeping.(i) with
+      | None -> ()
+      | Some st ->
+        sleeping.(i) <- None;
+        unregister_watches i st;
+        catch_up i st ~through:(c - 1);
+        wake.(i) <- c
+    done;
+    sink
+      {
+        Checkpoint.cycle = c;
+        digest = Lazy.force ckpt_digest;
+        wake = Array.copy wake;
+        cores = Array.map Core.snapshot cores;
+        mem = Array.copy mem;
+        hierarchy = Hierarchy.to_json hierarchy;
+      };
+    next_ckpt := c + every
+  in
   while (not !finished) && !cycle < max_cycles do
     let c = !cycle in
     if traced then Obs.Trace.set_now obs c;
+    (match checkpoint with
+    | Some (every, sink) when c >= !next_ckpt -> capture c sink every
+    | Some _ | None -> ());
     phase := 1;
     for i = 0 to n - 1 do
       phase_core := i;
@@ -585,13 +646,235 @@ let run_sharded ?(obs = Obs.Trace.null) ~domains (config : Config.t) program =
     spin;
   }
 
-(* Entry point: shard when the config asks for it and the program has
-   cores to spread; a single-core or single-domain run takes the
-   sequential event-horizon loop. *)
-let run ?(obs = Obs.Trace.null) (config : Config.t) program =
-  let d = config.Config.shard_domains in
-  if d > 1 && Program.thread_count program > 1 then run_sharded ~obs ~domains:d config program
-  else run_sequential ~obs config program
+(* ------------------------------------------------------------------ *)
+(* SMARTS-style interval sampling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Alternate measured detailed windows with functional fast-forward
+   (DESIGN §15).  Exact event counters (commits, memory ops, fences,
+   branches, final memory) accumulate across both modes and stay
+   exact; cycle-valued metrics (CPI leaves, mispredicts, occupancy,
+   cache stats, the cycle count itself) are measured inside the
+   detailed windows only and scaled by committed-instruction coverage
+   at the end ([Core.extrapolate]).  Deterministic — same config and
+   program always produce the same estimate — but an ESTIMATE: the
+   sampled harness tests bound the per-metric error against the exact
+   engine.
+
+   Structure of one round after the (unwarmed, cold-start-is-real)
+   first window:
+
+     flush_arch*  ->  functional FF (ff_instrs per core, round-robin
+     one instruction per live core)  ->  reseed_scope*  ->  warmup
+     cycles (accounting erased)  ->  measured detailed cycles
+
+   Spin fast-forward stays off: windows are short and bounded, and the
+   probe's sleep transitions would complicate window accounting for no
+   measurable win. *)
+let run_sampled ?(obs = Obs.Trace.null) (config : Config.t) program
+    (s : Config.sampling) =
+  if Obs.Trace.on obs then
+    invalid_arg "Sim_engine.run_sampled: sampling requires an untraced run";
+  let cores, mem, hierarchy, _on_store = build ~obs config program in
+  let n = Array.length cores in
+  let max_cycles = config.Config.max_cycles in
+  let hstats = Hierarchy.stats hierarchy in
+  let cycle = ref 0 in (* detailed cycles actually simulated *)
+  let hstats_snapshot () =
+    ( hstats.Hierarchy.l1_hits,
+      hstats.Hierarchy.l1_misses,
+      hstats.Hierarchy.l2_hits,
+      hstats.Hierarchy.l2_misses,
+      hstats.Hierarchy.invalidations,
+      hstats.Hierarchy.c2c_transfers )
+  in
+  let hstats_restore (a, b, c, d, e, f) =
+    hstats.Hierarchy.l1_hits <- a;
+    hstats.Hierarchy.l1_misses <- b;
+    hstats.Hierarchy.l2_hits <- c;
+    hstats.Hierarchy.l2_misses <- d;
+    hstats.Hierarchy.invalidations <- e;
+    hstats.Hierarchy.c2c_transfers <- f
+  in
+  let measured = Array.make n 0 in
+  let all_drained () = Array.for_all Core.drained cores in
+  let finished = ref false in
+  let sampled_any = ref false in
+  (* Estimated whole-run cycle count: cores run concurrently from
+     cycle 0, so the machine estimate is the slowest core's scaled
+     active cycles. *)
+  let estimate () =
+    let worst = ref 0 in
+    for i = 0 to n - 1 do
+      let st = Core.stats cores.(i) in
+      let m = measured.(i) in
+      let e =
+        if m > 0 && st.Core.committed > m then st.Core.active_cycles * st.Core.committed / m
+        else st.Core.active_cycles
+      in
+      if e > !worst then worst := e
+    done;
+    !worst
+  in
+  let detailed_cycles k ~measure =
+    let before =
+      if measure then Array.map (fun c -> (Core.stats c).Core.committed) cores
+      else [||]
+    in
+    let w = ref 0 in
+    while (not !finished) && !w < k do
+      ignore (step_all cores ~cycle:!cycle);
+      incr cycle;
+      incr w;
+      if all_drained () then finished := true
+    done;
+    if measure then
+      Array.iteri
+        (fun i b ->
+          measured.(i) <- measured.(i) + ((Core.stats cores.(i)).Core.committed - b))
+        before
+  in
+  (* First window: the cold start is real execution, measure it
+     without a warmup bracket. *)
+  detailed_cycles s.Config.detailed ~measure:true;
+  while not !finished do
+    (* detailed -> functional: collapse to architectural state.  A CAS
+       performs its read-modify-write at its completion point, before
+       commit, so a core whose ROB holds a [Done] CAS must not flush:
+       discarding the entry would let the functional leg apply the
+       write a second time.  Settle instead — flush and park each core
+       the moment it is [Core.flushable], and step the stragglers
+       detailed until everyone has flushed.  A completed CAS is
+       non-speculative (issue rules) and commits within bounded
+       cycles, so this converges fast.  Settle commits are real
+       forward progress (the exact counters keep them), but the
+       micro-architectural accounting is erased like warmup: the
+       measured windows already stand for this regime. *)
+    sampled_any := true;
+    let snaps = Array.map Core.counters_snapshot cores in
+    let hsnap = hstats_snapshot () in
+    let flushed = Array.make n false in
+    let settle = ref 0 in
+    let all_flushed = ref false in
+    while not !all_flushed do
+      all_flushed := true;
+      for i = 0 to n - 1 do
+        if not flushed.(i) then
+          if Core.flushable cores.(i) then begin
+            Core.flush_arch cores.(i);
+            Core.park cores.(i);
+            flushed.(i) <- true
+          end
+          else all_flushed := false
+      done;
+      if not !all_flushed then begin
+        ignore (step_all cores ~cycle:!cycle);
+        incr cycle;
+        incr settle;
+        if !settle > 1_000_000 then
+          failwith "Sim_engine.run_sampled: flush settle did not converge"
+      end
+    done;
+    Array.iteri (fun i c -> Core.counters_restore c snaps.(i)) cores;
+    hstats_restore hsnap;
+    Array.iter Core.unpark cores;
+    let budget = Array.make n s.Config.ff_instrs in
+    let live = ref true in
+    while !live do
+      live := false;
+      for i = 0 to n - 1 do
+        if budget.(i) > 0 then
+          if Core.func_step cores.(i) then begin
+            budget.(i) <- budget.(i) - 1;
+            live := true
+          end
+          else budget.(i) <- 0
+      done
+    done;
+    if Array.for_all Core.halted cores then finished := true
+    else if estimate () >= max_cycles then
+      (* stuck or runaway workload: the scaled estimate already blows
+         the cycle budget, so stop — the run reports timed out, like
+         the detailed engine at [max_cycles] *)
+      finished := true
+    else begin
+      (* functional -> detailed: rebuild scope state, re-warm the
+         pipeline with erased accounting, then measure *)
+      Array.iter Core.reseed_scope cores;
+      let snaps = Array.map Core.counters_snapshot cores in
+      let hsnap = hstats_snapshot () in
+      detailed_cycles s.Config.warmup ~measure:false;
+      if not !finished then begin
+        (* erase warmup accounting (unless the run ended inside the
+           warmup — then those cycles are the true tail and stand) *)
+        Array.iteri (fun i c -> Core.counters_restore c snaps.(i)) cores;
+        hstats_restore hsnap;
+        detailed_cycles s.Config.detailed ~measure:true
+      end
+    end
+  done;
+  (* Scale measured micro-architecture to the whole run. *)
+  let total_all = ref 0 and measured_all = ref 0 in
+  for i = 0 to n - 1 do
+    let total = (Core.stats cores.(i)).Core.committed in
+    total_all := !total_all + total;
+    measured_all := !measured_all + measured.(i);
+    Core.extrapolate cores.(i) ~total ~measured:measured.(i)
+  done;
+  if !measured_all > 0 && !total_all > !measured_all then begin
+    let scale x = x * !total_all / !measured_all in
+    hstats.Hierarchy.l1_hits <- scale hstats.Hierarchy.l1_hits;
+    hstats.Hierarchy.l1_misses <- scale hstats.Hierarchy.l1_misses;
+    hstats.Hierarchy.l2_hits <- scale hstats.Hierarchy.l2_hits;
+    hstats.Hierarchy.l2_misses <- scale hstats.Hierarchy.l2_misses;
+    hstats.Hierarchy.invalidations <- scale hstats.Hierarchy.invalidations;
+    hstats.Hierarchy.c2c_transfers <- scale hstats.Hierarchy.c2c_transfers
+  end;
+  (* [Core.extrapolate] already scaled each core's active cycles to
+     the whole run, so the machine estimate is now a plain max. *)
+  let cycles =
+    if !sampled_any then begin
+      let worst = ref 0 in
+      for i = 0 to n - 1 do
+        let a = (Core.stats cores.(i)).Core.active_cycles in
+        if a > !worst then worst := a
+      done;
+      min max_cycles (max !cycle !worst)
+    end
+    else !cycle
+  in
+  {
+    cycles;
+    timed_out = not (all_drained ());
+    cores;
+    mem;
+    hierarchy;
+    spin = fresh_spin_stats ();
+  }
+
+(* Entry point: the sampled engine when the config asks for it;
+   otherwise shard when the config asks for it and the program has
+   cores to spread, and take the sequential event-horizon loop for
+   single-core / single-domain runs — and for any checkpointing run
+   (sound for any [shard_domains]: sharding is bit-identical to
+   sequential execution). *)
+let run ?(obs = Obs.Trace.null) ?checkpoint ?resume (config : Config.t) program =
+  (match checkpoint with
+  | Some (every, _) when every <= 0 ->
+    invalid_arg "Sim_engine.run: checkpoint interval must be positive"
+  | Some _ | None -> ());
+  match config.Config.sampling with
+  | Some s ->
+    if Option.is_some checkpoint || Option.is_some resume then
+      invalid_arg "Sim_engine.run: sampling and checkpointing are incompatible";
+    run_sampled ~obs config program s
+  | None ->
+    let d = config.Config.shard_domains in
+    if
+      Option.is_none checkpoint && Option.is_none resume && d > 1
+      && Program.thread_count program > 1
+    then run_sharded ~obs ~domains:d config program
+    else run_sequential ~obs ?checkpoint ?resume config program
 
 (* The retained naive loop: one cycle at a time, no fast-forward.  The
    differential suite holds [run] to bit-identical results against

@@ -38,7 +38,13 @@ type raw = {
   spin : spin_stats;
 }
 
-val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
+val run :
+  ?obs:Fscope_obs.Trace.t ->
+  ?checkpoint:int * (Checkpoint.t -> unit) ->
+  ?resume:Checkpoint.t ->
+  Config.t ->
+  Fscope_isa.Program.t ->
+  raw
 (** Event-horizon fast-forward loop.  With [Config.shard_domains > 1]
     (and a multi-core program) the cores are partitioned cyclically
     across that many OCaml domains, which run the same three-phase
@@ -46,7 +52,36 @@ val run : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
     token serialising exactly the steps that touch shared state —
     results stay bit-identical to the sequential loop (and to
     {!run_naive}) except for the spin fast-forward counters, which
-    every consumer already treats as engine diagnostics. *)
+    every consumer already treats as engine diagnostics.
+
+    [checkpoint:(every, sink)]: capture a whole-machine checkpoint at
+    the top of the first visited cycle at or past each multiple of
+    [every] and hand it to [sink].  [resume]: start from a checkpoint
+    instead of cycle 0 (digest-validated; [Failure] on mismatch).
+    Both force the sequential loop — sound for any [shard_domains] —
+    and require an untraced run.  A resumed run is bit-identical to
+    the uninterrupted one.
+
+    With [Config.sampling = Some _] the run is dispatched to
+    {!run_sampled}; combining sampling with checkpointing is
+    [Invalid_argument]. *)
+
+val run_sampled :
+  ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> Config.sampling -> raw
+(** SMARTS-style interval sampling: measured detailed windows
+    alternate with functional fast-forward, and cycle-valued metrics
+    (CPI leaves, mispredicts, occupancy, cache stats, [cycles]) are
+    scaled by committed-instruction coverage at the end.  Exact event
+    counters (committed / memory / fence / load / store / CAS /
+    branch counts, final memory) remain exact.  Deterministic, but an
+    estimate — the sampled harness bounds the per-metric error.
+    Untraced runs only ([Invalid_argument] otherwise); spin
+    fast-forward stays off inside windows.  The detailed->functional
+    transition settles rather than flushing blindly: a core flushes
+    only once {!Fscope_cpu.Core.flushable} holds (no completed CAS
+    still in its ROB — its RMW already hit memory and must not be
+    re-applied functionally) and is parked while stragglers step
+    detailed to their own flush points. *)
 
 val run_naive : ?obs:Fscope_obs.Trace.t -> Config.t -> Fscope_isa.Program.t -> raw
 (** The naive one-cycle-at-a-time reference loop. *)

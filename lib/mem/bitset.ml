@@ -50,3 +50,15 @@ let iter t f =
           if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
         done)
     t
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun i -> acc := f !acc i);
+  !acc
+
+let members t = List.rev (fold t (fun acc i -> i :: acc) [])
+
+let of_members ~bits l =
+  let t = create ~bits in
+  List.iter (add t) l;
+  t

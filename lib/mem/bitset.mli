@@ -31,3 +31,12 @@ val is_empty : t -> bool
 
 val iter : t -> (int -> unit) -> unit
 (** Call [f] on each member in increasing order. *)
+
+val fold : t -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold [f] over the members in increasing order. *)
+
+val members : t -> int list
+(** The members in increasing order. *)
+
+val of_members : bits:int -> int list -> t
+(** A set holding exactly the given members (checkpoint restore). *)

@@ -111,3 +111,34 @@ let iter t f =
     t.data
 
 let resident t addr = find_way t (line_addr t addr) <> None
+
+(* Positional dump/restore for checkpointing.  Replacement decisions
+   depend on the exact (set, way) placement and [last_used] stamps —
+   [insert] prefers the first invalid way in way order, then the
+   strictly smallest stamp with earliest-way tie-break — so the dump
+   keeps every slot at its position and carries the clock verbatim. *)
+
+let dump t ~payload =
+  let slot way =
+    ( way.tag,
+      way.last_used,
+      match way.payload with None -> None | Some p -> Some (payload p) )
+  in
+  (t.clock, Array.map (Array.map slot) t.data)
+
+let restore t ~payload (clock, slots) =
+  if
+    Array.length slots <> t.sets
+    || Array.exists (fun set -> Array.length set <> t.ways) slots
+  then invalid_arg "Cache.restore: geometry mismatch";
+  t.clock <- clock;
+  Array.iteri
+    (fun s set ->
+      Array.iteri
+        (fun w (tag, last_used, p) ->
+          let way = t.data.(s).(w) in
+          way.tag <- tag;
+          way.last_used <- last_used;
+          way.payload <- (match p with None -> None | Some p -> Some (payload p)))
+        set)
+    slots

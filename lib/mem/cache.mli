@@ -41,3 +41,15 @@ val iter : 'a t -> (int -> 'a -> unit) -> unit
 (** Iterate over all resident lines as [(line_addr, payload)]. *)
 
 val resident : 'a t -> int -> bool
+
+val dump :
+  'a t -> payload:('a -> 'b) -> int * (int * int * 'b option) array array
+(** [(clock, slots)] where [slots.(set).(way)] is
+    [(tag, last_used, payload)] — positional, because LRU victim choice
+    depends on way order and exact stamps.  [payload] maps each live
+    payload to a serializable form. *)
+
+val restore :
+  'a t -> payload:('b -> 'a) -> int * (int * int * 'b option) array array -> unit
+(** Inverse of {!dump} into an existing cache of the same geometry;
+    raises [Invalid_argument] on a shape mismatch. *)

@@ -218,6 +218,113 @@ let access_classified t ~core kind ~addr =
 
 let access t ~core kind ~addr = fst (access_classified t ~core kind ~addr)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpointing.  The dump is positional down to (set, way) slots and
+   LRU clocks — replacement and victim choice depend on both — so a
+   restored hierarchy serves every future access with the same latency,
+   level and coherence actions as the uninterrupted run. *)
+
+module Json = Fscope_util.Json
+
+let cache_to_json ~payload cache =
+  let clock, slots = Cache.dump cache ~payload in
+  Json.Obj
+    [
+      ("clock", Json.Int clock);
+      ( "slots",
+        Json.Arr
+          (Array.to_list
+             (Array.map
+                (fun set ->
+                  Json.Arr
+                    (Array.to_list
+                       (Array.map
+                          (fun (tag, last_used, p) ->
+                            Json.Arr
+                              [
+                                Json.Int tag;
+                                Json.Int last_used;
+                                (match p with None -> Json.Null | Some j -> j);
+                              ])
+                          set)))
+                slots)) );
+    ]
+
+let cache_restore ~payload cache j =
+  let clock = Json.int_exn (Json.get "clock" j) in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun set ->
+           Array.of_list
+             (List.map
+                (fun slot ->
+                  match Json.list_exn slot with
+                  | [ tag; last_used; p ] ->
+                    ( Json.int_exn tag,
+                      Json.int_exn last_used,
+                      match p with Json.Null -> None | p -> Some p )
+                  | _ -> failwith "checkpoint: malformed cache slot")
+                (Json.list_exn set)))
+         (Json.list_exn (Json.get "slots" j)))
+  in
+  Cache.restore cache ~payload (clock, slots)
+
+let l1_payload = function Shared -> Json.Int 0 | Modified -> Json.Int 1
+
+let l1_unpayload j =
+  match Json.int_exn j with
+  | 0 -> Shared
+  | 1 -> Modified
+  | _ -> failwith "checkpoint: bad L1 state"
+
+let dir_payload (d : dir_entry) =
+  Json.Obj
+    [
+      ("sharers", Json.Arr (List.map (fun c -> Json.Int c) (Bitset.members d.sharers)));
+      ("owner", Json.Int d.owner);
+    ]
+
+let dir_unpayload ~cores j =
+  {
+    sharers = Bitset.of_members ~bits:cores (Json.int_list_exn (Json.get "sharers" j));
+    owner = Json.int_exn (Json.get "owner" j);
+  }
+
+let to_json t =
+  let s = t.stats in
+  Json.Obj
+    [
+      ( "stats",
+        Json.Arr
+          (List.map
+             (fun v -> Json.Int v)
+             [
+               s.l1_hits; s.l1_misses; s.l2_hits; s.l2_misses; s.invalidations;
+               s.c2c_transfers;
+             ]) );
+      ( "l1",
+        Json.Arr
+          (Array.to_list (Array.map (cache_to_json ~payload:l1_payload) t.l1)) );
+      ("l2", cache_to_json ~payload:dir_payload t.l2);
+    ]
+
+let restore t j =
+  (match Json.int_list_exn (Json.get "stats" j) with
+  | [ a; b; c; d; e; f ] ->
+    t.stats.l1_hits <- a;
+    t.stats.l1_misses <- b;
+    t.stats.l2_hits <- c;
+    t.stats.l2_misses <- d;
+    t.stats.invalidations <- e;
+    t.stats.c2c_transfers <- f
+  | _ -> failwith "checkpoint: malformed hierarchy stats");
+  let l1 = Json.list_exn (Json.get "l1" j) in
+  if List.length l1 <> Array.length t.l1 then
+    failwith "checkpoint: L1 core-count mismatch";
+  List.iteri (fun core cj -> cache_restore ~payload:l1_unpayload t.l1.(core) cj) l1;
+  cache_restore ~payload:(dir_unpayload ~cores:t.cores) t.l2 (Json.get "l2" j)
+
 let check_invariants t =
   let result = ref (Ok ()) in
   let fail msg = if !result = Ok () then result := Error msg in

@@ -77,6 +77,17 @@ val line_words : t -> int
 val l1_resident : t -> core:int -> addr:int -> bool
 (** For tests: is the word's line in [core]'s L1? *)
 
+val to_json : t -> Fscope_util.Json.t
+(** Whole-hierarchy checkpoint: every (set, way) slot of every cache
+    positionally (tag, LRU stamp, payload), the LRU clocks, the
+    directory (sharers + owner per line) and the stats counters.  A
+    hierarchy restored from it serves every future access identically
+    to the uninterrupted run. *)
+
+val restore : t -> Fscope_util.Json.t -> unit
+(** Inverse of {!to_json} into an existing hierarchy of the same
+    geometry and core count; raises [Failure] on malformed input. *)
+
 val check_invariants : t -> (string, string) result
 (** Coherence invariants, checked by tests after random traces:
     at most one modified copy per line; every L1-resident line is

@@ -108,3 +108,9 @@ let accumulate ~into (t : t) =
   Array.iteri (fun i v -> into.(i) <- into.(i) + v) t
 
 let equal (a : t) (b : t) = a = b
+
+let to_array (t : t) = Array.copy t
+
+let restore (t : t) (src : int array) =
+  if Array.length src <> leaf_count then invalid_arg "Cpi.restore: wrong arity";
+  Array.blit src 0 t 0 leaf_count

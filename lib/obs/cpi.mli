@@ -79,3 +79,10 @@ val fence_cause_cycles : t -> fence_cause -> int
 val fence_scope_cycles : t -> fence_scope -> int
 val accumulate : into:t -> t -> unit
 val equal : t -> t -> bool
+
+val to_array : t -> int array
+(** The per-leaf cycle counts in {!leaves} order (checkpointing). *)
+
+val restore : t -> int array -> unit
+(** Overwrite the table from an array in {!leaves} order; raises
+    [Invalid_argument] on an arity mismatch. *)

@@ -259,3 +259,20 @@ let to_float = function
   | Int n -> Some (float_of_int n)
   | Float f -> Some f
   | _ -> None
+
+(* Exception-raising variants for loaders of artefacts we wrote
+   ourselves (checkpoints), where a shape mismatch is a hard error. *)
+
+let get key j =
+  match member key j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Json: missing key %S" key)
+
+let int_exn = function Int n -> n | _ -> failwith "Json: expected integer"
+let str_exn = function Str s -> s | _ -> failwith "Json: expected string"
+let bool_exn = function Bool b -> b | _ -> failwith "Json: expected bool"
+let list_exn = function Arr items -> items | _ -> failwith "Json: expected array"
+let int_list_exn j = List.map int_exn (list_exn j)
+let of_int_list l = Arr (List.map (fun n -> Int n) l)
+let of_int_array a = Arr (Array.to_list (Array.map (fun n -> Int n) a))
+let int_array_exn j = Array.of_list (int_list_exn j)

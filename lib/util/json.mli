@@ -39,3 +39,17 @@ val to_int : t -> int option
 
 val to_float : t -> float option
 (** Numeric value as a float; accepts both {!Int} and {!Float}. *)
+
+(** Exception-raising accessors ([Failure] on a shape mismatch), for
+    loaders of artefacts the repo writes itself — checkpoints — where
+    a malformed document is a hard error, not a recoverable one. *)
+
+val get : string -> t -> t
+val int_exn : t -> int
+val str_exn : t -> string
+val bool_exn : t -> bool
+val list_exn : t -> t list
+val int_list_exn : t -> int list
+val of_int_list : int list -> t
+val of_int_array : int array -> t
+val int_array_exn : t -> int array

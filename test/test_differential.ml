@@ -550,6 +550,73 @@ let prop_shard_invariance =
                 (if handshake then "handshake" else "disjoint")
                 seed sharded reference)))
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint round-trip: interrupt a run mid-flight, push the
+   whole-machine checkpoint through its JSON wire format, resume from
+   the parsed copy, and require the resumed run to be bit-identical to
+   the uninterrupted one — across both program families, shard counts,
+   spin fast-forward on/off and both memory models.  The run being
+   checkpointed must itself be unperturbed by the capture. *)
+
+module Checkpoint = Fscope_machine.Checkpoint
+module Json = Fscope_util.Json
+
+let ckpt_case_gen =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 10_000 in
+  let* handshake = bool in
+  let* shards = oneofl [ 1; 2; 4 ] in
+  let* spin_ff = bool in
+  let* ideal = bool in
+  (* small intervals force a capture well inside the run *)
+  let* every = oneofl [ 40; 200; 1000 ] in
+  return (seed, handshake, shards, spin_ff, ideal, every)
+
+let print_ckpt_case (seed, handshake, shards, spin_ff, ideal, every) =
+  Printf.sprintf "seed=%d program=%s shards=%d spin_ff=%b mem=%s every=%d" seed
+    (if handshake then "handshake" else "disjoint")
+    shards spin_ff
+    (if ideal then "ideal" else "hierarchy")
+    every
+
+let prop_checkpoint_roundtrip =
+  QCheck2.Test.make ~count:50 ~name:"mid-run checkpoint restore == uninterrupted run"
+    ~print:print_ckpt_case ckpt_case_gen
+    (fun (seed, handshake, shards, spin_ff, ideal, every) ->
+      let program =
+        if handshake then handshake_program (Rng.create seed)
+        else fst (Compile.compile (gen_disjoint_program seed ~threads:4))
+      in
+      let config =
+        Config.v ~base:(Config.scoped Config.default) ~spin_fastforward:spin_ff
+          ~mem_model:(if ideal then Config.Ideal else Config.Hierarchy)
+          ~shard_domains:shards ()
+      in
+      let baseline = Machine.run config program in
+      let first = ref None in
+      let sink ck = if Option.is_none !first then first := Some ck in
+      let observed = Machine.run ~checkpoint:(every, sink) config program in
+      if strip_spin observed <> strip_spin baseline then
+        QCheck2.Test.fail_report
+          ("capture perturbed the run: " ^ explain_mismatch "ckpt" seed observed baseline)
+      else
+        match !first with
+        | None ->
+          (* the run finished before the first capture point; the
+             unperturbed-run identity above is the whole property *)
+          true
+        | Some ck ->
+          let ck =
+            Checkpoint.of_json (Json.parse (Json.render (Checkpoint.to_json ck)))
+          in
+          Checkpoint.validate ck config program;
+          let resumed = Machine.run ~resume:ck config program in
+          if strip_spin resumed = strip_spin baseline then true
+          else
+            QCheck2.Test.fail_report
+              ("resumed run diverged: "
+              ^ explain_mismatch "ckpt-resume" seed resumed baseline))
+
 let tests =
   [
     Alcotest.test_case "random programs 1-60" `Quick (test_differential_batch 1 60);
@@ -560,4 +627,5 @@ let tests =
     QCheck_alcotest.to_alcotest prop_engine_matches_reference;
     QCheck_alcotest.to_alcotest prop_spin_ff_identity;
     QCheck_alcotest.to_alcotest prop_shard_invariance;
+    QCheck_alcotest.to_alcotest prop_checkpoint_roundtrip;
   ]

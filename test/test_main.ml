@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.tests);
       ("isa", Test_isa.tests);
+      ("bitset", Test_bitset.tests);
       ("cache", Test_cache.tests);
       ("hierarchy", Test_hierarchy.tests);
       ("cpu", Test_cpu.tests);
@@ -15,6 +16,7 @@ let () =
       ("profile", Test_profile.tests);
       ("differential", Test_differential.tests);
       ("engine", Test_engine.tests);
+      ("sampling", Test_sampling.tests);
       ("server", Test_server.tests);
       ("advisor", Test_advisor.tests);
       ("trend", Test_trend.tests);
