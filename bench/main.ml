@@ -85,7 +85,11 @@ type engine_row = {
    result, not the result itself, so they are excluded from the
    bit-identity check (the naive loop never spins). *)
 let strip_spin (r : Machine.result) =
-  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+  {
+    r with
+    Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 };
+    shard = Machine.no_shard_ctrs;
+  }
 
 let timed f =
   let t0 = now_s () in
@@ -406,6 +410,8 @@ type shard_scaling = {
   ss_shards : int;
   ss_seq_s : float;
   ss_shard_s : float;
+  ss_barriers : int;
+  ss_elided : int;  (* lockstep-traffic counters of the sharded run *)
 }
 
 let shard_scaling_row = ref (None : shard_scaling option)
@@ -427,14 +433,107 @@ let run_shard_scaling ~quick () =
     failwith
       (Printf.sprintf "shard-scaling: %d-shard run diverged from the sequential loop"
          shards);
+  (* Barrier elision must have fired: the MPMC service loops give the
+     horizon analysis plenty of provably-quiet spans. *)
+  let no_elide_r =
+    Machine.run
+      (Config.with_elide_barriers false (Config.with_shard_domains shards base))
+      w.W.Workload.program
+  in
+  if strip_spin no_elide_r <> strip_spin shard_r then
+    failwith "shard-scaling: elision changed the result";
+  if shard_r.Machine.shard.Machine.elided_cycles = 0 then
+    failwith "shard-scaling: barrier elision never fired";
+  if shard_r.Machine.shard.Machine.barriers >= no_elide_r.Machine.shard.Machine.barriers
+  then
+    failwith "shard-scaling: elision did not reduce barrier traffic";
   say
     "shard-scaling: %d cores — 1 shard %.2fs, %d shards %.2fs, %.2fx (host CPUs: %d, \
-     bit-identical)"
-    threads seq_s shards shard_s (seq_s /. shard_s) cpus;
+     bit-identical; %d barriers, %d cycles elided, %d barriers without elision)"
+    threads seq_s shards shard_s (seq_s /. shard_s) cpus
+    shard_r.Machine.shard.Machine.barriers shard_r.Machine.shard.Machine.elided_cycles
+    no_elide_r.Machine.shard.Machine.barriers;
   shard_scaling_row :=
     Some
       { ss_cpus = cpus; ss_cores = threads; ss_shards = shards; ss_seq_s = seq_s;
-        ss_shard_s = shard_s }
+        ss_shard_s = shard_s; ss_barriers = shard_r.Machine.shard.Machine.barriers;
+        ss_elided = shard_r.Machine.shard.Machine.elided_cycles }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-sampled artefact: the tentpole composition — the 256-core
+   sampled MPMC machine with its detailed windows split across shard
+   domains, against the same sampled run on one domain.  Bit-identity
+   (including the recorded window ranges) is asserted on every host;
+   the >=2x wall-clock gate holds only on runners with >= 4 CPUs at
+   full size, where the window work dwarfs the barrier cost.           *)
+(* ------------------------------------------------------------------ *)
+
+type sharded_sampled = {
+  hs_cpus : int;
+  hs_cores : int;
+  hs_shards : int;
+  hs_seq_s : float;
+  hs_shard_s : float;
+  hs_barriers : int;
+  hs_windows : int;
+  hs_gated : bool;  (* the >=2x wall-clock gate was enforced *)
+}
+
+let sharded_sampled_row = ref (None : sharded_sampled option)
+
+let run_sharded_sampled ~quick () =
+  let cpus = Domain.recommended_domain_count () in
+  let threads = 256 in
+  let per = if quick then 1 else 156 in
+  let w = W.Mpmc.make ~threads ~per_producer:per ~scope:`Class () in
+  let base =
+    Config.with_sampling
+      (Some (E.Server.sampled_sampling ~quick))
+      (E.Exp_run.s_config Config.default)
+  in
+  let run d =
+    timed (fun () ->
+        Machine.run (Config.with_shard_domains d base) w.W.Workload.program)
+  in
+  let seq_r, seq_s = run 1 in
+  let shards = max 2 (min 4 cpus) in
+  let shard_r, shard_s = run shards in
+  if strip_spin seq_r <> strip_spin shard_r then
+    failwith
+      (Printf.sprintf
+         "sharded-sampled: %d-shard sampled run diverged from the sequential one"
+         shards);
+  if seq_r.Machine.sample_windows <> shard_r.Machine.sample_windows then
+    failwith "sharded-sampled: sharding moved the measured windows";
+  if shard_r.Machine.shard.Machine.barriers = 0 then
+    failwith "sharded-sampled: the window team never crossed a barrier";
+  let speedup = seq_s /. shard_s in
+  let gated = (not quick) && cpus >= 4 in
+  say
+    "sharded-sampled: %d cores sampled — 1 shard %.2fs, %d shards %.2fs, %.2fx (host \
+     CPUs: %d, bit-identical, %d barriers, %d measured windows%s)"
+    threads seq_s shards shard_s speedup cpus shard_r.Machine.shard.Machine.barriers
+    (List.length shard_r.Machine.sample_windows)
+    (if gated then "" else "; wall-clock gate skipped");
+  if gated && speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "sharded-sampled: %.2fx with %d shards on a %d-CPU host — sharding the \
+          windows buys less than the promised 2x"
+         speedup shards cpus);
+  if not gated then mark_skipped "sharded-sampled";
+  sharded_sampled_row :=
+    Some
+      {
+        hs_cpus = cpus;
+        hs_cores = threads;
+        hs_shards = shards;
+        hs_seq_s = seq_s;
+        hs_shard_s = shard_s;
+        hs_barriers = shard_r.Machine.shard.Machine.barriers;
+        hs_windows = List.length shard_r.Machine.sample_windows;
+        hs_gated = gated;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Sampled-simulation artefact: the SMARTS-style interval estimator
@@ -576,7 +675,7 @@ let write_bench_json ~quick ~jobs path =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-engine/v3\",\n";
+  add "  \"schema\": \"fence-scoping/bench-engine/v4\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"shard_domains\": %d,\n" (E.Exp_run.shard_domains ());
@@ -621,9 +720,22 @@ let write_bench_json ~quick ~jobs path =
     add
       "  \"shard_scaling\": {\"cpus\": %d, \"cores\": %d, \"shards\": %d, \
        \"seq_seconds\": %.3f, \"shard_seconds\": %.3f, \"shard_speedup\": %.2f, \
-       \"bit_identical\": true}"
+       \"barriers_total\": %d, \"elided_cycles\": %d, \"bit_identical\": true}"
       ss.ss_cpus ss.ss_cores ss.ss_shards ss.ss_seq_s ss.ss_shard_s
-      (ss.ss_seq_s /. ss.ss_shard_s));
+      (ss.ss_seq_s /. ss.ss_shard_s)
+      ss.ss_barriers ss.ss_elided);
+  (match !sharded_sampled_row with
+  | None -> ()
+  | Some hs ->
+    add ",\n";
+    add
+      "  \"sharded_sampled\": {\"cpus\": %d, \"cores\": %d, \"shards\": %d, \
+       \"seq_seconds\": %.3f, \"shard_seconds\": %.3f, \"shard_speedup\": %.2f, \
+       \"barriers_total\": %d, \"measured_windows\": %d, \"wallclock_gated\": %b, \
+       \"bit_identical\": true}"
+      hs.hs_cpus hs.hs_cores hs.hs_shards hs.hs_seq_s hs.hs_shard_s
+      (hs.hs_seq_s /. hs.hs_shard_s)
+      hs.hs_barriers hs.hs_windows hs.hs_gated);
   (match !sampled_cmp_row with
   | None -> ()
   | Some sm ->
@@ -735,6 +847,7 @@ let artefacts ~quick =
     ("sampled", run_sampled_sim ~quick);
     ("jobs-scaling", run_jobs_scaling ~quick);
     ("shard-scaling", run_shard_scaling ~quick);
+    ("sharded-sampled", run_sharded_sampled ~quick);
   ]
 
 let run_artefact (name, f) =

@@ -56,10 +56,10 @@ let guard f =
     Printf.eprintf "fscope: invalid JSON: %s\n" msg;
     1
 
-let build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-    ~shard_domains =
+let build_config ?(no_elide = false) ~traditional ~speculate ~mem_latency ~rob ~fsb
+    ~mem_model ~no_spin_ff ~shard_domains () =
   Config.v ~sfence:(not traditional) ~speculation:speculate ?mem_latency ?rob_size:rob
-    ?fsb_entries:fsb ~mem_model
+    ?fsb_entries:fsb ~mem_model ~elide_barriers:(not no_elide)
     ~spin_fastforward:(not no_spin_ff) ~shard_domains ()
 
 (* --sample accepts "default" or WARMUP:DETAILED:FF (instruction count
@@ -124,13 +124,13 @@ let print_run_summary ~speculate ~sampled w (result : Machine.result) =
   end
 
 let cmd_run name level set_scope traditional speculate mem_latency rob fsb mem_model
-    no_spin_ff shard_domains sample checkpoint_every checkpoint_out rounds size threads
-    seed =
+    no_spin_ff no_elide shard_domains sample checkpoint_every checkpoint_out rounds size
+    threads seed =
   guard @@ fun () ->
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
-    build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-      ~shard_domains
+    build_config ~no_elide ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model
+      ~no_spin_ff ~shard_domains ()
   in
   let sampling = parse_sampling sample in
   let config = Config.with_sampling sampling config in
@@ -187,7 +187,7 @@ let cmd_trace name level set_scope traditional speculate mem_latency rob fsb mem
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model
-      ~no_spin_ff:false ~shard_domains
+      ~no_spin_ff:false ~shard_domains ()
   in
   let cores = Fscope_isa.Program.thread_count w.W.Workload.program in
   let trace = Obs.Trace.create ~ring_capacity ~cores () in
@@ -229,7 +229,7 @@ let cmd_profile name level set_scope traditional speculate no_fence mem_latency 
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-      ~shard_domains
+      ~shard_domains ()
   in
   let config = if no_fence then Config.with_nop_fences true config else config in
   let config =
@@ -257,7 +257,7 @@ let cmd_advise name level set_scope mem_latency rob fsb mem_model no_spin_ff
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional:false ~speculate:false ~mem_latency ~rob ~fsb ~mem_model
-      ~no_spin_ff ~shard_domains
+      ~no_spin_ff ~shard_domains ()
   in
   let config =
     match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
@@ -337,13 +337,13 @@ let cmd_disasm name level set_scope =
 exception Captured
 
 let cmd_checkpoint_save name level set_scope traditional speculate mem_latency rob fsb
-    mem_model no_spin_ff rounds size threads seed at out =
+    mem_model no_spin_ff shard_domains rounds size threads seed at out compact =
   guard @@ fun () ->
   if at <= 0 then failwith "--at must be positive";
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-      ~shard_domains:1
+      ~shard_domains ()
   in
   let saved = ref None in
   let sink ck =
@@ -356,7 +356,7 @@ let cmd_checkpoint_save name level set_scope traditional speculate mem_latency r
   in
   match !saved with
   | Some ck ->
-    Checkpoint.save ck ~file:out;
+    Checkpoint.save ~compact ck ~file:out;
     Printf.printf "wrote %s (cycle %d, %d cores, %d memory words)\n" out
       ck.Checkpoint.cycle
       (Array.length ck.Checkpoint.cores)
@@ -373,12 +373,12 @@ let cmd_checkpoint_save name level set_scope traditional speculate mem_latency r
     1
 
 let cmd_checkpoint_resume name level set_scope traditional speculate mem_latency rob fsb
-    mem_model no_spin_ff max_cycles rounds size threads seed from =
+    mem_model no_spin_ff shard_domains max_cycles rounds size threads seed from =
   guard @@ fun () ->
   let w = find_workload name ~level ~set_scope ~rounds ~size ~threads ~seed in
   let config =
     build_config ~traditional ~speculate ~mem_latency ~rob ~fsb ~mem_model ~no_spin_ff
-      ~shard_domains:1
+      ~shard_domains ()
   in
   let config =
     match max_cycles with Some n -> Config.with_max_cycles n config | None -> config
@@ -448,6 +448,16 @@ let no_spin_ff_arg =
            bit-identical either way; this only trades simulator wall-clock for a \
            simpler execution.")
 
+let no_elide_arg =
+  Arg.(
+    value & flag
+    & info [ "no-elide-barriers" ]
+        ~doc:
+          "Run every sharded cycle in full lockstep instead of eliding barriers over \
+           provably non-interacting spans.  Timing-neutral diagnostic: results are \
+           bit-identical either way; only the sharded engine's barrier counters \
+           change.  No effect without $(b,--shard-domains).")
+
 let format_arg =
   Arg.(
     value
@@ -502,8 +512,9 @@ let checkpoint_every_arg =
         ~doc:
           "Write a whole-machine checkpoint to $(b,--checkpoint-out) at (roughly) every \
            $(docv) cycles, each overwriting the last — a crashed or cancelled run can \
-           be resumed with $(b,fscope checkpoint resume).  Forces the sequential \
-           engine; incompatible with $(b,--sample).")
+           be resumed with $(b,fscope checkpoint resume).  Composes with \
+           $(b,--shard-domains): the sharded engine captures at the same cycles as \
+           the sequential one.  Incompatible with $(b,--sample).")
 
 let checkpoint_out_arg =
   Arg.(
@@ -527,6 +538,18 @@ let ckpt_out_arg =
     & info [ "output"; "o" ] ~docv:"FILE"
         ~doc:"Checkpoint file to write (default fscope.ckpt.json).")
 
+let compact_arg =
+  Arg.(
+    value & flag
+    & info [ "compact" ]
+        ~doc:
+          "Write the checkpoint in the compact v1z form: minified (the plain form \
+           pretty-prints), with mostly-zero integer arrays (memory image, register \
+           files, predictor tables) zero-run elided and repeated elements (cache \
+           slots, ROB operand columns) run-length deduplicated.  Several times \
+           smaller at production core counts; $(b,fscope checkpoint resume) reads \
+           both forms and the resumed run is bit-identical either way.")
+
 let from_arg =
   Arg.(
     required
@@ -542,8 +565,9 @@ let run_cmd =
     Term.(
       const cmd_run $ workload_arg $ level_arg $ set_scope_arg $ traditional_arg
       $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg $ mem_model_arg
-      $ no_spin_ff_arg $ shard_domains_arg $ sample_arg $ checkpoint_every_arg
-      $ checkpoint_out_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg)
+      $ no_spin_ff_arg $ no_elide_arg $ shard_domains_arg $ sample_arg
+      $ checkpoint_every_arg $ checkpoint_out_arg $ rounds_arg $ size_arg $ threads_arg
+      $ seed_arg)
 
 let compare_cmd =
   Cmd.v
@@ -672,8 +696,8 @@ let checkpoint_save_cmd =
     Term.(
       const cmd_checkpoint_save $ workload_arg $ level_arg $ set_scope_arg
       $ traditional_arg $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg
-      $ mem_model_arg $ no_spin_ff_arg $ rounds_arg $ size_arg $ threads_arg $ seed_arg
-      $ at_arg $ ckpt_out_arg)
+      $ mem_model_arg $ no_spin_ff_arg $ shard_domains_arg $ rounds_arg $ size_arg
+      $ threads_arg $ seed_arg $ at_arg $ ckpt_out_arg $ compact_arg)
 
 let checkpoint_resume_cmd =
   Cmd.v
@@ -686,8 +710,8 @@ let checkpoint_resume_cmd =
     Term.(
       const cmd_checkpoint_resume $ workload_arg $ level_arg $ set_scope_arg
       $ traditional_arg $ speculate_arg $ mem_latency_arg $ rob_arg $ fsb_arg
-      $ mem_model_arg $ no_spin_ff_arg $ max_cycles_arg $ rounds_arg $ size_arg
-      $ threads_arg $ seed_arg $ from_arg)
+      $ mem_model_arg $ no_spin_ff_arg $ shard_domains_arg $ max_cycles_arg
+      $ rounds_arg $ size_arg $ threads_arg $ seed_arg $ from_arg)
 
 let checkpoint_cmd =
   Cmd.group

@@ -207,6 +207,86 @@ let may_touch_mem (t : t) =
 let spin_may_arm (t : t) =
   t.spin_probe.pr_enabled && t.spin_probe.pr_snap <> None
 
+(* Whole-cycle FREE horizon for barrier elision.  [quiet_until t ~from
+   ~cap ~hier] returns the largest cycle X in [from-1, cap] such that
+   stepping this core through cycles [from..X] provably performs no
+   shared-state step: no store-buffer drain or CAS write reaches
+   memory, no ordered phase-3 step runs, no spin certificate can arm
+   (so no sleep transition registers watches), and the core cannot
+   halt (so the engine's drain bookkeeping stays untouched).  [from-1]
+   means "no quiet span at all".  Three sources bound the horizon:
+
+   - the store buffer: the earliest [done_at] writes memory, so the
+     span must end strictly before it;
+   - the ROB: any in-flight Store / Cas / Branch / Halt (plus Load
+     under the cache hierarchy, where even a hit bumps directory
+     state) can act at unpredictable cycles once present, so its mere
+     presence collapses the horizon;
+   - the fetch stream: walking the static code from [fetch_pc]
+     (following unconditional jumps, assuming fetch restarts at
+     [max from fetch_resume] and sustains the full fetch width — both
+     earliest-possible, therefore conservative) bounds the first cycle
+     an unsafe instruction can enter the ROB; the span ends strictly
+     before that fetch cycle.  No Branch in the ROB or in the walked
+     prefix means nothing can redirect fetch off the walked path, and
+     ROB-full back-pressure only delays fetch, never hastens it.
+
+   The walk is capped at [stream_walk_slots] budget slots so a pure
+   jump/ALU loop terminates; stopping early just shortens the proven
+   span, never unsounds it. *)
+let stream_walk_slots = 1024
+
+let quiet_until (t : t) ~from ~cap ~hier =
+  let bound = ref cap in
+  let cut c = if c < !bound then bound := c in
+  Store_buffer.iter t.sb (fun en -> cut (en.done_at - 1));
+  if not t.halted then begin
+    if spin_may_arm t then cut (from - 1);
+    Rob.iter t.rob (fun e ->
+        match e.instr with
+        | Fscope_isa.Instr.Store _ | Fscope_isa.Instr.Cas _ | Fscope_isa.Instr.Branch _
+        | Fscope_isa.Instr.Halt -> cut (from - 1)
+        | Fscope_isa.Instr.Load _ -> if hier then cut (from - 1)
+        | Fscope_isa.Instr.Nop | Fscope_isa.Instr.Li _ | Fscope_isa.Instr.Alu _
+        | Fscope_isa.Instr.Tid _ | Fscope_isa.Instr.Jump _ | Fscope_isa.Instr.Fence _
+        | Fscope_isa.Instr.Fs_start _ | Fscope_isa.Instr.Fs_end _ -> ());
+    if (not t.fetch_stopped) && !bound >= from then begin
+      let width = max 1 t.cfg.Exec_config.fetch_width in
+      let first = max from t.fetch_resume in
+      let len = Array.length t.code in
+      let pc = ref t.fetch_pc in
+      let slots = ref 0 in
+      let scanning = ref true in
+      while !scanning do
+        let fetch_cycle = first + (!slots / width) in
+        if !pc < 0 || !pc >= len then scanning := false (* fetch runs dry *)
+        else if fetch_cycle > !bound then scanning := false
+        else if !slots >= stream_walk_slots then begin
+          cut (fetch_cycle - 1);
+          scanning := false
+        end
+        else
+          match t.code.(!pc) with
+          | Fscope_isa.Instr.Store _ | Fscope_isa.Instr.Cas _
+          | Fscope_isa.Instr.Branch _ | Fscope_isa.Instr.Halt ->
+            cut (fetch_cycle - 1);
+            scanning := false
+          | Fscope_isa.Instr.Load _ when hier ->
+            cut (fetch_cycle - 1);
+            scanning := false
+          | Fscope_isa.Instr.Jump target ->
+            incr slots;
+            pc := target
+          | Fscope_isa.Instr.Nop | Fscope_isa.Instr.Li _ | Fscope_isa.Instr.Alu _
+          | Fscope_isa.Instr.Tid _ | Fscope_isa.Instr.Load _ | Fscope_isa.Instr.Fence _
+          | Fscope_isa.Instr.Fs_start _ | Fscope_isa.Instr.Fs_end _ ->
+            incr slots;
+            incr pc
+      done
+    end
+  end;
+  max (from - 1) !bound
+
 let next_wake (t : t) ~cycle =
   let m = ref max_int in
   let consider d = if d > cycle && d < !m then m := d in

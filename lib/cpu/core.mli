@@ -152,6 +152,20 @@ val spin_may_arm : t -> bool
     makes it a sound phase-start gate for sleep transitions in the
     sharded engine. *)
 
+val quiet_until : t -> from:int -> cap:int -> hier:bool -> int
+(** Whole-cycle FREE horizon for barrier elision in the sharded
+    engine: the largest cycle [X] in [[from-1, cap]] such that
+    stepping this core through cycles [from..X] provably performs no
+    shared-state step — no store-buffer drain or CAS write, no
+    ordered phase-3 step ([hier] selects the stricter cache-hierarchy
+    classification), no spin-certificate arming (hence no sleep
+    transition), and no halt (hence no drain-bookkeeping change).
+    [from - 1] means no quiet span exists.  Bounded by the earliest
+    store-buffer deadline, collapsed by any unsafe in-flight ROB
+    entry, and otherwise limited by a conservative walk of the static
+    fetch stream (earliest-fetch assumptions, capped so jump loops
+    terminate).  Pure: never mutates core state. *)
+
 val account_stall_span : t -> cycle:int -> cycles:int -> unit
 (** Replay the per-cycle accounting of the [cycles] consecutive
     no-progress cycles after [cycle] in O(1): active cycles,

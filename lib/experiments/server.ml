@@ -54,6 +54,7 @@ type row = {
   sv_lat_max : int;  (* exact per-request inject-to-retire latencies *)
   sv_gauge : gauge_row option;  (* live occupancy gauge, when the workload has one *)
   sv_sampled : bool;  (* interval-sampled point: cycle metrics are estimates *)
+  sv_lat_sampled : bool;  (* latencies from measured-window pairs only *)
 }
 
 type point = {
@@ -71,7 +72,11 @@ type point = {
 (* The engine's spin fast-forward counters describe how a result was
    reached, not the result; the reference loop never spins. *)
 let strip_spin (r : Machine.result) =
-  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+  {
+    r with
+    Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 };
+    shard = Machine.no_shard_ctrs;
+  }
 
 (* Nearest-rank percentile over the log2-bucket histogram, reported as
    the bucket lower bound (the resolution the histogram actually
@@ -233,19 +238,52 @@ let eval pt =
     sv_lat_max = (match List.rev lats with [] -> 0 | m :: _ -> m);
     sv_gauge = workload_gauge pt program ~cycles:engine_r.Machine.cycles;
     sv_sampled = false;
+    sv_lat_sampled = false;
   }
+
+(* Window-restricted per-request latencies for a sampled point: a
+   second, traced sampled run (sequential detailed windows — the
+   estimator is bit-identical for any shard count, which we assert via
+   the cycle estimate) keeps only the inject/retire drain markers, and
+   only pairs whose BOTH endpoints landed inside one measured window
+   survive — a pair spanning a functional gap would count unsimulated
+   fast-forward cycles.  The tail is thus exact over the covered
+   requests rather than silently absent. *)
+let sampled_latencies pt program ~threads ~cycles =
+  let requests = pt.pt_requests in
+  let keep = W.Mpmc.keep_latency ~requests ~threads program in
+  let trace =
+    Obs.Trace.create
+      ~ring_capacity:(max 1024 (requests + 2))
+      ~keep
+      ~cores:(Fscope_isa.Program.thread_count program)
+      ()
+  in
+  let rt = Machine.run ~obs:trace pt.pt_machine program in
+  if rt.Machine.cycles <> cycles then
+    failwith
+      (Printf.sprintf "server %s (%s): sampled latency trace diverged from estimate"
+         pt.pt_workload pt.pt_config);
+  if Obs.Trace.dropped trace <> 0 then
+    failwith
+      (Printf.sprintf "server %s (%s): sampled latency trace dropped markers"
+         pt.pt_workload pt.pt_config);
+  W.Mpmc.latency_of_events_windowed ~requests ~threads
+    ~windows:rt.Machine.sample_windows program (Obs.Trace.events trace)
 
 (* Sampled points trade the per-point triple-check for wall-clock: the
    engine-vs-reference and timing-neutrality assertions have no
-   meaning under sampling (the estimator IS the engine, and tracing is
-   rejected), but functional validation still holds exactly — the
-   fast-forward legs execute real instructions, so the retired
-   requests and final memory are real.  The fence share comes straight
-   from the run's extrapolated CPI stacks; stall/latency tails need a
-   traced run, so those columns are zero here. *)
+   meaning under sampling (the estimator IS the engine), but
+   functional validation still holds exactly — the fast-forward legs
+   execute real instructions, so the retired requests and final memory
+   are real.  The fence share comes straight from the run's
+   extrapolated CPI stacks; stall tails need a full trace, so those
+   columns stay zero; latency tails come from the measured-window
+   extraction above, flagged [sv_lat_sampled]. *)
 let eval_sampled pt =
   let w = pt.pt_build () in
-  let r = Machine.run pt.pt_machine w.W.Workload.program in
+  let program = w.W.Workload.program in
+  let r = Machine.run pt.pt_machine program in
   if r.Machine.timed_out then
     failwith
       (Printf.sprintf "server %s (%s): sampled run timed out" pt.pt_workload
@@ -259,6 +297,11 @@ let eval_sampled pt =
   let active = Machine.total_active_cycles r in
   let fence =
     Array.fold_left (fun acc c -> acc + Obs.Cpi.fence_cycles c) 0 r.Machine.core_cpi
+  in
+  let lats =
+    match pt.pt_lat_threads with
+    | None -> []
+    | Some threads -> sampled_latencies pt program ~threads ~cycles:r.Machine.cycles
   in
   {
     sv_workload = pt.pt_workload;
@@ -274,13 +317,14 @@ let eval_sampled pt =
     sv_stall_p90 = 0;
     sv_stall_p99 = 0;
     sv_stall_max = 0;
-    sv_lat_samples = 0;
-    sv_lat_p50 = 0;
-    sv_lat_p90 = 0;
-    sv_lat_p99 = 0;
-    sv_lat_max = 0;
+    sv_lat_samples = List.length lats;
+    sv_lat_p50 = rank_percentile lats 0.50;
+    sv_lat_p90 = rank_percentile lats 0.90;
+    sv_lat_p99 = rank_percentile lats 0.99;
+    sv_lat_max = (match List.rev lats with [] -> 0 | m :: _ -> m);
     sv_gauge = None;
     sv_sampled = true;
+    sv_lat_sampled = pt.pt_lat_threads <> None;
   }
 
 (* Three machine configurations per workload.  The set-scope point
@@ -359,10 +403,16 @@ let sampled_sampling ~quick =
    only exists sampled; a detailed 256-core run is what the estimator
    is for. *)
 let sampled_points ~quick =
+  (* Sampled points honour --shard-domains too: the untraced run then
+     shards its detailed windows, while the traced latency run stays
+     sequential — the cycle-estimate assertion in [sampled_latencies]
+     doubles as a sharded/sequential sampled bit-identity check. *)
   let s =
-    Config.with_sampling
-      (Some (sampled_sampling ~quick))
-      (Exp_run.s_config Config.default)
+    Config.with_shard_domains
+      (Exp_run.shard_domains ())
+      (Config.with_sampling
+         (Some (sampled_sampling ~quick))
+         (Exp_run.s_config Config.default))
   in
   let point threads per =
     {
@@ -371,7 +421,7 @@ let sampled_points ~quick =
       pt_machine = s;
       pt_requests = W.Mpmc.requests ~threads ~per_producer:per ();
       pt_build = (fun () -> W.Mpmc.make ~threads ~per_producer:per ~scope:`Class ());
-      pt_lat_threads = None;
+      pt_lat_threads = Some threads;
     }
   in
   [ point 64 (if quick then 4 else 625); point 256 (if quick then 1 else 156) ]
@@ -430,7 +480,7 @@ let json ~quick ~jobs rows =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema\": \"fence-scoping/bench-server/v4\",\n";
+  add "  \"schema\": \"fence-scoping/bench-server/v5\",\n";
   add "  \"quick\": %b,\n" quick;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"rows\": [";
@@ -442,12 +492,13 @@ let json ~quick ~jobs rows =
          \"stall_episodes\": %d, \"stall_cycles\": %d, \"stall_mean\": %.2f, \
          \"stall_p50\": %d, \"stall_p90\": %d, \"stall_p99\": %d, \"stall_max\": %d, \
          \"latency_samples\": %d, \"latency_p50\": %d, \"latency_p90\": %d, \
-         \"latency_p99\": %d, \"latency_max\": %d, \"sampled\": %b%s}"
+         \"latency_p99\": %d, \"latency_max\": %d, \"sampled\": %b, \
+         \"latency_sampled\": %b%s}"
         (if i = 0 then "" else ",")
         r.sv_workload r.sv_config r.sv_cycles r.sv_requests r.sv_rpk r.sv_fence_share
         r.sv_stall_episodes r.sv_stall_cycles r.sv_stall_mean r.sv_stall_p50
         r.sv_stall_p90 r.sv_stall_p99 r.sv_stall_max r.sv_lat_samples r.sv_lat_p50
-        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max r.sv_sampled
+        r.sv_lat_p90 r.sv_lat_p99 r.sv_lat_max r.sv_sampled r.sv_lat_sampled
         (match r.sv_gauge with
         | None -> ""
         | Some g ->

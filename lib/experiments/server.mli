@@ -52,8 +52,14 @@ type row = {
   sv_sampled : bool;
       (** interval-sampled point: [sv_cycles] / [sv_rpk] /
           [sv_fence_share] are extrapolated estimates (DESIGN §15),
-          request counts and validation are exact, and the traced tail
-          columns are zero (sampling excludes tracing) *)
+          request counts and validation are exact, and the traced
+          stall-tail columns are zero *)
+  sv_lat_sampled : bool;
+      (** the latency columns come from the measured-window extraction:
+          a traced sampled run keeps the inject/retire drain markers,
+          and only request pairs with both endpoints inside ONE
+          measured detailed window count — exact latencies over the
+          covered subset ([sv_lat_samples]), not estimates *)
 }
 
 val run : ?quick:bool -> unit -> row list
@@ -76,8 +82,12 @@ val run_sampled : ?quick:bool -> unit -> row list
 (** The interval-sampled scale points: the 64-core MPMC machine again
     (sampled, so the bench harness can quote the error and wall-clock
     win against the detailed row) and the 256-core MPMC machine, which
-    only exists sampled.  Rows carry [sv_sampled = true] and validate
-    functionally like every other point. *)
+    only exists sampled.  Rows carry [sv_sampled = true], validate
+    functionally like every other point, and fill the latency columns
+    from the measured-window extraction ([sv_lat_sampled]).  Machine
+    configs honour {!Exp_run.shard_domains}: the untraced run shards
+    its detailed windows, and the traced latency run's cycle estimate
+    must reproduce it exactly. *)
 
 val table : row list -> Fscope_util.Table.t
 
@@ -87,5 +97,6 @@ val gains : row list -> (string * string * float) list
 
 val json : quick:bool -> jobs:int -> row list -> string
 (** The BENCH_server.json document
-    (schema ["fence-scoping/bench-server/v4"] — v3 plus a per-row
-    ["sampled"] flag marking interval-sampled estimate rows). *)
+    (schema ["fence-scoping/bench-server/v5"] — v4 plus a per-row
+    ["latency_sampled"] flag marking rows whose latency columns come
+    from the measured-window extraction). *)

@@ -35,22 +35,39 @@ let digest (config : Config.t) (program : Program.t) =
            config.Config.scope, program)
           []))
 
-let to_json t =
-  Json.Obj
-    [
-      ("schema", Json.Str "fscope-checkpoint/v1");
-      ("cycle", Json.Int t.cycle);
-      ("digest", Json.Str t.digest);
-      ("wake", Json.of_int_array t.wake);
-      ("cores", Json.Arr (Array.to_list t.cores));
-      ("mem", Json.of_int_array t.mem);
-      ("hierarchy", t.hierarchy);
-    ]
+(* The compact sibling ("v1z") applies {!Json.pack_arrays} to the whole
+   document: memory images, ARFs, rename maps, predictor tables and
+   cache arrays are mostly zeros at production core counts, and the
+   shared zero-run elision dedups them all through one transform.  The
+   schema string changes with the representation so a reader that
+   predates packing fails loudly instead of misparsing; {!of_json}
+   accepts both and unpacks before field extraction, so the two forms
+   are interchangeable everywhere downstream. *)
+let schema_plain = "fscope-checkpoint/v1"
+let schema_compact = "fscope-checkpoint/v1z"
+
+let to_json ?(compact = false) t =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str (if compact then schema_compact else schema_plain));
+        ("cycle", Json.Int t.cycle);
+        ("digest", Json.Str t.digest);
+        ("wake", Json.of_int_array t.wake);
+        ("cores", Json.Arr (Array.to_list t.cores));
+        ("mem", Json.of_int_array t.mem);
+        ("hierarchy", t.hierarchy);
+      ]
+  in
+  if compact then Json.pack_arrays doc else doc
 
 let of_json j =
-  (match Json.get "schema" j with
-  | Json.Str "fscope-checkpoint/v1" -> ()
-  | _ -> failwith "checkpoint: unknown schema");
+  let j =
+    match Json.get "schema" j with
+    | Json.Str s when String.equal s schema_plain -> j
+    | Json.Str s when String.equal s schema_compact -> Json.unpack_arrays j
+    | _ -> failwith "checkpoint: unknown schema"
+  in
   {
     cycle = Json.int_exn (Json.get "cycle" j);
     digest = Json.str_exn (Json.get "digest" j);
@@ -60,12 +77,16 @@ let of_json j =
     hierarchy = Json.get "hierarchy" j;
   }
 
-let save t ~file =
+(* Plain checkpoints pretty-print (they are the readable, diffable
+   form); the compact sibling is minified on top of the array
+   packing. *)
+let save ?(compact = false) t ~file =
   let oc = open_out_bin file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Json.render (to_json t));
+      let doc = to_json ~compact t in
+      output_string oc (if compact then Json.render doc else Json.render_pretty doc);
       output_char oc '\n')
 
 let load ~file =

@@ -5,9 +5,11 @@
     the cache hierarchy and the engine's wake array — as one JSON
     document.  Configuration and instructions are not stored; the
     caller rebuilds both and {!validate} checks them against the
-    embedded digest.  Captured and restored only by the sequential
-    engine (sound for any [shard_domains] because sharding is
-    bit-identical to sequential execution). *)
+    embedded digest.  Both the sequential and the sharded detailed
+    engines capture and restore checkpoints — the sharded loop takes
+    its snapshot inside the top-of-cycle publish window, where every
+    shard is quiescent, so a checkpoint written under any
+    [shard_domains] resumes bit-identically under any other. *)
 
 type t = {
   cycle : int;  (** the engine resumes at the top of this cycle *)
@@ -26,11 +28,24 @@ type t = {
 
 val digest : Config.t -> Fscope_isa.Program.t -> string
 
-val to_json : t -> Fscope_util.Json.t
-val of_json : Fscope_util.Json.t -> t
-(** Raises [Failure] on a malformed document. *)
+val to_json : ?compact:bool -> t -> Fscope_util.Json.t
+(** [compact] (default [false]) selects the ["fscope-checkpoint/v1z"]
+    sibling: the same document with every shrinkable array — the
+    mostly-zero memory image, ARFs and predictor tables, the
+    run-heavy cache slot and ROB operand arrays — rewritten through
+    the shared packing ({!Fscope_util.Json.pack_arrays}).  Combined
+    with the minified rendering {!save} uses for it, ≥5× smaller
+    than the pretty plain form at production core counts; {!of_json}
+    reads both forms, so resume is bit-identical through either. *)
 
-val save : t -> file:string -> unit
+val of_json : Fscope_util.Json.t -> t
+(** Raises [Failure] on a malformed document.  Accepts both the plain
+    v1 and compact v1z schemas. *)
+
+val save : ?compact:bool -> t -> file:string -> unit
+(** Plain saves pretty-print (readable, diffable); [compact] saves
+    minify on top of the array packing. *)
+
 val load : file:string -> t
 (** Raises [Failure] on an unreadable or malformed file. *)
 

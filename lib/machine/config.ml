@@ -28,15 +28,16 @@ type t = {
   scope : Fscope_core.Scope_unit.config;
   max_cycles : int;
   shard_domains : int;
+  elide_barriers : bool;
   sampling : sampling option;
 }
 
 let make ?(exec = Fscope_cpu.Exec_config.default)
     ?(mem = Fscope_mem.Hierarchy.default_config) ?(mem_model = Hierarchy)
     ?(scope = Fscope_core.Scope_unit.default_config) ?(max_cycles = 30_000_000)
-    ?(shard_domains = 1) ?sampling () =
+    ?(shard_domains = 1) ?(elide_barriers = true) ?sampling () =
   Option.iter sampling_validate sampling;
-  { exec; mem; mem_model; scope; max_cycles; shard_domains; sampling }
+  { exec; mem; mem_model; scope; max_cycles; shard_domains; elide_barriers; sampling }
 
 let mem_model_name = function Hierarchy -> "hierarchy" | Ideal -> "ideal"
 
@@ -54,7 +55,7 @@ let default = make ()
    [v ~base:(v ~sfence:false ()) ~mem_latency:500 ()]. *)
 let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_model
     ?mem_latency ?rob_size ?fsb_entries ?fss_entries ?mt_entries ?max_cycles
-    ?shard_domains ?sampling () =
+    ?shard_domains ?elide_barriers ?sampling () =
   let opt v dflt = Option.value v ~default:dflt in
   let sampling = opt sampling base.sampling in
   Option.iter sampling_validate sampling;
@@ -78,6 +79,7 @@ let v ?(base = default) ?sfence ?speculation ?nop_fences ?spin_fastforward ?mem_
       };
     max_cycles = opt max_cycles base.max_cycles;
     shard_domains = opt shard_domains base.shard_domains;
+    elide_barriers = opt elide_barriers base.elide_barriers;
     sampling;
   }
 
@@ -94,4 +96,5 @@ let with_max_cycles n t = v ~base:t ~max_cycles:n ()
 let with_mem_model m t = v ~base:t ~mem_model:m ()
 let with_spin_fastforward on t = v ~base:t ~spin_fastforward:on ()
 let with_shard_domains n t = v ~base:t ~shard_domains:n ()
+let with_elide_barriers on t = v ~base:t ~elide_barriers:on ()
 let with_sampling s t = v ~base:t ~sampling:s ()

@@ -49,10 +49,15 @@ type t = {
           (default 1 = the sequential engine).  Results are
           bit-identical for any value — this only trades simulator
           wall-clock; see DESIGN.md §13. *)
+  elide_barriers : bool;
+      (** let the sharded engine collapse provably non-interacting
+          cycle spans to a single barrier (default [true]).
+          Bit-identical either way — wall-clock and barrier-count
+          only; see DESIGN.md §16. *)
   sampling : sampling option;
-      (** [Some _] selects the sampled engine (sequential, untraced
-          runs only); [None] (the default) is exact detailed
-          simulation. *)
+      (** [Some _] selects the sampled engine (untraced runs shard
+          their detailed windows across [shard_domains]); [None] (the
+          default) is exact detailed simulation. *)
 }
 
 val make :
@@ -62,6 +67,7 @@ val make :
   ?scope:Fscope_core.Scope_unit.config ->
   ?max_cycles:int ->
   ?shard_domains:int ->
+  ?elide_barriers:bool ->
   ?sampling:sampling ->
   unit ->
   t
@@ -93,6 +99,7 @@ val v :
   ?mt_entries:int ->
   ?max_cycles:int ->
   ?shard_domains:int ->
+  ?elide_barriers:bool ->
   ?sampling:sampling option ->
   unit ->
   t
@@ -161,6 +168,10 @@ val with_shard_domains : int -> t -> t
 (** Partition the machine's cores across [n] OCaml domains (default 1
     = the sequential engine).  Bit-identical for any [n]; wall-clock
     only.  Values above the core count are clamped by the engine. *)
+
+val with_elide_barriers : bool -> t -> t
+(** Toggle barrier elision in the sharded engine (default on).
+    Bit-identical either way — wall-clock and barrier-count only. *)
 
 val with_sampling : sampling option -> t -> t
 (** Select ([Some]) or clear ([None]) interval sampling. *)

@@ -8,6 +8,13 @@ type spin_ff = {
   wakes : int;
 }
 
+type shard_ctrs = {
+  barriers : int;
+  elided_cycles : int;
+}
+
+let no_shard_ctrs = { barriers = 0; elided_cycles = 0 }
+
 type result = {
   cycles : int;
   timed_out : bool;
@@ -16,6 +23,8 @@ type result = {
   mem : int array;
   cache : Hierarchy.stats;
   spin : spin_ff;
+  shard : shard_ctrs;
+  sample_windows : (int * int) list;
   obs : Obs.Report.t option;
 }
 
@@ -89,6 +98,8 @@ let snapshot_stats trace r =
   set "engine/spin_ff_sleeps" r.spin.sleeps;
   set "engine/spin_ff_cycles_skipped" r.spin.cycles_skipped;
   set "engine/spin_ff_wakes" r.spin.wakes;
+  set "shard/barriers_total" r.shard.barriers;
+  set "shard/elided_cycles" r.shard.elided_cycles;
   set "machine/cycles" r.cycles
 
 let finish ~obs ~shard_domains (raw : Sim_engine.raw) =
@@ -106,6 +117,12 @@ let finish ~obs ~shard_domains (raw : Sim_engine.raw) =
           cycles_skipped = raw.Sim_engine.spin.Sim_engine.cycles_skipped;
           wakes = raw.Sim_engine.spin.Sim_engine.wakes;
         };
+      shard =
+        {
+          barriers = raw.Sim_engine.shard.Sim_engine.barriers;
+          elided_cycles = raw.Sim_engine.shard.Sim_engine.elided_cycles;
+        };
+      sample_windows = raw.Sim_engine.windows;
       obs = None;
     }
   in

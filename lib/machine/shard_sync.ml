@@ -116,6 +116,8 @@ let barrier t =
   end
   else wait_until t (fun () -> Atomic.get t.generation <> gen)
 
+let barriers t = Atomic.get t.generation
+
 let encode t ~round idx = (round * t.stride) + idx
 
 let set_cursor t ~shard ~round idx =

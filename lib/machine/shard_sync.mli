@@ -41,6 +41,12 @@ val await_prefix : t -> shard:int -> round:int -> int -> unit
     step at a time; the shard owning the lowest pending ordered core
     can always proceed, so the protocol cannot deadlock. *)
 
+val barriers : t -> int
+(** Number of completed barrier generations so far — the lockstep
+    traffic the elision machinery exists to cut.  Read it after the
+    shards have joined (or from any quiescent point); it is a plain
+    monotonic counter, not a synchronisation primitive. *)
+
 val poison : t -> exn -> unit
 (** Record the first failure and wake every waiter; subsequent
     {!barrier}/{!await_prefix}/{!check} calls in any domain re-raise

@@ -243,6 +243,46 @@ let render v =
   render_into buf v;
   Buffer.contents buf
 
+(* Two-space-indented rendering, for artefacts meant to be read or
+   diffed by humans (plain checkpoints).  Same grammar, so [parse]
+   round-trips it identically to the compact form. *)
+let rec render_pretty_into buf ~indent v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | Str _ -> render_into buf v
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 2);
+        render_pretty_into buf ~indent:(indent + 2) v)
+      items;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        pad (indent + 2);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        render_pretty_into buf ~indent:(indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    pad indent;
+    Buffer.add_char buf '}'
+
+let render_pretty v =
+  let buf = Buffer.create 256 in
+  render_pretty_into buf ~indent:0 v;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
 
@@ -267,6 +307,125 @@ let get key j =
   match member key j with
   | Some v -> v
   | None -> failwith (Printf.sprintf "Json: missing key %S" key)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-run elision (the checkpoint compact encoding)
+
+   Large integer arrays in the documents the repo writes itself —
+   memory images, ARFs, cache/predictor tables — are mostly zeros at
+   production core counts.  [pack_arrays] rewrites every all-integer
+   array whose elided form is strictly smaller into
+
+     {"#z": [length, skip1, v1, skip2, v2, ...]}
+
+   where each [skip] counts the zeros preceding the next non-zero
+   value and trailing zeros are implied by [length].  The marker key
+   "#z" cannot collide with a real field: no schema this repo emits
+   uses it.  [unpack_arrays] is the exact inverse, so
+   [unpack_arrays (pack_arrays v) = v] for any value whose objects
+   avoid the marker key — packing is transparent to every accessor
+   once the loader unpacks. *)
+
+let pack_marker = "#z"
+
+let zrun_encode items =
+  (* [items] must be all-Int; returns None when elision would not
+     shrink the array (2 tokens per non-zero value plus the length). *)
+  let len = List.length items in
+  let tokens = ref [] in
+  let nonzeros = ref 0 in
+  let skip = ref 0 in
+  List.iter
+    (fun v ->
+      match v with
+      | Int 0 -> incr skip
+      | Int n ->
+        incr nonzeros;
+        tokens := Int n :: Int !skip :: !tokens;
+        skip := 0
+      | _ -> assert false)
+    items;
+  if 1 + (2 * !nonzeros) < len then
+    Some (Obj [ (pack_marker, Arr (Int len :: List.rev !tokens)) ])
+  else None
+
+let all_ints = List.for_all (function Int _ -> true | _ -> false)
+
+(* Run-length dedup for arbitrary arrays: consecutive structurally
+   equal elements collapse to [count, value] token pairs.  This is
+   what shrinks the non-integer bulk of a checkpoint — cache slot
+   arrays full of the same empty line, ROB operand columns full of
+   the same sentinel.  Applied after the children are packed, so runs
+   of identical packed subtrees collapse too. *)
+let rle_marker = "#r"
+
+let rle_encode items =
+  let len = List.length items in
+  let runs =
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | (c, v') :: rest when v' = v -> (c + 1, v') :: rest
+        | _ -> (1, v) :: acc)
+      [] items
+  in
+  let r = List.length runs in
+  if 2 * r < len then
+    Some
+      (Obj
+         [
+           ( rle_marker,
+             Arr (List.concat_map (fun (c, v) -> [ Int c; v ]) (List.rev runs)) );
+         ])
+  else None
+
+let rec pack_arrays = function
+  | Arr items when List.length items >= 8 && all_ints items -> (
+    match zrun_encode items with
+    | Some packed -> packed
+    | None -> (
+      match rle_encode items with Some packed -> packed | None -> Arr items))
+  | Arr items -> (
+    let packed = List.map pack_arrays items in
+    match rle_encode packed with Some p -> p | None -> Arr packed)
+  | Obj fields -> Obj (List.map (fun (k, v) -> (k, pack_arrays v)) fields)
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+
+let zrun_decode tokens =
+  match tokens with
+  | Int len :: pairs ->
+    if len < 0 then failwith "Json: malformed #z length";
+    let out = Array.make len (Int 0) in
+    let pos = ref 0 in
+    let rec go = function
+      | [] -> ()
+      | Int skip :: Int v :: rest ->
+        pos := !pos + skip;
+        if skip < 0 || !pos >= len then failwith "Json: #z run out of bounds";
+        out.(!pos) <- Int v;
+        incr pos;
+        go rest
+      | _ -> failwith "Json: malformed #z tokens"
+    in
+    go pairs;
+    Arr (Array.to_list out)
+  | _ -> failwith "Json: malformed #z encoding"
+
+let rec unpack_arrays = function
+  | Obj [ (k, Arr tokens) ] when String.equal k pack_marker -> zrun_decode tokens
+  | Obj [ (k, Arr tokens) ] when String.equal k rle_marker ->
+    let rec go acc = function
+      | [] -> Arr (List.concat (List.rev acc))
+      | Int c :: v :: rest ->
+        if c <= 0 then failwith "Json: malformed #r count";
+        let v = unpack_arrays v in
+        go (List.init c (fun _ -> v) :: acc) rest
+      | _ -> failwith "Json: malformed #r tokens"
+    in
+    go [] tokens
+  | Obj fields -> Obj (List.map (fun (k, v) -> (k, unpack_arrays v)) fields)
+  | Arr items -> Arr (List.map unpack_arrays items)
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
 
 let int_exn = function Int n -> n | _ -> failwith "Json: expected integer"
 let str_exn = function Str s -> s | _ -> failwith "Json: expected string"

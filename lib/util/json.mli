@@ -29,6 +29,11 @@ val of_file : string -> t
 val render : t -> string
 (** Compact (single-line) rendering. *)
 
+val render_pretty : t -> string
+(** Two-space-indented multi-line rendering, for artefacts meant to be
+    read or diffed by humans (plain checkpoints).  Same grammar as
+    {!render}: [parse] round-trips both identically. *)
+
 val member : string -> t -> t option
 (** Field of an object; [None] on a missing key or a non-object. *)
 
@@ -53,3 +58,23 @@ val int_list_exn : t -> int list
 val of_int_list : int list -> t
 val of_int_array : int array -> t
 val int_array_exn : t -> int array
+
+(** Array packing, the checkpoint compact encoding.  Two rewrites
+    compose: large all-integer arrays that are mostly zeros — memory
+    images, ARFs, cache and predictor tables — shrink to a
+    [{"#z": [length, skip, value, ...]}] marker object (trailing
+    zeros implied by the stored length), and any array with runs of
+    consecutive structurally-equal elements — cache slot arrays full
+    of the same empty line, ROB operand columns full of the same
+    sentinel — shrinks to a [{"#r": [count, value, ...]}] run-length
+    object, children packed first so runs of identical subtrees
+    collapse too.  Only arrays whose packed form is strictly smaller
+    are rewritten, so [unpack_arrays (pack_arrays v) = v] for any
+    value whose objects avoid the ["#z"] / ["#r"] keys. *)
+
+val pack_arrays : t -> t
+(** Rewrite every shrinkable array, recursively. *)
+
+val unpack_arrays : t -> t
+(** Exact inverse of {!pack_arrays}; [Failure] on a malformed
+    marker. *)

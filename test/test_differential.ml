@@ -305,7 +305,11 @@ let test_disjoint_batch lo hi () =
    loops (the reference never sleeps), so identity is checked over
    everything else. *)
 let strip_spin (r : Machine.result) =
-  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+  {
+    r with
+    Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 };
+    shard = Machine.no_shard_ctrs;
+  }
 
 let explain_mismatch label seed (a : Machine.result) (b : Machine.result) =
   let check name va vb acc =
@@ -517,20 +521,23 @@ let shard_case_gen =
   let* shards = oneofl [ 1; 2; 4 ] in
   let* spin_ff = bool in
   let* ideal = bool in
+  let* elide = bool in
   let* max_c = oneofl [ None; Some 200; Some 5000 ] in
-  return (seed, handshake, shards, spin_ff, ideal, max_c)
+  return (seed, handshake, shards, spin_ff, ideal, elide, max_c)
 
-let print_shard_case (seed, handshake, shards, spin_ff, ideal, max_c) =
-  Printf.sprintf "seed=%d program=%s shards=%d spin_ff=%b mem=%s max_cycles=%s" seed
+let print_shard_case (seed, handshake, shards, spin_ff, ideal, elide, max_c) =
+  Printf.sprintf "seed=%d program=%s shards=%d spin_ff=%b mem=%s elide=%b max_cycles=%s"
+    seed
     (if handshake then "handshake" else "disjoint")
     shards spin_ff
     (if ideal then "ideal" else "hierarchy")
+    elide
     (match max_c with None -> "default" | Some n -> string_of_int n)
 
 let prop_shard_invariance =
   QCheck2.Test.make ~count:70 ~name:"sharded engine == naive reference loop"
     ~print:print_shard_case shard_case_gen
-    (fun (seed, handshake, shards, spin_ff, ideal, max_c) ->
+    (fun (seed, handshake, shards, spin_ff, ideal, elide, max_c) ->
       let program =
         if handshake then handshake_program (Rng.create seed)
         else fst (Compile.compile (gen_disjoint_program seed ~threads:4))
@@ -538,14 +545,14 @@ let prop_shard_invariance =
       let config =
         Config.v ~base:(Config.scoped Config.default) ~spin_fastforward:spin_ff
           ~mem_model:(if ideal then Config.Ideal else Config.Hierarchy)
-          ?max_cycles:max_c ~shard_domains:shards ()
+          ?max_cycles:max_c ~shard_domains:shards ~elide_barriers:elide ()
       in
       let sharded = Machine.run config program in
       let reference = Machine.run_reference config program in
       if strip_spin sharded = strip_spin reference then true
       else
         QCheck2.Test.fail_report
-          (Printf.sprintf "shards=%d: %s" shards
+          (Printf.sprintf "shards=%d elide=%b: %s" shards elide
              (explain_mismatch
                 (if handshake then "handshake" else "disjoint")
                 seed sharded reference)))
@@ -617,6 +624,39 @@ let prop_checkpoint_roundtrip =
               ("resumed run diverged: "
               ^ explain_mismatch "ckpt-resume" seed resumed baseline))
 
+(* Compact checkpoint encoding: the v1z form (zero-run elision over
+   every large mostly-zero array) must be dramatically smaller than
+   the plain rendering at production core counts, and resuming through
+   the compact wire format must be bit-identical to resuming through
+   the plain one. *)
+let test_compact_checkpoint () =
+  let module Mpmc = Fscope_workloads.Mpmc in
+  let module Workload = Fscope_workloads.Workload in
+  let w = Mpmc.make ~threads:64 ~per_producer:4 ~scope:`Class () in
+  let program = w.Workload.program in
+  let config = Config.scoped Config.default in
+  let first = ref None in
+  let sink ck = if Option.is_none !first then first := Some ck in
+  let baseline = Machine.run ~checkpoint:(400, sink) config program in
+  match !first with
+  | None -> Alcotest.fail "64-core run finished before the first capture point"
+  | Some ck ->
+    (* the same renderings [Checkpoint.save] writes: pretty plain,
+       minified compact *)
+    let plain = Json.render_pretty (Checkpoint.to_json ck) in
+    let compact = Json.render (Checkpoint.to_json ~compact:true ck) in
+    let ratio = float_of_int (String.length plain) /. float_of_int (String.length compact) in
+    if ratio < 5.0 then
+      Alcotest.failf "compact checkpoint only %.1fx smaller (plain %d bytes, compact %d)"
+        ratio (String.length plain) (String.length compact);
+    let via fmt = Checkpoint.of_json (Json.parse fmt) in
+    let ck_plain = via plain and ck_compact = via compact in
+    Alcotest.(check bool) "wire forms decode identically" true (ck_plain = ck_compact);
+    Checkpoint.validate ck_compact config program;
+    let resumed = Machine.run ~resume:ck_compact config program in
+    Alcotest.(check bool) "compact resume == uninterrupted run" true
+      (strip_spin resumed = strip_spin baseline)
+
 let tests =
   [
     Alcotest.test_case "random programs 1-60" `Quick (test_differential_batch 1 60);
@@ -628,4 +668,6 @@ let tests =
     QCheck_alcotest.to_alcotest prop_spin_ff_identity;
     QCheck_alcotest.to_alcotest prop_shard_invariance;
     QCheck_alcotest.to_alcotest prop_checkpoint_roundtrip;
+    Alcotest.test_case "compact checkpoint: >=5x smaller, identical resume" `Quick
+      test_compact_checkpoint;
   ]

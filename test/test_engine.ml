@@ -35,6 +35,23 @@ let traced_run config program runner =
   | Some report -> (result, report)
   | None -> Alcotest.fail "traced run produced no report"
 
+(* The shard/ metric family counts lockstep traffic of the host
+   execution (barrier generations crossed, cycles run inside elided
+   spans) — a sequential reference run crosses no barriers, so these
+   are the one family allowed to differ between the engines under
+   comparison.  trend.ml classes them Gate_never for the same
+   reason.  Every other line must match byte for byte. *)
+let strip_shard_metrics s =
+  let keeps line =
+    let has needle =
+      let nl = String.length needle and ll = String.length line in
+      let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+      go 0
+    in
+    not (has "shard/barriers_total" || has "shard/elided_cycles")
+  in
+  String.concat "\n" (List.filter keeps (String.split_on_char '\n' s))
+
 let check_traced_matches_reference ~label config program =
   let engine_r, engine_rep =
     traced_run config program (fun ~obs c p -> Machine.run ~obs c p)
@@ -49,10 +66,12 @@ let check_traced_matches_reference ~label config program =
     (Obs.Report.events_count engine_rep);
   Alcotest.(check string)
     (label ^ ": event stream (jsonl)")
-    (Obs.Sink.jsonl ref_rep) (Obs.Sink.jsonl engine_rep);
+    (strip_shard_metrics (Obs.Sink.jsonl ref_rep))
+    (strip_shard_metrics (Obs.Sink.jsonl engine_rep));
   Alcotest.(check string)
     (label ^ ": metrics summary")
-    (Obs.Sink.summary ref_rep) (Obs.Sink.summary engine_rep)
+    (strip_shard_metrics (Obs.Sink.summary ref_rep))
+    (strip_shard_metrics (Obs.Sink.summary engine_rep))
 
 let test_traced_identical () =
   let w = E.Exp_run.workload ~params:{ Registry.default_params with rounds = Some 4 } "wsq" in
@@ -113,7 +132,11 @@ let test_spin_fastforward () =
   in
   let program = Program.make ~threads:[ worker; spinner ] ~mem_words:8 () in
   let strip (res : Machine.result) =
-    { res with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+    {
+      res with
+      Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 };
+      shard = Machine.no_shard_ctrs;
+    }
   in
   let config = Config.default in
   let ff_on = Machine.run config program in

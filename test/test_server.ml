@@ -87,7 +87,11 @@ let test_traffic_edge_cases () =
 (* -- registry round-trip: engine == reference, bit for bit ------------- *)
 
 let strip_spin (r : Machine.result) =
-  { r with Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 } }
+  {
+    r with
+    Machine.spin = { Machine.sleeps = 0; cycles_skipped = 0; wakes = 0 };
+    shard = Machine.no_shard_ctrs;
+  }
 
 let small_params =
   { Registry.default_params with threads = Some 4; size = Some 4; seed = 3 }
